@@ -1,0 +1,213 @@
+// Command watsrun drives the live goroutine runtime over the real
+// CPU-bound kernels: a batch of mixed compression/hash/GA tasks runs
+// under WATS and under random stealing on an emulated asymmetric machine,
+// and the wall-clock makespans are compared.
+//
+// Usage:
+//
+//	watsrun                 # default: 2 fast + 2 slow emulated cores
+//	watsrun -rounds 4 -fast 2 -slow 4 -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/kernels"
+	"wats/internal/report"
+	"wats/internal/runtime"
+)
+
+func main() {
+	var (
+		fast      = flag.Int("fast", 2, "number of fast workers")
+		slow      = flag.Int("slow", 2, "number of slow workers (0.4x speed)")
+		rounds    = flag.Int("rounds", 3, "batches of kernel tasks")
+		scale     = flag.Int("scale", 1, "work multiplier per task")
+		compare   = flag.Bool("compare", false, "compare WATS vs random across several emulated machines")
+		calibrate = flag.Bool("calibrate", false, "measure per-kernel task costs across input sizes")
+	)
+	flag.Parse()
+
+	if *calibrate {
+		calibrateKernels()
+		return
+	}
+	if *compare {
+		compareArchs(*rounds, *scale)
+		return
+	}
+
+	arch := amc.MustNew("live",
+		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
+	fmt.Printf("running kernels on %s (speed emulation on)\n\n", arch)
+
+	for _, pol := range []struct {
+		name string
+		p    runtime.Policy
+	}{{"random", runtime.PolicyRandom}, {"WATS", runtime.PolicyWATS}} {
+		rt, err := runtime.New(runtime.Config{Arch: arch, Policy: pol.p, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for r := 0; r < *rounds; r++ {
+			submit(rt, uint64(r), *scale)
+			rt.Wait()
+		}
+		elapsed := time.Since(start)
+		rt.Shutdown()
+		fmt.Printf("%-7s makespan %8v\n", pol.name, elapsed.Round(time.Millisecond))
+		if pol.p == runtime.PolicyWATS {
+			fmt.Println("\nlearned classes (avg fastest-core ms):")
+			classes := rt.Registry().Snapshot()
+			sort.Slice(classes, func(i, j int) bool { return classes[i].AvgWork > classes[j].AvgWork })
+			for _, c := range classes {
+				fmt.Printf("  %-10s n=%3d  %7.2fms\n", c.Name, c.Count, 1000*c.AvgWork)
+			}
+		}
+	}
+}
+
+// calibrateKernels measures each kernel's single-task cost across input
+// sizes — the measurements behind the workload-mix cost ratios documented
+// in internal/workload (see DESIGN.md §3).
+func calibrateKernels() {
+	t := report.NewTable("kernel task costs (single-threaded, this machine)",
+		"kernel", "input", "time", "vs sha1@4KiB")
+	type probe struct {
+		name, input string
+		fn          func()
+	}
+	in := kernels.NewInput(1)
+	d4 := in.Bytes(4 << 10)
+	d16 := in.Bytes(16 << 10)
+	t16 := in.Text(16 << 10)
+	probes := []probe{
+		{"sha1", "4 KiB", func() { kernels.SHA1Sum(d4) }},
+		{"sha1", "16 KiB", func() { kernels.SHA1Sum(d16) }},
+		{"md5", "16 KiB", func() { kernels.MD5Sum(d16) }},
+		{"lzw", "16 KiB", func() { kernels.LZWEncode(d16) }},
+		{"dmc", "4 KiB", func() { kernels.DMCEncode(d4, 1<<14) }},
+		{"huffman", "16 KiB", func() { kernels.HuffmanEncode(t16) }},
+		{"bwt", "16 KiB", func() { kernels.BWT(d16) }},
+		{"sais", "16 KiB", func() { kernels.SuffixArray(d16) }},
+		{"bzip2", "16 KiB", func() { kernels.Bzip2Like(t16) }},
+		{"ga-evolve", "pop 64", func() {
+			is := kernels.NewIsland(kernels.GAConfig{Pop: 64, Genome: 16, Generations: 5, Seed: 1})
+			is.Evolve()
+		}},
+		{"ferret", "48x48", func() {
+			img := kernels.GenImage(48, 48, 1)
+			kernels.Extract(img, kernels.Segment(img, 4), 4)
+		}},
+	}
+	timeOf := func(fn func()) time.Duration {
+		// Warm up once, then take the best of 5 (robust on a noisy host).
+		fn()
+		best := time.Duration(1 << 62)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	base := timeOf(probes[0].fn)
+	for _, p := range probes {
+		d := timeOf(p.fn)
+		t.AddRow(p.name, p.input, d.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", float64(d)/float64(base)))
+	}
+	fmt.Println(t.String())
+}
+
+// compareArchs runs the kernel mix under both policies on a ladder of
+// emulated machines and prints the live-runtime equivalent of Fig. 7.
+func compareArchs(rounds, scale int) {
+	archs := []*amc.Arch{
+		amc.MustNew("1 fast + 3 slow", amc.CGroup{Freq: 2.0, N: 1}, amc.CGroup{Freq: 0.8, N: 3}),
+		amc.MustNew("2 fast + 2 slow", amc.CGroup{Freq: 2.0, N: 2}, amc.CGroup{Freq: 0.8, N: 2}),
+		amc.MustNew("3 fast + 1 slow", amc.CGroup{Freq: 2.0, N: 3}, amc.CGroup{Freq: 0.8, N: 1}),
+		amc.MustNew("4 fast (symmetric)", amc.CGroup{Freq: 2.0, N: 4}),
+	}
+	t := report.NewTable("live runtime: mixed kernels, WATS vs random stealing",
+		"machine", "random", "WATS", "gain")
+	for _, arch := range archs {
+		times := map[runtime.Policy]time.Duration{}
+		for _, pol := range []runtime.Policy{runtime.PolicyRandom, runtime.PolicyWATS} {
+			rt, err := runtime.New(runtime.Config{Arch: arch, Policy: pol, Seed: 7})
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				submit(rt, uint64(r), scale)
+				rt.Wait()
+			}
+			times[pol] = time.Since(start)
+			rt.Shutdown()
+		}
+		gain := 100 * (1 - float64(times[runtime.PolicyWATS])/float64(times[runtime.PolicyRandom]))
+		t.AddRow(arch.Name,
+			times[runtime.PolicyRandom].Round(time.Millisecond).String(),
+			times[runtime.PolicyWATS].Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", gain))
+	}
+	fmt.Println(t.String())
+}
+
+// submit spawns one batch of mixed kernel tasks: a few heavy BWT blocks
+// and GA islands, many light digests — the asymmetric mix WATS exploits.
+func submit(rt *runtime.Runtime, seed uint64, scale int) {
+	in := kernels.NewInput(seed)
+	// Heavy: Bzip2-like full blocks.
+	for i := 0; i < 2; i++ {
+		data := in.Text(12 << 10 * scale)
+		rt.Spawn("bzip2", func(ctx *runtime.Ctx) {
+			enc, p := kernels.Bzip2Like(data)
+			if _, err := kernels.Bzip2LikeDecode(enc, p); err != nil {
+				panic(err)
+			}
+		})
+	}
+	// Heavy: GA islands.
+	for i := 0; i < 2; i++ {
+		s := seed*31 + uint64(i)
+		rt.Spawn("ga", func(ctx *runtime.Ctx) {
+			is := kernels.NewIsland(kernels.GAConfig{Pop: 64 * scale, Genome: 24, Generations: 8, Seed: s})
+			is.Evolve()
+		})
+	}
+	// Medium: LZW and DMC blocks.
+	for i := 0; i < 6; i++ {
+		data := in.Bytes(6 << 10 * scale)
+		rt.Spawn("lzw", func(ctx *runtime.Ctx) {
+			if _, err := kernels.LZWDecode(kernels.LZWEncode(data)); err != nil {
+				panic(err)
+			}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		data := in.Bytes(2 << 10 * scale)
+		rt.Spawn("dmc", func(ctx *runtime.Ctx) {
+			enc := kernels.DMCEncode(data, 1<<14)
+			if _, err := kernels.DMCDecode(enc, len(data), 1<<14); err != nil {
+				panic(err)
+			}
+		})
+	}
+	// Light: digests.
+	for i := 0; i < 24; i++ {
+		data := in.Bytes(4 << 10 * scale)
+		rt.Spawn("sha1", func(ctx *runtime.Ctx) {
+			_ = kernels.SHA1Sum(data)
+			_ = kernels.MD5Sum(data)
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Batch: a deeper tour of the simulator on batch-based workloads — every
+// scheduler on every Table II architecture for a skewed workload, plus a
+// per-core execution trace (Gantt chart) of one WATS run showing the
+// history-based allocation at work: heavy classes on fast cores, light
+// classes on slow ones.
+package main
+
+import (
+	"fmt"
+
+	"wats"
+	"wats/internal/amc"
+	"wats/internal/sched"
+	"wats/internal/sim"
+	"wats/internal/trace"
+	"wats/internal/workload"
+)
+
+func main() {
+	fmt.Println("GA (island-model genetic algorithm), 20 batches x 128 tasks")
+	fmt.Println()
+	fmt.Printf("%-14s", "architecture")
+	kinds := []wats.Kind{wats.Cilk, wats.PFT, wats.RTS, wats.WATS, wats.WATSNP, wats.WATSTS}
+	for _, k := range kinds {
+		fmt.Printf("%9s", k)
+	}
+	fmt.Println()
+	for _, arch := range wats.TableII {
+		fmt.Printf("%-14s", arch.Name)
+		for _, k := range kinds {
+			res, err := wats.Simulate(arch, k, wats.GA(1), wats.Config{Seed: 1})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%8.2fs", res.Makespan)
+		}
+		fmt.Println()
+	}
+
+	// Trace one short WATS run on AMC 2 and show where each class ran.
+	fmt.Println("\nWATS execution trace on AMC 2 (6 batches of GA):")
+	rec := trace.New()
+	w := workload.GA(7)
+	w.Batches = 6
+	res, err := sim.New(amc.AMC2, sched.MustNew(sched.KindWATS),
+		sim.Config{Seed: 7, Tracer: rec}).Run(w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res)
+	fmt.Println(rec.Gantt(100))
+	fmt.Println("per-class placement (work share on the 4 fastest cores):")
+	place := rec.ClassPlacement()
+	for _, class := range []string{"ga_migrate", "ga_select", "ga_stats"} {
+		byCore := place[class]
+		var fast, total float64
+		for c, v := range byCore {
+			if c < 4 {
+				fast += v
+			}
+			total += v
+		}
+		fmt.Printf("  %-12s %5.1f%% of its core-time on the 2.5 GHz group\n",
+			class, 100*fast/total)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate the paper's GA benchmark on the AMC 2 architecture
+// under MIT-Cilk-style random stealing and under WATS, and print the
+// comparison. This is the five-line introduction to the library's public
+// API (package wats).
+package main
+
+import (
+	"fmt"
+
+	"wats"
+)
+
+func main() {
+	arch := wats.AMC2 // 4 cores each at 2.5/1.8/1.3/0.8 GHz (Table II)
+
+	for _, kind := range []wats.Kind{wats.Cilk, wats.WATS} {
+		res, err := wats.Simulate(arch, kind, wats.GA(42), wats.Config{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-5s makespan %6.2fs  (lower bound %.2fs, utilization %4.1f%%, steals %d)\n",
+			kind, res.Makespan, res.LowerBound, 100*res.Utilization(), res.Steals)
+	}
+
+	// Custom architectures are one call away:
+	custom, err := wats.NewArch("big.LITTLE",
+		wats.CGroup{Freq: 2.0, N: 2}, wats.CGroup{Freq: 0.5, N: 6})
+	if err != nil {
+		panic(err)
+	}
+	res, err := wats.Simulate(custom, wats.WATS, wats.SHA1(7), wats.Config{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("WATS on %s: %s\n", custom.Name, res)
+}

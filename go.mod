@@ -1,0 +1,3 @@
+module wats
+
+go 1.22

@@ -1,0 +1,230 @@
+// Package amc models Asymmetric Multi-Core (AMC) architectures as used in
+// the WATS paper (Chen et al., IPDPS 2012): a machine is a set of c-groups,
+// where the i-th c-group contains Ni cores all operating at speed Fi, with
+// speeds sorted in descending order (F1 is the fastest).
+//
+// The package also provides the theoretical results of Section II: the
+// makespan lower bound of Lemma 1 and the optimality condition of
+// Theorem 1, which together guide the near-optimal allocation implemented
+// in package history.
+package amc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CGroup is one group of symmetric cores inside an AMC architecture.
+type CGroup struct {
+	// Freq is the operating speed of every core in the group, in GHz
+	// (any consistent unit works; only ratios matter to the scheduler).
+	Freq float64
+	// N is the number of cores in the group.
+	N int
+}
+
+// Capacity is the aggregate computational capacity Fi*Ni of the group.
+func (g CGroup) Capacity() float64 { return g.Freq * float64(g.N) }
+
+// Arch is an AMC architecture: k c-groups in strictly descending speed
+// order. Construct with New (which validates and normalizes) or use one of
+// the Table II presets.
+type Arch struct {
+	Name   string
+	Groups []CGroup
+
+	// coreGroup[c] is the index of the c-group that physical core c
+	// belongs to; cores are numbered fastest-first.
+	coreGroup []int
+}
+
+// New builds and validates an architecture from c-groups. Groups may be
+// passed in any order and with duplicate frequencies; they are sorted
+// descending and merged so that the invariant Fi > Fj for i < j holds.
+func New(name string, groups ...CGroup) (*Arch, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("amc: architecture %q has no c-groups", name)
+	}
+	merged := map[float64]int{}
+	for _, g := range groups {
+		if g.Freq <= 0 {
+			return nil, fmt.Errorf("amc: architecture %q has non-positive frequency %v", name, g.Freq)
+		}
+		if g.N < 0 {
+			return nil, fmt.Errorf("amc: architecture %q has negative core count %d", name, g.N)
+		}
+		merged[g.Freq] += g.N
+	}
+	a := &Arch{Name: name}
+	for f, n := range merged {
+		if n > 0 {
+			a.Groups = append(a.Groups, CGroup{Freq: f, N: n})
+		}
+	}
+	if len(a.Groups) == 0 {
+		return nil, fmt.Errorf("amc: architecture %q has zero cores", name)
+	}
+	sort.Slice(a.Groups, func(i, j int) bool { return a.Groups[i].Freq > a.Groups[j].Freq })
+	for gi, g := range a.Groups {
+		for c := 0; c < g.N; c++ {
+			a.coreGroup = append(a.coreGroup, gi)
+		}
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on error; intended for package-level presets
+// and tests with known-good inputs.
+func MustNew(name string, groups ...CGroup) *Arch {
+	a, err := New(name, groups...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// K returns the number of c-groups (distinct speeds).
+func (a *Arch) K() int { return len(a.Groups) }
+
+// NumCores returns the total number of cores.
+func (a *Arch) NumCores() int { return len(a.coreGroup) }
+
+// GroupOf returns the c-group index of physical core c (cores are
+// numbered fastest-first, matching Fig. 5 of the paper).
+func (a *Arch) GroupOf(c int) int { return a.coreGroup[c] }
+
+// CoresIn returns the physical core ids belonging to c-group gi.
+func (a *Arch) CoresIn(gi int) []int {
+	var cores []int
+	for c, g := range a.coreGroup {
+		if g == gi {
+			cores = append(cores, c)
+		}
+	}
+	return cores
+}
+
+// Speed returns the speed of physical core c.
+func (a *Arch) Speed(c int) float64 { return a.Groups[a.coreGroup[c]].Freq }
+
+// FastestFreq returns F1, the speed of the fastest c-group, used by Eq. 2
+// to normalize measured workloads.
+func (a *Arch) FastestFreq() float64 { return a.Groups[0].Freq }
+
+// TotalCapacity returns sum(Fi*Ni) over all c-groups.
+func (a *Arch) TotalCapacity() float64 {
+	var s float64
+	for _, g := range a.Groups {
+		s += g.Capacity()
+	}
+	return s
+}
+
+// IsSymmetric reports whether the architecture has a single c-group, in
+// which case WATS degenerates to plain parent-first task stealing (paper
+// §IV-A, AMC 7).
+func (a *Arch) IsSymmetric() bool { return len(a.Groups) == 1 }
+
+// RelativeSpeed returns Fi/F1 for c-group gi, in (0, 1].
+func (a *Arch) RelativeSpeed(gi int) float64 {
+	return a.Groups[gi].Freq / a.Groups[0].Freq
+}
+
+// String renders the architecture in the style of Table II.
+func (a *Arch) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", a.Name)
+	for _, g := range a.Groups {
+		fmt.Fprintf(&b, " %dx%.1fGHz", g.N, g.Freq)
+	}
+	return b.String()
+}
+
+// LowerBound computes TL of Lemma 1: the minimum possible makespan for a
+// set of task workloads w (already normalized to F1 cycles, see Eq. 2) on
+// this architecture:
+//
+//	TL = sum(w) / sum(Fi*Ni)
+//
+// The returned value is in the same time unit as w/F (e.g. if w is in
+// F1-cycles and Freq in GHz, TL is in nanoseconds·(F1) — callers only ever
+// compare makespans, so the unit is irrelevant).
+func (a *Arch) LowerBound(w []float64) float64 {
+	var sum float64
+	for _, wj := range w {
+		sum += wj
+	}
+	return sum / a.TotalCapacity()
+}
+
+// GroupTimes returns, for a contiguous partition p of the sorted workloads
+// w into k groups (p as in Theorem 1: group i gets w[p[i-1]:p[i]], with
+// p[k-1]==len(w) implied), the per-group completion times
+// sum(w_group)/(Fi*Ni).
+func (a *Arch) GroupTimes(w []float64, p []int) ([]float64, error) {
+	k := a.K()
+	if len(p) != k-1 {
+		return nil, fmt.Errorf("amc: partition has %d cut points, want k-1=%d", len(p), k-1)
+	}
+	times := make([]float64, k)
+	prev := 0
+	for i := 0; i < k; i++ {
+		end := len(w)
+		if i < k-1 {
+			end = p[i]
+		}
+		if end < prev || end > len(w) {
+			return nil, fmt.Errorf("amc: invalid cut point %d (prev %d, m %d)", end, prev, len(w))
+		}
+		var s float64
+		for _, wj := range w[prev:end] {
+			s += wj
+		}
+		times[i] = s / a.Groups[i].Capacity()
+		prev = end
+	}
+	return times, nil
+}
+
+// PartitionMakespan returns max over c-groups of GroupTimes: the idealized
+// makespan of a contiguous partition under the fluid model of Theorem 1
+// (random stealing is assumed near-optimal inside a symmetric c-group).
+func (a *Arch) PartitionMakespan(w []float64, p []int) (float64, error) {
+	times, err := a.GroupTimes(w, p)
+	if err != nil {
+		return 0, err
+	}
+	var max float64
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	return max, nil
+}
+
+// IsOptimalPartition reports whether the partition satisfies the exact
+// balance condition of Theorem 1 within tolerance eps: every group's
+// workload-to-capacity ratio equals TL.
+func (a *Arch) IsOptimalPartition(w []float64, p []int, eps float64) (bool, error) {
+	times, err := a.GroupTimes(w, p)
+	if err != nil {
+		return false, err
+	}
+	tl := a.LowerBound(w)
+	for _, t := range times {
+		if math.Abs(t-tl) > eps*math.Max(1, tl) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// NormalizeWorkload implements Eq. 2 of the paper: a task completed on a
+// core of speed f in n cycles has workload n * f / F1, expressed in cycles
+// of the fastest core.
+func (a *Arch) NormalizeWorkload(cycles float64, coreSpeed float64) float64 {
+	return cycles * coreSpeed / a.FastestFreq()
+}

@@ -1,0 +1,206 @@
+package amc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wats/internal/rng"
+)
+
+func TestTable2Presets(t *testing.T) {
+	// Every preset has 16 cores, matching Table II of the paper.
+	wantCounts := map[string][4]int{
+		"AMC 1": {2, 2, 2, 10},
+		"AMC 2": {4, 4, 4, 4},
+		"AMC 3": {2, 0, 0, 14},
+		"AMC 4": {4, 0, 0, 12},
+		"AMC 5": {8, 0, 0, 8},
+		"AMC 6": {12, 0, 0, 4},
+		"AMC 7": {16, 0, 0, 0},
+	}
+	freqs := []float64{FreqFast, FreqMedium, FreqSlow, FreqMin}
+	for _, a := range TableII {
+		if a.NumCores() != 16 {
+			t.Errorf("%s: %d cores, want 16", a.Name, a.NumCores())
+		}
+		want := wantCounts[a.Name]
+		for i, f := range freqs {
+			got := 0
+			for _, g := range a.Groups {
+				if g.Freq == f {
+					got = g.N
+				}
+			}
+			if got != want[i] {
+				t.Errorf("%s: %d cores at %.1f GHz, want %d", a.Name, got, f, want[i])
+			}
+		}
+	}
+	if !AMC7.IsSymmetric() {
+		t.Error("AMC 7 should be symmetric")
+	}
+	for _, a := range TableII[:6] {
+		if a.IsSymmetric() {
+			t.Errorf("%s should not be symmetric", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("AMC 3") != AMC3 || ByName("amc3") != AMC3 {
+		t.Error("ByName failed for AMC 3")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown names")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("empty"); err == nil {
+		t.Error("want error for no groups")
+	}
+	if _, err := New("bad", CGroup{Freq: -1, N: 2}); err == nil {
+		t.Error("want error for negative frequency")
+	}
+	if _, err := New("bad", CGroup{Freq: 1, N: -2}); err == nil {
+		t.Error("want error for negative count")
+	}
+	if _, err := New("zero", CGroup{Freq: 1, N: 0}); err == nil {
+		t.Error("want error for zero total cores")
+	}
+}
+
+func TestNewMergesAndSorts(t *testing.T) {
+	a, err := New("m", CGroup{1, 2}, CGroup{3, 1}, CGroup{1, 3}, CGroup{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K() != 3 {
+		t.Fatalf("K=%d, want 3 (duplicate speeds merged)", a.K())
+	}
+	if a.Groups[0].Freq != 3 || a.Groups[1].Freq != 2 || a.Groups[2].Freq != 1 {
+		t.Fatalf("groups not sorted descending: %+v", a.Groups)
+	}
+	if a.Groups[2].N != 5 {
+		t.Fatalf("merged group has %d cores, want 5", a.Groups[2].N)
+	}
+	if a.NumCores() != 8 {
+		t.Fatalf("NumCores=%d, want 8", a.NumCores())
+	}
+}
+
+func TestGroupOfAndCoresIn(t *testing.T) {
+	// AMC 1: cores 0-1 fast, 2-3 medium, 4-5 slow, 6-15 slowest.
+	wantGroups := []int{0, 0, 1, 1, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	for c, want := range wantGroups {
+		if got := AMC1.GroupOf(c); got != want {
+			t.Errorf("AMC1.GroupOf(%d)=%d, want %d", c, got, want)
+		}
+	}
+	if cores := AMC1.CoresIn(1); len(cores) != 2 || cores[0] != 2 || cores[1] != 3 {
+		t.Errorf("AMC1.CoresIn(1)=%v, want [2 3]", cores)
+	}
+}
+
+func TestSpeedAndRelativeSpeed(t *testing.T) {
+	if AMC1.Speed(0) != 2.5 || AMC1.Speed(15) != 0.8 {
+		t.Error("Speed lookup wrong")
+	}
+	if AMC1.FastestFreq() != 2.5 {
+		t.Error("FastestFreq wrong")
+	}
+	if got := AMC1.RelativeSpeed(3); math.Abs(got-0.32) > 1e-12 {
+		t.Errorf("RelativeSpeed(3)=%v, want 0.32", got)
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	// AMC 2: 4 each at 2.5, 1.8, 1.3, 0.8 = 25.6 GHz aggregate.
+	if got := AMC2.TotalCapacity(); math.Abs(got-25.6) > 1e-9 {
+		t.Errorf("AMC2 capacity %v, want 25.6", got)
+	}
+}
+
+func TestLowerBoundLemma1(t *testing.T) {
+	// The motivating example: tasks 1.5t, 4t, t, 1.5t on speeds {2,1,1,1}.
+	// Workloads are measured in fastest-core time, so in "cycle" units
+	// (speed*time) w = speed_fast * t_fast.
+	w := []float64{3, 8, 2, 3} // cycles: task time on a unit-speed core
+	tl := MotivatingExample.LowerBound(w)
+	// Total cycles 16, capacity 2+1+1+1 = 5 => TL = 3.2 cycles/speed.
+	if math.Abs(tl-3.2) > 1e-12 {
+		t.Errorf("TL=%v, want 3.2", tl)
+	}
+}
+
+func TestTheorem1OptimalPartition(t *testing.T) {
+	// Construct an exactly balanceable instance on a 2-group arch with
+	// capacities 4 and 2: weights {3,3,2,2,2} => TL = 2; groups {3,3,2}
+	// and {2,2} have times 2 and 2.
+	a := MustNew("t1", CGroup{2, 2}, CGroup{1, 2})
+	w := []float64{3, 3, 2, 2, 2}
+	times, err := a.GroupTimes(w, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(times[0]-2) > 1e-12 || math.Abs(times[1]-2) > 1e-12 {
+		t.Fatalf("times=%v, want [2 2]", times)
+	}
+	ok, err := a.IsOptimalPartition(w, []int{3}, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("balanced partition not recognized as optimal: ok=%v err=%v", ok, err)
+	}
+	ok, _ = a.IsOptimalPartition(w, []int{2}, 1e-9)
+	if ok {
+		t.Fatal("unbalanced partition wrongly recognized as optimal")
+	}
+}
+
+func TestPartitionMakespanNeverBelowLowerBound(t *testing.T) {
+	r := rng.New(99)
+	check := func(seed uint16) bool {
+		n := 1 + r.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()*10 + 0.01
+		}
+		a := MustNew("q", CGroup{2.5, 1 + r.Intn(4)}, CGroup{0.8, 1 + r.Intn(8)})
+		cut := r.Intn(n + 1)
+		ms, err := a.PartitionMakespan(w, []int{cut})
+		if err != nil {
+			return false
+		}
+		return ms >= a.LowerBound(w)-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupTimesValidation(t *testing.T) {
+	a := MustNew("v", CGroup{2, 1}, CGroup{1, 1})
+	if _, err := a.GroupTimes([]float64{1, 2}, []int{}); err == nil {
+		t.Error("want error for wrong cut count")
+	}
+	if _, err := a.GroupTimes([]float64{1, 2}, []int{5}); err == nil {
+		t.Error("want error for out-of-range cut")
+	}
+}
+
+func TestNormalizeWorkloadEq2(t *testing.T) {
+	// A task taking n reference cycles on a core at speed Fi has workload
+	// n*Fi/F1 (Eq. 2 of the paper).
+	got := AMC1.NormalizeWorkload(1000, 0.8)
+	want := 1000 * 0.8 / 2.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalizeWorkload = %v, want %v", got, want)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := AMC3.String()
+	if s == "" || s[:5] != "AMC 3" {
+		t.Errorf("unexpected String(): %q", s)
+	}
+}

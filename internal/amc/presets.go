@@ -1,0 +1,64 @@
+package amc
+
+// Table II of the paper: the seven AMC architectures emulated on the
+// 16-core AMD Opteron 8380 testbed by setting per-core DVFS frequencies.
+// Every architecture has 16 cores drawn from the frequency set
+// {2.5, 1.8, 1.3, 0.8} GHz.
+//
+//	Name    2.5GHz  1.8GHz  1.3GHz  0.8GHz
+//	AMC 1     2       2       2      10
+//	AMC 2     4       4       4       4
+//	AMC 3     2       0       0      14
+//	AMC 4     4       0       0      12
+//	AMC 5     8       0       0       8
+//	AMC 6    12       0       0       4
+//	AMC 7    16       0       0       0
+
+// The four DVFS frequency steps of the Opteron 8380 testbed, in GHz.
+const (
+	FreqFast   = 2.5
+	FreqMedium = 1.8
+	FreqSlow   = 1.3
+	FreqMin    = 0.8
+)
+
+// AMC1 through AMC7 are the Table II presets. AMC7 is fully symmetric.
+var (
+	AMC1 = MustNew("AMC 1",
+		CGroup{FreqFast, 2}, CGroup{FreqMedium, 2}, CGroup{FreqSlow, 2}, CGroup{FreqMin, 10})
+	AMC2 = MustNew("AMC 2",
+		CGroup{FreqFast, 4}, CGroup{FreqMedium, 4}, CGroup{FreqSlow, 4}, CGroup{FreqMin, 4})
+	AMC3 = MustNew("AMC 3",
+		CGroup{FreqFast, 2}, CGroup{FreqMin, 14})
+	AMC4 = MustNew("AMC 4",
+		CGroup{FreqFast, 4}, CGroup{FreqMin, 12})
+	AMC5 = MustNew("AMC 5",
+		CGroup{FreqFast, 8}, CGroup{FreqMin, 8})
+	AMC6 = MustNew("AMC 6",
+		CGroup{FreqFast, 12}, CGroup{FreqMin, 4})
+	AMC7 = MustNew("AMC 7",
+		CGroup{FreqFast, 16})
+)
+
+// TableII lists the presets in paper order.
+var TableII = []*Arch{AMC1, AMC2, AMC3, AMC4, AMC5, AMC6, AMC7}
+
+// ByName returns the Table II preset with the given name ("AMC 1".."AMC 7"
+// or the compact forms "amc1".."amc7"), or nil if unknown.
+func ByName(name string) *Arch {
+	for i, a := range TableII {
+		if a.Name == name {
+			return a
+		}
+		compact := [7]string{"amc1", "amc2", "amc3", "amc4", "amc5", "amc6", "amc7"}
+		if name == compact[i] {
+			return a
+		}
+	}
+	return nil
+}
+
+// MotivatingExample is the architecture of Fig. 1: one fast core running at
+// twice the speed of three slow cores. Speeds 2 and 1 keep the arithmetic
+// of Section II-A exact.
+var MotivatingExample = MustNew("Fig.1", CGroup{2, 1}, CGroup{1, 3})

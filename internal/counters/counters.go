@@ -1,0 +1,88 @@
+// Package counters implements the virtual performance-counter machinery
+// of the paper's §IV-E discussion: per-task cache-miss accounting, the
+// CMPI (Cache Misses Per Instruction) classifier that separates CPU-bound
+// from memory-bound tasks, and the DVFS energy model used by the
+// energy-aware extension (§VI future work).
+//
+// The real system reads hardware counters; here the workload generator
+// attaches per-task cache-miss profiles and the simulator's virtual
+// counters normalize them exactly as Eq. 3 of §IV-E prescribes:
+//
+//	M = Σ_i n_i * p_i / p_1        (normalized misses)
+//	CMPI = M / N                   (N = instructions)
+package counters
+
+// CacheLevel describes one level of the simulated cache hierarchy.
+type CacheLevel struct {
+	// Name is "L1", "L2", ...
+	Name string
+	// MissPenalty is the miss penalty in cycles (p_i).
+	MissPenalty float64
+}
+
+// Hierarchy is a cache hierarchy, fastest level first.
+type Hierarchy []CacheLevel
+
+// DefaultHierarchy models a 2008-era Opteron: L1 12 cycles, L2 40, L3
+// 120 (to memory).
+var DefaultHierarchy = Hierarchy{
+	{Name: "L1", MissPenalty: 12},
+	{Name: "L2", MissPenalty: 40},
+	{Name: "L3", MissPenalty: 120},
+}
+
+// TaskCounters is one task's counter readout.
+type TaskCounters struct {
+	// Instructions is N.
+	Instructions float64
+	// Misses[i] is n_i, the miss count at level i.
+	Misses []float64
+}
+
+// NormalizedMisses computes M = Σ n_i * p_i/p_1.
+func (h Hierarchy) NormalizedMisses(tc TaskCounters) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	p1 := h[0].MissPenalty
+	var m float64
+	for i, n := range tc.Misses {
+		if i >= len(h) {
+			break
+		}
+		m += n * h[i].MissPenalty / p1
+	}
+	return m
+}
+
+// CMPI returns the task's cache-misses-per-instruction figure.
+func (h Hierarchy) CMPI(tc TaskCounters) float64 {
+	if tc.Instructions == 0 {
+		return 0
+	}
+	return h.NormalizedMisses(tc) / tc.Instructions
+}
+
+// Classifier separates CPU-bound from memory-bound tasks by CMPI
+// threshold (§IV-E: "If CMPI_γ is greater than some threshold, γ is
+// memory-bound").
+type Classifier struct {
+	Hierarchy Hierarchy
+	// Threshold is the CMPI above which a task counts as memory-bound.
+	// Default 0.05 (one long-latency miss per 20 instructions).
+	Threshold float64
+}
+
+// NewClassifier returns a classifier over the default hierarchy.
+func NewClassifier() *Classifier {
+	return &Classifier{Hierarchy: DefaultHierarchy, Threshold: 0.05}
+}
+
+// MemoryBound reports whether the task's counters mark it memory-bound.
+func (c *Classifier) MemoryBound(tc TaskCounters) bool {
+	th := c.Threshold
+	if th == 0 {
+		th = 0.05
+	}
+	return c.Hierarchy.CMPI(tc) > th
+}

@@ -1,0 +1,119 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizedMisses(t *testing.T) {
+	h := DefaultHierarchy
+	tc := TaskCounters{Instructions: 1000, Misses: []float64{120, 30, 6}}
+	// M = 120*12/12 + 30*40/12 + 6*120/12 = 120 + 100 + 60 = 280.
+	if got := h.NormalizedMisses(tc); math.Abs(got-280) > 1e-9 {
+		t.Fatalf("M=%v want 280", got)
+	}
+	if got := h.CMPI(tc); math.Abs(got-0.28) > 1e-9 {
+		t.Fatalf("CMPI=%v want 0.28", got)
+	}
+}
+
+func TestCMPIZeroInstructions(t *testing.T) {
+	if DefaultHierarchy.CMPI(TaskCounters{}) != 0 {
+		t.Fatal("zero instructions should give CMPI 0")
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	cl := NewClassifier()
+	cpuBound := TaskCounters{Instructions: 1e6, Misses: []float64{100, 10, 1}}
+	memBound := TaskCounters{Instructions: 1e4, Misses: []float64{5000, 2000, 500}}
+	if cl.MemoryBound(cpuBound) {
+		t.Fatal("CPU-bound task classified memory-bound")
+	}
+	if !cl.MemoryBound(memBound) {
+		t.Fatal("memory-bound task classified CPU-bound")
+	}
+}
+
+func TestPowerIsMonotone(t *testing.T) {
+	m := DefaultEnergyModel
+	check := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return m.Power(a) <= m.Power(b)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeAtScaling(t *testing.T) {
+	r := TaskRun{CPUSeconds: 2, MemSeconds: 1, RefFreq: 2.5}
+	// At half frequency compute doubles, memory stalls do not.
+	if got := r.TimeAt(1.25); math.Abs(got-(4+1)) > 1e-9 {
+		t.Fatalf("TimeAt=%v want 5", got)
+	}
+	if got := r.TimeAt(2.5); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("TimeAt=%v want 3", got)
+	}
+}
+
+func TestBestFrequencyMemoryBound(t *testing.T) {
+	m := DefaultEnergyModel
+	// Strongly memory-bound: scaling down barely affects latency, so the
+	// lowest ladder step within budget must win.
+	r := TaskRun{CPUSeconds: 0.1, MemSeconds: 2, RefFreq: 2.5}
+	f, e := m.BestFrequency(r, OpteronLadder, 1.2)
+	if f != 0.8 {
+		t.Fatalf("chose %v GHz, want 0.8 for a memory-bound task", f)
+	}
+	if e >= m.EnergyAt(r, 2.5) {
+		t.Fatalf("no energy saved: %v vs %v", e, m.EnergyAt(r, 2.5))
+	}
+}
+
+func TestBestFrequencyCPUBoundRespectsBudget(t *testing.T) {
+	m := DefaultEnergyModel
+	// Pure CPU-bound with a tight budget: must stay fast.
+	r := TaskRun{CPUSeconds: 2, MemSeconds: 0, RefFreq: 2.5}
+	f, _ := m.BestFrequency(r, OpteronLadder, 1.05)
+	if f != 2.5 {
+		t.Fatalf("chose %v GHz, want 2.5 under a 5%% latency budget", f)
+	}
+	// With a loose budget, a lower step may win on energy: time at 1.8
+	// is 2.78s vs 2s (+39%) allowed by 1.5 budget; energy 2.78*(5.83+2)
+	// vs 2*(15.6+2): lower.
+	f2, _ := m.BestFrequency(r, OpteronLadder, 1.5)
+	if f2 >= 2.5 {
+		t.Fatalf("loose budget should allow scaling down, chose %v", f2)
+	}
+}
+
+func TestEvaluatePolicy(t *testing.T) {
+	m := DefaultEnergyModel
+	cl := NewClassifier()
+	runs := []TaskRun{
+		{CPUSeconds: 1, MemSeconds: 0, RefFreq: 2.5},    // CPU-bound
+		{CPUSeconds: 0.05, MemSeconds: 1, RefFreq: 2.5}, // memory-bound
+	}
+	tcs := []TaskCounters{
+		{Instructions: 1e6, Misses: []float64{100, 10, 1}},
+		{Instructions: 1e4, Misses: []float64{5000, 2000, 500}},
+	}
+	s := m.EvaluatePolicy(cl, runs, tcs, 1.2)
+	if s.EnergySavedFrac() <= 0 {
+		t.Fatalf("no energy saved: %+v", s)
+	}
+	if s.SlowdownFrac() > 0.2 {
+		t.Fatalf("slowdown %v exceeds budget", s.SlowdownFrac())
+	}
+	// The CPU-bound task must not have been slowed: check via a policy
+	// run with only the CPU-bound task.
+	s2 := m.EvaluatePolicy(cl, runs[:1], tcs[:1], 1.2)
+	if s2.EnergySavedFrac() != 0 || s2.SlowdownFrac() != 0 {
+		t.Fatalf("CPU-bound task was touched: %+v", s2)
+	}
+}

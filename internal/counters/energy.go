@@ -1,0 +1,127 @@
+package counters
+
+import "wats/internal/amc"
+
+// DVFS energy model (§IV-E / §VI): dynamic power scales with f·V², and on
+// the DVFS ladder voltage scales roughly linearly with frequency, so
+// dynamic power ∝ f³ and energy per unit time at frequency f is
+// k·f³ + static. Scaling a memory-bound task's core down barely hurts its
+// latency (its time is dominated by memory stalls) but cuts its energy —
+// the trade the paper proposes to exploit.
+
+// EnergyModel computes energy for work executed at given frequencies.
+type EnergyModel struct {
+	// DynCoeff is k in P_dyn = k*f^3 (watts per GHz³). Default 1.0.
+	DynCoeff float64
+	// StaticPower is the frequency-independent power per core (watts).
+	// Default 2.0.
+	StaticPower float64
+}
+
+// DefaultEnergyModel is a plausible Opteron-era parameterization.
+var DefaultEnergyModel = EnergyModel{DynCoeff: 1.0, StaticPower: 2.0}
+
+// Power returns per-core power at frequency f (GHz).
+func (m EnergyModel) Power(f float64) float64 {
+	k := m.DynCoeff
+	if k == 0 {
+		k = 1
+	}
+	s := m.StaticPower
+	return k*f*f*f + s
+}
+
+// TaskRun describes one task execution for energy accounting.
+type TaskRun struct {
+	// CPUSeconds is the task's pure-compute demand at frequency RefFreq.
+	CPUSeconds float64
+	// MemSeconds is the frequency-independent memory-stall time.
+	MemSeconds float64
+	// RefFreq is the frequency CPUSeconds is expressed at.
+	RefFreq float64
+}
+
+// TimeAt returns the task's execution time at frequency f: compute
+// scales with 1/f, memory stalls do not.
+func (r TaskRun) TimeAt(f float64) float64 {
+	return r.CPUSeconds*r.RefFreq/f + r.MemSeconds
+}
+
+// EnergyAt returns the energy consumed running the task at frequency f.
+func (m EnergyModel) EnergyAt(r TaskRun, f float64) float64 {
+	return m.Power(f) * r.TimeAt(f)
+}
+
+// BestFrequency returns the frequency from the ladder minimizing energy
+// subject to a latency budget: time at the chosen frequency must not
+// exceed maxSlowdown × time at the fastest frequency. It returns the
+// chosen frequency and its energy.
+func (m EnergyModel) BestFrequency(r TaskRun, ladder []float64, maxSlowdown float64) (freq, energy float64) {
+	if len(ladder) == 0 {
+		return r.RefFreq, m.EnergyAt(r, r.RefFreq)
+	}
+	fastest := ladder[0]
+	for _, f := range ladder {
+		if f > fastest {
+			fastest = f
+		}
+	}
+	budget := r.TimeAt(fastest) * maxSlowdown
+	bestF, bestE := fastest, m.EnergyAt(r, fastest)
+	for _, f := range ladder {
+		if r.TimeAt(f) > budget {
+			continue
+		}
+		if e := m.EnergyAt(r, f); e < bestE {
+			bestF, bestE = f, e
+		}
+	}
+	return bestF, bestE
+}
+
+// OpteronLadder is the testbed's DVFS ladder (Table II frequencies).
+var OpteronLadder = []float64{amc.FreqFast, amc.FreqMedium, amc.FreqSlow, amc.FreqMin}
+
+// Savings summarizes the energy-aware policy's effect on a task set.
+type Savings struct {
+	BaselineEnergy, TunedEnergy float64
+	BaselineTime, TunedTime     float64
+}
+
+// EvaluatePolicy runs the scale-down-on-high-CMPI policy over tasks: each
+// memory-bound task (per the classifier and its counters) is moved to the
+// energy-optimal frequency within the latency budget; CPU-bound tasks
+// stay at full speed. Times are summed serially (per-core view).
+func (m EnergyModel) EvaluatePolicy(cl *Classifier, runs []TaskRun, tcs []TaskCounters, maxSlowdown float64) Savings {
+	var s Savings
+	fastest := OpteronLadder[0]
+	for i, r := range runs {
+		s.BaselineEnergy += m.EnergyAt(r, fastest)
+		s.BaselineTime += r.TimeAt(fastest)
+		if i < len(tcs) && cl.MemoryBound(tcs[i]) {
+			f, e := m.BestFrequency(r, OpteronLadder, maxSlowdown)
+			s.TunedEnergy += e
+			s.TunedTime += r.TimeAt(f)
+		} else {
+			s.TunedEnergy += m.EnergyAt(r, fastest)
+			s.TunedTime += r.TimeAt(fastest)
+		}
+	}
+	return s
+}
+
+// EnergySavedFrac returns the fraction of energy saved by the policy.
+func (s Savings) EnergySavedFrac() float64 {
+	if s.BaselineEnergy == 0 {
+		return 0
+	}
+	return 1 - s.TunedEnergy/s.BaselineEnergy
+}
+
+// SlowdownFrac returns the relative time increase paid for the savings.
+func (s Savings) SlowdownFrac() float64 {
+	if s.BaselineTime == 0 {
+		return 0
+	}
+	return s.TunedTime/s.BaselineTime - 1
+}

@@ -1,0 +1,223 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChaseLevSequential(t *testing.T) {
+	d := NewChaseLev(4)
+	if !d.Empty() {
+		t.Fatal("new deque not empty")
+	}
+	for i := int64(0); i < 100; i++ {
+		d.PushBottom(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	// Owner LIFO.
+	for i := int64(99); i >= 50; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("PopBottom=%d,%v want %d", v, ok, i)
+		}
+	}
+	// Thief FIFO.
+	for i := int64(0); i < 50; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal=%d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty")
+	}
+}
+
+func TestChaseLevGrowth(t *testing.T) {
+	d := NewChaseLev(2)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		d.PushBottom(i)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("after growth Steal=%d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+// TestChaseLevConcurrent hammers one owner against several thieves and
+// checks that every pushed value is consumed exactly once.
+func TestChaseLevConcurrent(t *testing.T) {
+	const (
+		nItems   = 100000
+		nThieves = 4
+	)
+	d := NewChaseLev(8)
+	var consumed sync.Map
+	var dup, total atomic.Int64
+
+	record := func(v int64) {
+		if _, loaded := consumed.LoadOrStore(v, true); loaded {
+			dup.Add(1)
+		}
+		total.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < nThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+				}
+				select {
+				case <-stop:
+					// Drain what's left.
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push all items, popping a few now and then.
+	for i := int64(0); i < nItems; i++ {
+		d.PushBottom(i)
+		if i%7 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := total.Load(); got != nItems {
+		t.Fatalf("consumed %d items, want %d", got, nItems)
+	}
+	if d := dup.Load(); d != 0 {
+		t.Fatalf("%d items consumed twice", d)
+	}
+}
+
+func TestChaseLevPtrSequential(t *testing.T) {
+	d := NewChaseLevPtr[int](4)
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	for i := 99; i >= 50; i-- {
+		v, ok := d.PopBottom()
+		if !ok || *v != i {
+			t.Fatalf("PopBottom=%v,%v want %d", v, ok, i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := d.Steal()
+		if !ok || *v != i {
+			t.Fatalf("Steal=%v,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty")
+	}
+	if !d.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestChaseLevPtrConcurrent(t *testing.T) {
+	const (
+		nItems   = 50000
+		nThieves = 4
+	)
+	d := NewChaseLevPtr[int64](8)
+	var consumed sync.Map
+	var dup, total atomic.Int64
+	record := func(v *int64) {
+		if _, loaded := consumed.LoadOrStore(*v, true); loaded {
+			dup.Add(1)
+		}
+		total.Add(1)
+	}
+	items := make([]int64, nItems)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < nThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := int64(0); i < nItems; i++ {
+		items[i] = i
+		d.PushBottom(&items[i])
+		if i%5 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	if got := total.Load(); got != nItems {
+		t.Fatalf("consumed %d items, want %d", got, nItems)
+	}
+	if n := dup.Load(); n != 0 {
+		t.Fatalf("%d items consumed twice", n)
+	}
+}

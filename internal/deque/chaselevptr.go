@@ -1,0 +1,109 @@
+package deque
+
+import "sync/atomic"
+
+// ChaseLevPtr is the Chase–Lev work-stealing deque over typed pointers:
+// the owner pushes/pops the bottom, thieves steal the top, all without
+// locks. It is the pool the live runtime uses in lock-free mode; the
+// int64-indexed ChaseLev remains for index-based task tables.
+//
+// Implementation note: the element array slots are atomic pointers so a
+// thief racing a grow() observes either the old or the new array, both of
+// which hold the same live window (grow copies before publishing).
+type ChaseLevPtr[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[clpArray[T]]
+}
+
+type clpArray[T any] struct {
+	size int64 // power of two
+	buf  []atomic.Pointer[T]
+}
+
+func newCLPArray[T any](size int64) *clpArray[T] {
+	return &clpArray[T]{size: size, buf: make([]atomic.Pointer[T], size)}
+}
+
+func (a *clpArray[T]) get(i int64) *T    { return a.buf[i&(a.size-1)].Load() }
+func (a *clpArray[T]) put(i int64, v *T) { a.buf[i&(a.size-1)].Store(v) }
+
+// NewChaseLevPtr returns an empty deque with the given initial capacity
+// (rounded up to a power of two, minimum 8).
+func NewChaseLevPtr[T any](capacity int) *ChaseLevPtr[T] {
+	size := int64(8)
+	for size < int64(capacity) {
+		size <<= 1
+	}
+	d := &ChaseLevPtr[T]{}
+	d.array.Store(newCLPArray[T](size))
+	return d
+}
+
+// Len returns an instantaneous (racy) estimate of the queue length.
+func (d *ChaseLevPtr[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// Empty reports (racily) whether the deque looks empty.
+func (d *ChaseLevPtr[T]) Empty() bool { return d.Len() == 0 }
+
+// PushBottom appends v at the owner end. Only the owner may call it.
+func (d *ChaseLevPtr[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size {
+		na := newCLPArray[T](a.size * 2)
+		for i := t; i < b; i++ {
+			na.put(i, a.get(i))
+		}
+		d.array.Store(na)
+		a = na
+	}
+	a.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes the owner-end element. Only the owner may call it.
+func (d *ChaseLevPtr[T]) PopBottom() (*T, bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		d.bottom.Store(t)
+		return nil, false
+	}
+	v := a.get(b)
+	if b > t {
+		return v, true
+	}
+	ok := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// Steal removes the thief-end element. Any goroutine may call it.
+func (d *ChaseLevPtr[T]) Steal() (*T, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if b <= t {
+			return nil, false
+		}
+		a := d.array.Load()
+		v := a.get(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopBottomLIFO(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("PopBottom = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty should fail")
+	}
+}
+
+func TestPopTopFIFO(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d.PopTop()
+		if !ok || v != i {
+			t.Fatalf("PopTop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopTop(); ok {
+		t.Fatal("PopTop on empty should fail")
+	}
+}
+
+func TestMixedEndsAndGrowth(t *testing.T) {
+	d := New[int]()
+	// Interleave pushes and pops to force wraparound, then grow.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBottom(round*10 + i)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := d.PopTop(); !ok {
+				t.Fatal("unexpected empty")
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := d.PopBottom(); !ok {
+				t.Fatal("unexpected empty")
+			}
+		}
+	}
+	if d.Len() != 50*2 {
+		t.Fatalf("Len=%d want 100", d.Len())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	d := New[string]()
+	if _, ok := d.PeekTop(); ok {
+		t.Fatal("PeekTop on empty")
+	}
+	if _, ok := d.PeekBottom(); ok {
+		t.Fatal("PeekBottom on empty")
+	}
+	d.PushBottom("a")
+	d.PushBottom("b")
+	if v, _ := d.PeekTop(); v != "a" {
+		t.Fatalf("PeekTop=%q", v)
+	}
+	if v, _ := d.PeekBottom(); v != "b" {
+		t.Fatalf("PeekBottom=%q", v)
+	}
+	if d.Len() != 2 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+func TestClearAndDrain(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 5; i++ {
+		d.PushBottom(i)
+	}
+	got := d.Drain()
+	if len(got) != 5 || got[0] != 0 || got[4] != 4 {
+		t.Fatalf("Drain=%v", got)
+	}
+	for i := 0; i < 5; i++ {
+		d.PushBottom(i)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestEach(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 4; i++ {
+		d.PushBottom(i)
+	}
+	var got []int
+	d.Each(func(v int) { got = append(got, v) })
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Each order: %v", got)
+	}
+}
+
+// TestDequeModel drives the deque against a slice reference model with a
+// random operation sequence (property test).
+func TestDequeModel(t *testing.T) {
+	type ops struct {
+		Ops []uint8
+	}
+	check := func(o ops) bool {
+		d := New[int]()
+		var ref []int
+		next := 0
+		for _, op := range o.Ops {
+			switch op % 3 {
+			case 0: // push bottom
+				d.PushBottom(next)
+				ref = append(ref, next)
+				next++
+			case 1: // pop bottom
+				v, ok := d.PopBottom()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if !ok || v != want {
+					return false
+				}
+			case 2: // pop top
+				v, ok := d.PopTop()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if !ok || v != want {
+					return false
+				}
+			}
+			if d.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueDeque(t *testing.T) {
+	var d Deque[int]
+	d.PushBottom(1)
+	d.PushBottom(2)
+	if v, ok := d.PopTop(); !ok || v != 1 {
+		t.Fatalf("zero-value deque broken: %d,%v", v, ok)
+	}
+}

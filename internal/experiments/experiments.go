@@ -1,0 +1,190 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§IV). Each driver runs the relevant (architecture,
+// policy, workload) grid on the discrete-event simulator, averages over a
+// seed set (the paper averages ten runs per configuration), and returns a
+// structured result that renders as an ASCII table. The cmd/watsbench CLI
+// and the repository's testing.B benchmarks are thin wrappers over these
+// drivers, and EXPERIMENTS.md records their output against the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"wats/internal/amc"
+	"wats/internal/sched"
+	"wats/internal/sim"
+	"wats/internal/stats"
+	"wats/internal/workload"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Seeds are the replication seeds; the mean across seeds is reported.
+	// Default {1, 2, 3, 4, 5}.
+	Seeds []uint64
+	// Cfg is the simulator cost model (zero fields get sim defaults).
+	Cfg sim.Config
+	// Batches overrides the per-workload batch count (0 = workload
+	// default). Benchmarks use a lower count to bound bench time.
+	Batches int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3, 4, 5}
+	}
+	return o
+}
+
+// makeWorkload builds the named Table III workload for a seed, applying
+// the experiment's batch override.
+func (o Options) makeWorkload(name string, seed uint64) (sim.Workload, error) {
+	w := workload.ByName(name, seed)
+	if w == nil {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	if o.Batches > 0 {
+		switch b := w.(type) {
+		case *workload.Batch:
+			b.Batches = o.Batches
+		case *workload.Pipeline:
+			b.Waves = o.Batches
+		}
+	}
+	return w, nil
+}
+
+// runOne executes a single (arch, policy, workload) simulation.
+func (o Options) runOne(arch *amc.Arch, kind sched.Kind, wlName string, seed uint64) (*sim.Result, error) {
+	w, err := o.makeWorkload(wlName, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sched.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.Cfg
+	cfg.Seed = seed
+	return sim.New(arch, p, cfg).Run(w)
+}
+
+// runMean executes the configuration once per seed and returns the mean
+// and standard deviation of the makespan.
+func (o Options) runMean(arch *amc.Arch, kind sched.Kind, wlName string) (mean, std float64, err error) {
+	var s stats.Sample
+	for _, seed := range o.Seeds {
+		res, err := o.runOne(arch, kind, wlName, seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		s.Add(res.Makespan)
+	}
+	return s.Mean(), s.Stddev(), nil
+}
+
+// Cell is one aggregated measurement of an experiment grid.
+type Cell struct {
+	Mean, Std float64
+}
+
+// Grid is a generic (row × column) result matrix with labels.
+type Grid struct {
+	Title    string
+	RowName  string
+	RowLabel []string
+	ColLabel []string
+	Cells    [][]Cell // [row][col]
+}
+
+// At returns the cell at (row, col) labels; ok=false if absent.
+func (g *Grid) At(row, col string) (Cell, bool) {
+	ri, ci := -1, -1
+	for i, r := range g.RowLabel {
+		if r == row {
+			ri = i
+		}
+	}
+	for j, c := range g.ColLabel {
+		if c == col {
+			ci = j
+		}
+	}
+	if ri < 0 || ci < 0 {
+		return Cell{}, false
+	}
+	return g.Cells[ri][ci], true
+}
+
+// Normalized returns a copy of the grid with every row divided by that
+// row's value in the reference column (the paper normalizes Fig. 6 to
+// Cilk and Fig. 10 to WATS).
+func (g *Grid) Normalized(refCol string) *Grid {
+	refIdx := -1
+	for j, c := range g.ColLabel {
+		if c == refCol {
+			refIdx = j
+		}
+	}
+	out := &Grid{
+		Title:    g.Title + " (normalized to " + refCol + ")",
+		RowName:  g.RowName,
+		RowLabel: append([]string(nil), g.RowLabel...),
+		ColLabel: append([]string(nil), g.ColLabel...),
+	}
+	for _, row := range g.Cells {
+		ref := 1.0
+		if refIdx >= 0 && row[refIdx].Mean != 0 {
+			ref = row[refIdx].Mean
+		}
+		nr := make([]Cell, len(row))
+		for j, c := range row {
+			nr[j] = Cell{Mean: c.Mean / ref, Std: c.Std / ref}
+		}
+		out.Cells = append(out.Cells, nr)
+	}
+	return out
+}
+
+// runGrid fills a Grid by running every (row=workload or arch, col=policy)
+// combination. rows are workload names when archs has length 1, and
+// architecture names when wlNames has length 1.
+func (o Options) runGrid(title string, archs []*amc.Arch, kinds []sched.Kind, wlNames []string) (*Grid, error) {
+	g := &Grid{Title: title}
+	for _, k := range kinds {
+		g.ColLabel = append(g.ColLabel, string(k))
+	}
+	switch {
+	case len(archs) == 1:
+		g.RowName = "benchmark"
+		for _, wl := range wlNames {
+			g.RowLabel = append(g.RowLabel, wl)
+			row := make([]Cell, 0, len(kinds))
+			for _, k := range kinds {
+				m, s, err := o.runMean(archs[0], k, wl)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, Cell{m, s})
+			}
+			g.Cells = append(g.Cells, row)
+		}
+	case len(wlNames) == 1:
+		g.RowName = "architecture"
+		for _, a := range archs {
+			g.RowLabel = append(g.RowLabel, a.Name)
+			row := make([]Cell, 0, len(kinds))
+			for _, k := range kinds {
+				m, s, err := o.runMean(a, k, wlNames[0])
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, Cell{m, s})
+			}
+			g.Cells = append(g.Cells, row)
+		}
+	default:
+		return nil, fmt.Errorf("experiments: grid needs one arch or one workload")
+	}
+	return g, nil
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wats/internal/amc"
+)
+
+// fast options: 1 seed, few batches, so the full driver suite stays quick.
+func fastOpts() Options {
+	return Options{Seeds: []uint64{1}, Batches: 3}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	s := Table1().String()
+	for _, want := range []string{
+		"{C1, C2, C3}", "{C2, C3, C1}", "{C3, C2, C1}",
+		"c0", "c1 & c2", "c3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	s := Table2().String()
+	for _, row := range []string{"AMC 1", "AMC 7"} {
+		if !strings.Contains(s, row) {
+			t.Fatalf("Table 2 missing %q", row)
+		}
+	}
+	if !strings.Contains(s, "10") { // AMC 1 has 10 cores at 0.8 GHz
+		t.Fatal("Table 2 missing the 10-core entry")
+	}
+}
+
+func TestMotivationShapes(t *testing.T) {
+	r, err := Motivation(Options{Seeds: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OptimalMakespan != 4 || r.WorstRandom != 8 || r.SnatchRescue != 4.5 {
+		t.Fatalf("analytic values wrong: %+v", r)
+	}
+	// WATS converges near the optimal 4t; random stays clearly above.
+	w, c := r.Simulated["WATS"], r.Simulated["Cilk"]
+	if w >= c {
+		t.Fatalf("WATS (%v) not better than Cilk (%v) on Fig.1 batches", w, c)
+	}
+	if w > 6.0 {
+		t.Fatalf("WATS per-batch %vt too far from optimal 4t", w)
+	}
+	if c < 4.5 {
+		t.Fatalf("Cilk per-batch %vt suspiciously close to optimal", c)
+	}
+	if r.Render().String() == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestFig6Driver(t *testing.T) {
+	grids, err := Fig6(fastOpts(), amc.AMC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 1 {
+		t.Fatalf("grids=%d", len(grids))
+	}
+	g := grids[0]
+	if len(g.RowLabel) != 9 || len(g.ColLabel) != 4 {
+		t.Fatalf("grid shape %dx%d", len(g.RowLabel), len(g.ColLabel))
+	}
+	// Normalized to Cilk: the Cilk column is exactly 1.
+	for i := range g.RowLabel {
+		if c, ok := g.At(g.RowLabel[i], "Cilk"); !ok || c.Mean != 1 {
+			t.Fatalf("row %s Cilk cell %+v", g.RowLabel[i], c)
+		}
+	}
+	// WATS wins on the most skewed benchmark even in a short run.
+	w, _ := g.At("SHA-1", "WATS")
+	if w.Mean >= 0.95 {
+		t.Fatalf("SHA-1 WATS %v not clearly below Cilk", w.Mean)
+	}
+	if RenderGrid(g, "%.3f").String() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestFig7And9Drivers(t *testing.T) {
+	g7, err := Fig7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g7.RowLabel) != 7 {
+		t.Fatalf("fig7 rows=%d", len(g7.RowLabel))
+	}
+	// Symmetric AMC 7: all policies equal within noise.
+	cilk, _ := g7.At("AMC 7", "Cilk")
+	wats, _ := g7.At("AMC 7", "WATS")
+	if rel := abs(cilk.Mean-wats.Mean) / cilk.Mean; rel > 0.05 {
+		t.Fatalf("AMC7 WATS vs Cilk differ %.1f%%", rel*100)
+	}
+
+	g9, err := Fig9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g9.ColLabel) != 4 || g9.ColLabel[2] != "WATS-NP" {
+		t.Fatalf("fig9 cols=%v", g9.ColLabel)
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	o := fastOpts()
+	g, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RowLabel) != len(Fig8Alphas) {
+		t.Fatalf("fig8 rows=%d", len(g.RowLabel))
+	}
+	// Execution time grows with α for every policy (more heavy work).
+	for _, col := range g.ColLabel {
+		lo, _ := g.At("0", col)
+		hi, _ := g.At("44", col)
+		if hi.Mean <= lo.Mean {
+			t.Fatalf("%s: time did not grow with alpha (%v -> %v)", col, lo.Mean, hi.Mean)
+		}
+	}
+}
+
+func TestFig10Driver(t *testing.T) {
+	g, err := Fig10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ColLabel) != 2 {
+		t.Fatalf("cols=%v", g.ColLabel)
+	}
+	for _, row := range g.RowLabel {
+		w, _ := g.At(row, "WATS")
+		if w.Mean != 1 {
+			t.Fatalf("normalization broken for %s", row)
+		}
+	}
+}
+
+func TestAblationsDriver(t *testing.T) {
+	grids, err := Ablations(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 7 {
+		t.Fatalf("ablation grids=%d", len(grids))
+	}
+	for _, g := range grids {
+		if len(g.Cells) == 0 {
+			t.Fatalf("empty ablation grid %q", g.Title)
+		}
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	g := &Grid{RowLabel: []string{"r"}, ColLabel: []string{"a", "b"},
+		Cells: [][]Cell{{{Mean: 2}, {Mean: 4}}}}
+	n := g.Normalized("a")
+	if c, _ := n.At("r", "b"); c.Mean != 2 {
+		t.Fatalf("normalized cell %v", c.Mean)
+	}
+	if _, ok := g.At("nope", "a"); ok {
+		t.Fatal("At found missing row")
+	}
+	// Unknown reference column: normalization is a no-op (divide by 1).
+	n2 := g.Normalized("zzz")
+	if c, _ := n2.At("r", "a"); c.Mean != 2 {
+		t.Fatal("unknown refcol should not scale")
+	}
+}
+
+func TestOptionsErrors(t *testing.T) {
+	o := fastOpts()
+	if _, err := o.runOne(amc.AMC2, "WATS", "not-a-benchmark", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := o.runOne(amc.AMC2, "not-a-policy", "GA", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := o.runGrid("t", []*amc.Arch{amc.AMC1, amc.AMC2}, nil,
+		[]string{"GA", "MD5"}); err == nil {
+		t.Fatal("ambiguous grid accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFig8RTSBackfiresOnUniform(t *testing.T) {
+	// α=0 is a uniform workload: snatching has nothing to rescue, so RTS
+	// must not beat Cilk there (the paper's RTS-overhead point).
+	o := Options{Seeds: []uint64{1, 2}, Batches: 4}
+	g, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cilk, _ := g.At("0", "Cilk")
+	rts, _ := g.At("0", "RTS")
+	if rts.Mean < cilk.Mean*0.99 {
+		t.Fatalf("RTS (%v) beat Cilk (%v) on the uniform α=0 workload", rts.Mean, cilk.Mean)
+	}
+}

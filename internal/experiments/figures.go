@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wats/internal/amc"
+	"wats/internal/report"
+	"wats/internal/sched"
+	"wats/internal/sim"
+	"wats/internal/stats"
+	"wats/internal/workload"
+)
+
+// Fig6 reproduces Fig. 6: normalized execution time of the nine Table III
+// benchmarks under Cilk, PFT, RTS and WATS on the given architectures
+// (the paper shows AMC 1, AMC 2 and AMC 5; the other architectures
+// "perform similarly"). One grid per architecture, normalized to Cilk.
+func Fig6(o Options, archs ...*amc.Arch) ([]*Grid, error) {
+	o = o.withDefaults()
+	if len(archs) == 0 {
+		archs = []*amc.Arch{amc.AMC1, amc.AMC2, amc.AMC5}
+	}
+	var out []*Grid
+	for _, a := range archs {
+		g, err := o.runGrid(fmt.Sprintf("Fig. 6 — benchmarks on %s", a.Name),
+			[]*amc.Arch{a}, sched.FigureKinds, workload.BenchmarkNames)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g.Normalized(string(sched.KindCilk)))
+	}
+	return out, nil
+}
+
+// Fig7 reproduces Fig. 7: absolute execution time of GA under the four
+// schedulers on all seven Table II architectures.
+func Fig7(o Options) (*Grid, error) {
+	o = o.withDefaults()
+	return o.runGrid("Fig. 7 — GA on all AMC architectures (seconds)",
+		amc.TableII, sched.FigureKinds, []string{"GA"})
+}
+
+// Fig8Alphas is the paper's Fig. 8 x-axis: workload-set parameter α.
+var Fig8Alphas = []int{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44}
+
+// Fig8 reproduces Fig. 8: GA with the α-parameterized workload
+// distribution (8t,4t,2t,t × α,α,α,128−3α) on AMC 5 under the four
+// schedulers. Rows are α values.
+func Fig8(o Options) (*Grid, error) {
+	o = o.withDefaults()
+	g := &Grid{
+		Title:   "Fig. 8 — GA workload distributions on AMC 5 (seconds)",
+		RowName: "alpha",
+	}
+	for _, k := range sched.FigureKinds {
+		g.ColLabel = append(g.ColLabel, string(k))
+	}
+	for _, alpha := range Fig8Alphas {
+		g.RowLabel = append(g.RowLabel, fmt.Sprintf("%d", alpha))
+		row := make([]Cell, 0, len(sched.FigureKinds))
+		for _, k := range sched.FigureKinds {
+			var s stats.Sample
+			for _, seed := range o.Seeds {
+				w, err := workload.GAAlpha(alpha, seed)
+				if err != nil {
+					return nil, err
+				}
+				if o.Batches > 0 {
+					w.Batches = o.Batches
+				}
+				p, err := sched.New(k)
+				if err != nil {
+					return nil, err
+				}
+				cfg := o.Cfg
+				cfg.Seed = seed
+				res, err := sim.New(amc.AMC5, p, cfg).Run(w)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(res.Makespan)
+			}
+			row = append(row, Cell{s.Mean(), s.Stddev()})
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// Fig9 reproduces Fig. 9: GA under Cilk, PFT, WATS-NP and WATS on all
+// seven architectures (the preference-stealing ablation).
+func Fig9(o Options) (*Grid, error) {
+	o = o.withDefaults()
+	kinds := []sched.Kind{sched.KindCilk, sched.KindPFT, sched.KindWATSNP, sched.KindWATS}
+	return o.runGrid("Fig. 9 — GA: preference-stealing ablation (seconds)",
+		amc.TableII, kinds, []string{"GA"})
+}
+
+// Fig10 reproduces Fig. 10: all nine benchmarks under WATS and WATS-TS on
+// AMC 2, normalized to WATS (the snatching ablation).
+func Fig10(o Options) (*Grid, error) {
+	o = o.withDefaults()
+	kinds := []sched.Kind{sched.KindWATS, sched.KindWATSTS}
+	g, err := o.runGrid("Fig. 10 — snatching ablation on AMC 2",
+		[]*amc.Arch{amc.AMC2}, kinds, workload.BenchmarkNames)
+	if err != nil {
+		return nil, err
+	}
+	return g.Normalized(string(sched.KindWATS)), nil
+}
+
+// GridCSV renders a grid as plain numeric CSV suitable for plotting:
+// one row per grid row, with <col>_mean and <col>_std columns.
+func GridCSV(g *Grid) string {
+	t := report.NewTable("")
+	headers := []string{g.RowName}
+	for _, c := range g.ColLabel {
+		headers = append(headers, c+"_mean", c+"_std")
+	}
+	t.Headers = headers
+	for i, label := range g.RowLabel {
+		cells := []string{label}
+		for _, c := range g.Cells[i] {
+			cells = append(cells, fmt.Sprintf("%.6g", c.Mean), fmt.Sprintf("%.6g", c.Std))
+		}
+		t.AddRow(cells...)
+	}
+	return t.CSV()
+}
+
+// RenderGrid renders a grid as an ASCII table with mean±std cells.
+func RenderGrid(g *Grid, format string) *report.Table {
+	if format == "" {
+		format = "%.3f"
+	}
+	headers := append([]string{g.RowName}, g.ColLabel...)
+	t := report.NewTable(g.Title, headers...)
+	for i, label := range g.RowLabel {
+		cells := []string{label}
+		for _, c := range g.Cells[i] {
+			cells = append(cells, fmt.Sprintf(format+" ±"+"%.2g", c.Mean, c.Std))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,304 @@
+package history
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wats/internal/amc"
+	"wats/internal/rng"
+)
+
+// descWeights draws n random weights sorted descending (the order
+// Algorithm 1 expects).
+func descWeights(r *rng.Source, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.Float64()*9 + 0.1
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	return w
+}
+
+func randArch(r *rng.Source) *amc.Arch {
+	k := 2 + r.Intn(3)
+	groups := make([]amc.CGroup, k)
+	freq := 3.0
+	for i := range groups {
+		groups[i] = amc.CGroup{Freq: freq, N: 1 + r.Intn(6)}
+		freq *= 0.4 + 0.4*r.Float64()
+	}
+	return amc.MustNew("rand", groups...)
+}
+
+// TestPartitionMatchesPaperCondition checks the textual condition of
+// Algorithm 1: every non-final group's weight is <= its share TL*Fi*Ni,
+// and adding the next item would exceed it (unless items ran out).
+func TestPartitionMatchesPaperCondition(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 300; trial++ {
+		arch := randArch(r)
+		w := descWeights(r, 1+r.Intn(25))
+		cuts := Partition(w, arch)
+		if len(cuts) != arch.K()-1 {
+			t.Fatalf("got %d cuts, want %d", len(cuts), arch.K()-1)
+		}
+		tl := arch.LowerBound(w)
+		prev := 0
+		for j, cut := range cuts {
+			if cut < prev || cut > len(w) {
+				t.Fatalf("cut %d out of order: %v", cut, cuts)
+			}
+			var sum float64
+			for _, wi := range w[prev:cut] {
+				sum += wi
+			}
+			share := tl * arch.Groups[j].Capacity()
+			// A single item larger than the share still forms a group on
+			// its own under the pseudocode (line 6 moves the overflowing
+			// item to the next group unconditionally; the check only
+			// fires when a further item is added). Multi-item groups must
+			// respect the share.
+			if cut-prev > 1 && sum > share*(1+1e-9) {
+				t.Fatalf("group %d weight %v exceeds share %v (cuts %v, w %v)", j, sum, share, cuts, w)
+			}
+			// If another item exists and the walk had not already
+			// consumed all items, the group must be maximal: adding the
+			// next item overflows.
+			if cut < len(w) && cut > prev {
+				if sum+w[cut] <= share*(1-1e-9) {
+					t.Fatalf("group %d not maximal: %v + %v <= %v", j, sum, w[cut], share)
+				}
+			}
+			prev = cut
+		}
+	}
+}
+
+// TestPartitionKnownInstance pins the worked example from the paper
+// discussion: GA-like weights on AMC 2.
+func TestPartitionKnownInstance(t *testing.T) {
+	w := []float64{32, 24, 20, 24, 24, 24, 21, 26, 20, 15}
+	cuts := Partition(w, amc.AMC2)
+	want := []int{3, 5, 7}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("literal cuts=%v want %v", cuts, want)
+		}
+	}
+	// The literal rule leaves the slowest group overloaded (the cascade
+	// discussed in the doc comment): its fluid time is far above TL.
+	times, _ := amc.AMC2.GroupTimes(w, cuts)
+	tl := amc.AMC2.LowerBound(w)
+	if times[3] < 2*tl {
+		t.Fatalf("expected cascade overload on slowest group, got times=%v tl=%v", times, tl)
+	}
+
+	// The anchored rule bounds the overload.
+	cuts2 := PartitionAnchored(w, amc.AMC2)
+	times2, _ := amc.AMC2.GroupTimes(w, cuts2)
+	worst := 0.0
+	for _, x := range times2 {
+		if x > worst {
+			worst = x
+		}
+	}
+	if worst > 1.5*tl {
+		t.Fatalf("anchored rule overloaded: times=%v tl=%v", times2, tl)
+	}
+}
+
+// TestAnchoredNeverOverloadsPrefixGroups: under PartitionAnchored, every
+// group except the last carries at most its global cumulative share —
+// unless the group was force-fed a single oversized class (the non-empty
+// rule), in which case the overshoot is exactly that one class.
+func TestAnchoredNeverOverloadsPrefixGroups(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 300; trial++ {
+		arch := randArch(r)
+		w := descWeights(r, 1+r.Intn(25))
+		cuts := PartitionAnchored(w, arch)
+		tl := arch.LowerBound(w)
+		cum := 0.0
+		cumCap := 0.0
+		prev := 0
+		for j, cut := range cuts {
+			for _, wi := range w[prev:cut] {
+				cum += wi
+			}
+			cumCap += arch.Groups[j].Capacity()
+			// Each of the j+1 prefix groups may have been force-fed at
+			// most one class beyond its share, each at most w[0].
+			bound := tl*cumCap + float64(j+1)*w[0]
+			if cum > bound*(1+1e-9) {
+				t.Fatalf("prefix groups overloaded: cum=%v > %v", cum, bound)
+			}
+			prev = cut
+		}
+	}
+}
+
+// TestAnchoredSurplusBound: the slowest group's overshoot beyond its share
+// is at most the largest single item (no cascade).
+func TestAnchoredSurplusBound(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 300; trial++ {
+		arch := randArch(r)
+		w := descWeights(r, arch.K()+r.Intn(25))
+		cuts := PartitionAnchored(w, arch)
+		k := arch.K()
+		tl := arch.LowerBound(w)
+		last := 0
+		if k > 1 {
+			last = cuts[k-2]
+		}
+		var sum float64
+		for _, wi := range w[last:] {
+			sum += wi
+		}
+		share := tl * arch.Groups[k-1].Capacity()
+		// Each boundary can strand at most one item past it, and the
+		// boundaries are (k-1); each stranded item is at most w[0].
+		bound := share + float64(k-1)*w[0] + 1e-9
+		if sum > bound {
+			t.Fatalf("slow-group surplus %v exceeds bound %v (share %v, w0 %v, k %d)",
+				sum, bound, share, w[0], k)
+		}
+	}
+}
+
+func TestPartitionSingleGroup(t *testing.T) {
+	a := amc.MustNew("sym", amc.CGroup{Freq: 2, N: 4})
+	if cuts := Partition([]float64{3, 2, 1}, a); len(cuts) != 0 {
+		t.Fatalf("symmetric arch should have no cuts: %v", cuts)
+	}
+	if cuts := PartitionAnchored([]float64{3, 2, 1}, a); len(cuts) != 0 {
+		t.Fatalf("symmetric arch should have no cuts: %v", cuts)
+	}
+}
+
+func TestPartitionFewerItemsThanGroups(t *testing.T) {
+	cuts := Partition([]float64{5}, amc.AMC2)
+	if len(cuts) != 3 {
+		t.Fatalf("cuts=%v", cuts)
+	}
+	assign := AssignmentFromCuts(1, cuts)
+	if assign[0] < 0 || assign[0] >= 4 {
+		t.Fatalf("assign=%v", assign)
+	}
+}
+
+func TestAssignmentFromCuts(t *testing.T) {
+	assign := AssignmentFromCuts(6, []int{2, 2, 5})
+	want := []int{0, 0, 2, 2, 2, 3}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("assign=%v want %v", assign, want)
+		}
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	a := amc.MustNew("m", amc.CGroup{Freq: 2, N: 1}, amc.CGroup{Freq: 1, N: 1})
+	// weights 4 on fast (time 2), 3 on slow (time 3).
+	ms := Makespan([]float64{4, 3}, []int{0, 1}, a)
+	if math.Abs(ms-3) > 1e-12 {
+		t.Fatalf("makespan=%v want 3", ms)
+	}
+}
+
+// TestLPTNeverWorseThanTwiceOptimal: LPT on uniform machines has a known
+// approximation ratio well below 2; test against the exact solver.
+func TestLPTNearOptimal(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 100; trial++ {
+		arch := randArch(r)
+		w := descWeights(r, 1+r.Intn(10))
+		lpt := LPT(w, arch)
+		lptMS := Makespan(w, lpt, arch)
+		_, optMS, err := Exact(w, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lptMS < optMS-1e-9 {
+			t.Fatalf("LPT beat the exact solver: %v < %v", lptMS, optMS)
+		}
+		if lptMS > 2*optMS+1e-9 {
+			t.Fatalf("LPT ratio too big: %v vs opt %v", lptMS, optMS)
+		}
+	}
+}
+
+// TestAlgorithm1VsExact bounds the quality of the paper's greedy: its
+// fluid makespan should stay within a small factor of the exact optimum
+// over random instances (it is near-optimal, not optimal).
+func TestAlgorithm1VsExact(t *testing.T) {
+	r := rng.New(5)
+	worst := 0.0
+	for trial := 0; trial < 100; trial++ {
+		arch := randArch(r)
+		w := descWeights(r, 4+r.Intn(8))
+		_, optMS, err := Exact(w, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range []func([]float64, *amc.Arch) []int{Partition, PartitionAnchored, PartitionBalanced} {
+			cuts := part(w, arch)
+			ms, err := arch.PartitionMakespan(w, cuts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms < optMS-1e-9 {
+				t.Fatalf("greedy beat exact: %v < %v", ms, optMS)
+			}
+			if ratio := ms / optMS; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	// The greedy rules are contiguous-partition heuristics over *atomic*
+	// classes: when the heaviest class exceeds every prefix group's
+	// share it lands on a slow group and the fluid ratio degrades badly
+	// (observed up to ~12x on adversarial random instances). This is a
+	// real property of the paper's Algorithm 1 — the preference-based
+	// stealing is what rescues such allocations at runtime (see the sim
+	// tests). Here we only pin that the ratio stays within the bound
+	// observed plus slack, as a regression canary.
+	if worst > 20 {
+		t.Fatalf("greedy makespan ratio %v too large", worst)
+	}
+	t.Logf("worst greedy/exact ratio over trials: %.3f", worst)
+}
+
+func TestExactRespectsLowerBound(t *testing.T) {
+	check := func(raw []float64) bool {
+		var w []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 0.01 && x < 1e6 && len(w) < 10 {
+				w = append(w, x)
+			}
+		}
+		if len(w) == 0 {
+			return true
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+		arch := amc.MustNew("x", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 3})
+		_, ms, err := Exact(w, arch)
+		if err != nil {
+			return false
+		}
+		return ms >= arch.LowerBound(w)-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRejectsLargeInstances(t *testing.T) {
+	w := make([]float64, 21)
+	if _, _, err := Exact(w, amc.AMC2); err == nil {
+		t.Fatal("Exact accepted 21 items")
+	}
+}

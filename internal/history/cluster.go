@@ -1,0 +1,197 @@
+package history
+
+import (
+	"sort"
+	"sync"
+
+	"wats/internal/amc"
+	"wats/internal/task"
+)
+
+// ClusterMap is the product of the history-based allocation: a mapping
+// from task-class names to task-cluster indices (0 = the cluster of the
+// fastest c-group). Task clusters and c-groups are in one-to-one
+// correspondence (§III-A).
+//
+// ClusterMap values are immutable once built; the Allocator swaps in a new
+// map on each reorganization, so readers never need a lock.
+type ClusterMap struct {
+	cluster map[string]int
+	k       int
+}
+
+// ClusterOf returns the task cluster that class f is allocated to. Unknown
+// classes go to cluster 0, the fastest c-group, "because we try to
+// complete γ and collect the information of f's task class for future use
+// as soon as possible" (§III-A).
+func (m *ClusterMap) ClusterOf(f string) int {
+	if m == nil {
+		return 0
+	}
+	if c, ok := m.cluster[f]; ok {
+		return c
+	}
+	return 0
+}
+
+// Known reports whether class f has an explicit allocation.
+func (m *ClusterMap) Known(f string) bool {
+	if m == nil {
+		return false
+	}
+	_, ok := m.cluster[f]
+	return ok
+}
+
+// K returns the number of clusters.
+func (m *ClusterMap) K() int { return m.k }
+
+// Classes returns the class names allocated to cluster c, sorted.
+func (m *ClusterMap) Classes(c int) []string {
+	var out []string
+	for f, ci := range m.cluster {
+		if ci == c {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildClusterMap runs the full §III-A pipeline once: take a snapshot of
+// the class registry, sort classes by descending average workload, weight
+// each class by its overall workload n*w, partition with the default
+// anchored cut rule, and return the class-to-cluster mapping.
+func BuildClusterMap(reg *task.Registry, arch *amc.Arch) *ClusterMap {
+	classes := reg.Snapshot() // sorted by AvgWork descending
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = c.TotalWork()
+	}
+	cuts := PartitionAnchored(weights, arch)
+	assign := AssignmentFromCuts(len(classes), cuts)
+	m := &ClusterMap{cluster: make(map[string]int, len(classes)), k: arch.K()}
+	for i, c := range classes {
+		m.cluster[c.Name] = assign[i]
+	}
+	return m
+}
+
+// Allocator ties a class Registry to a periodically rebuilt ClusterMap,
+// playing the role of the paper's helper thread state. It is safe for
+// concurrent use.
+type Allocator struct {
+	reg  *task.Registry
+	arch *amc.Arch
+
+	mu        sync.RWMutex
+	current   *ClusterMap
+	builtAt   uint64 // registry epoch when current was built
+	reorgs    int
+	partition func([]float64, *amc.Arch) []int
+}
+
+// NewAllocator returns an Allocator over the given registry and
+// architecture with an empty initial cluster map (every class unknown,
+// hence routed to the fastest c-group).
+//
+// The default cut rule is PartitionAnchored, which implements the paper's
+// stated objective ("keep max(|Σw/cap − TL|) as small as possible",
+// §II-C) without the literal pseudocode's under-fill cascade; see the
+// Partition and PartitionAnchored doc comments and DESIGN.md for the
+// distinction, and UseLiteralPartition for the verbatim rule.
+func NewAllocator(reg *task.Registry, arch *amc.Arch) *Allocator {
+	return &Allocator{
+		reg:       reg,
+		arch:      arch,
+		current:   &ClusterMap{cluster: map[string]int{}, k: arch.K()},
+		partition: PartitionAnchored,
+	}
+}
+
+// UseLiteralPartition switches the allocator to the verbatim Algorithm 1
+// greedy (each group cut at ≤ its share; all under-fill accumulates on the
+// slowest group). Used by the partition-rule ablation.
+func (a *Allocator) UseLiteralPartition() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.partition = Partition
+}
+
+// Registry returns the underlying class registry.
+func (a *Allocator) Registry() *task.Registry { return a.reg }
+
+// Arch returns the architecture the allocator partitions for.
+func (a *Allocator) Arch() *amc.Arch { return a.arch }
+
+// Map returns the current cluster map (never nil).
+func (a *Allocator) Map() *ClusterMap {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.current
+}
+
+// ClusterOf is shorthand for Map().ClusterOf(f).
+func (a *Allocator) ClusterOf(f string) int { return a.Map().ClusterOf(f) }
+
+// Reorganize rebuilds the cluster map from current statistics if the
+// registry changed since the last build. It reports whether a rebuild
+// happened. The simulator calls it from helper-thread tick events; the
+// live runtime calls it from a real helper goroutine.
+func (a *Allocator) Reorganize() bool {
+	epoch := a.reg.Epoch()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if epoch == a.builtAt {
+		return false
+	}
+	classes := a.reg.Snapshot()
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = c.TotalWork()
+	}
+	cuts := a.partition(weights, a.arch)
+	assign := AssignmentFromCuts(len(classes), cuts)
+	m := &ClusterMap{cluster: make(map[string]int, len(classes)), k: a.arch.K()}
+	for i, c := range classes {
+		m.cluster[c.Name] = assign[i]
+	}
+	a.current = m
+	a.builtAt = epoch
+	a.reorgs++
+	return true
+}
+
+// Reorganizations returns how many times the cluster map was rebuilt.
+func (a *Allocator) Reorganizations() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.reorgs
+}
+
+// PreferenceList returns the preference list of a core in c-group i out of
+// k c-groups, following the "rob the weaker first" principle of Fig. 4:
+//
+//	{Ci, Ci+1, ..., Ck, Ci-1, Ci-2, ..., C1}
+//
+// (0-based here: {i, i+1, ..., k-1, i-1, ..., 0}).
+func PreferenceList(i, k int) []int {
+	out := make([]int, 0, k)
+	for j := i; j < k; j++ {
+		out = append(out, j)
+	}
+	for j := i - 1; j >= 0; j-- {
+		out = append(out, j)
+	}
+	return out
+}
+
+// PreferenceTable returns the preference lists of every c-group, as in
+// Table I of the paper.
+func PreferenceTable(k int) [][]int {
+	out := make([][]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = PreferenceList(i, k)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package history
+
+import (
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/task"
+)
+
+func TestPreferenceListFig4(t *testing.T) {
+	// Fig. 4: the preference list of a core in c-group Ci (1-based) is
+	// {Ci, Ci+1, ..., Ck, Ci-1, ..., C1}. Zero-based here.
+	cases := []struct {
+		i, k int
+		want []int
+	}{
+		{0, 4, []int{0, 1, 2, 3}},
+		{1, 4, []int{1, 2, 3, 0}},
+		{2, 4, []int{2, 3, 1, 0}},
+		{3, 4, []int{3, 2, 1, 0}},
+		{0, 1, []int{0}},
+	}
+	for _, c := range cases {
+		got := PreferenceList(c.i, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("PreferenceList(%d,%d)=%v want %v", c.i, c.k, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("PreferenceList(%d,%d)=%v want %v", c.i, c.k, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPreferenceTableTable1(t *testing.T) {
+	// Table I of the paper (k=3): C1:{C1,C2,C3}, C2:{C2,C3,C1},
+	// C3:{C3,C2,C1}.
+	tbl := PreferenceTable(3)
+	want := [][]int{{0, 1, 2}, {1, 2, 0}, {2, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if tbl[i][j] != want[i][j] {
+				t.Fatalf("PreferenceTable(3)=%v want %v", tbl, want)
+			}
+		}
+	}
+}
+
+func TestClusterMapUnknownClassGoesToFastest(t *testing.T) {
+	var m *ClusterMap
+	if m.ClusterOf("anything") != 0 {
+		t.Fatal("nil map should route to cluster 0")
+	}
+	reg := task.NewRegistry()
+	m2 := BuildClusterMap(reg, amc.AMC2)
+	if m2.ClusterOf("never-seen") != 0 {
+		t.Fatal("unknown class should route to cluster 0 (fastest c-group)")
+	}
+	if m2.Known("never-seen") {
+		t.Fatal("unknown class reported as known")
+	}
+}
+
+func TestBuildClusterMapOrdering(t *testing.T) {
+	reg := task.NewRegistry()
+	// Heavy class (few huge tasks), light class (many tiny tasks).
+	for i := 0; i < 4; i++ {
+		reg.Observe("heavy", 10)
+	}
+	for i := 0; i < 100; i++ {
+		reg.Observe("light", 0.1)
+	}
+	arch := amc.MustNew("2g", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	m := BuildClusterMap(reg, arch)
+	if m.K() != 2 {
+		t.Fatalf("K=%d", m.K())
+	}
+	hc, lc := m.ClusterOf("heavy"), m.ClusterOf("light")
+	if hc > lc {
+		t.Fatalf("heavy class (%d) allocated to slower cluster than light (%d)", hc, lc)
+	}
+	if got := m.Classes(hc); len(got) == 0 {
+		t.Fatal("Classes() empty for heavy cluster")
+	}
+}
+
+func TestAllocatorReorganize(t *testing.T) {
+	reg := task.NewRegistry()
+	a := NewAllocator(reg, amc.AMC2)
+	if a.Reorganize() {
+		t.Fatal("Reorganize with no new data should be a no-op")
+	}
+	reg.Observe("f", 5)
+	if !a.Reorganize() {
+		t.Fatal("Reorganize after Observe should rebuild")
+	}
+	if a.Reorganize() {
+		t.Fatal("second Reorganize without new data should be a no-op")
+	}
+	if a.Reorganizations() != 1 {
+		t.Fatalf("Reorganizations=%d want 1", a.Reorganizations())
+	}
+	if !a.Map().Known("f") {
+		t.Fatal("rebuilt map does not know observed class")
+	}
+	if a.Registry() != reg || a.Arch() != amc.AMC2 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestAllocatorTracksWorkloadShift(t *testing.T) {
+	// A class that is heavy early but light later must migrate toward a
+	// slower cluster as its running average falls (§III-A timely update).
+	reg := task.NewRegistry()
+	a := NewAllocator(reg, amc.MustNew("2g", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2}))
+	for i := 0; i < 10; i++ {
+		reg.Observe("other", 3)
+	}
+	reg.Observe("f", 10.1)
+	reg.Observe("f", 10.1)
+	a.Reorganize()
+	before := a.ClusterOf("f")
+	// Now many light observations drag f's average down far below other.
+	for i := 0; i < 500; i++ {
+		reg.Observe("f", 0.01)
+	}
+	a.Reorganize()
+	after := a.ClusterOf("f")
+	if !(after >= before) {
+		t.Fatalf("class did not move to slower cluster: before=%d after=%d", before, after)
+	}
+	if before == a.Map().K()-1 {
+		t.Fatalf("test vacuous: class already in slowest cluster before shift")
+	}
+}
+
+func TestUseLiteralPartition(t *testing.T) {
+	reg := task.NewRegistry()
+	a := NewAllocator(reg, amc.AMC2)
+	a.UseLiteralPartition()
+	reg.Observe("f", 1)
+	a.Reorganize() // must not panic; literal rule active
+	if !a.Map().Known("f") {
+		t.Fatal("literal allocator lost class")
+	}
+}

@@ -1,0 +1,169 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BWT computes the Burrows-Wheeler transform of data using suffix sorting
+// with prefix doubling (O(n log^2 n)), returning the transformed bytes and
+// the primary index needed for inversion. An implicit unique sentinel is
+// not used; instead the rotation order follows the classic full-rotation
+// definition.
+func BWT(data []byte) (out []byte, primary int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	// Rank rotations via prefix doubling on the doubled string.
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	sa := make([]int, n)
+	for i := 0; i < n; i++ {
+		sa[i] = i
+		rank[i] = int(data[i])
+	}
+	// Prefix doubling: after k >= n every rotation is compared over its
+	// full length; periodic inputs keep equal ranks for equal rotations,
+	// which is fine (their relative order is immaterial to the BWT).
+	for k := 1; k < 2*n; k <<= 1 {
+		key := func(i int) (int, int) {
+			return rank[i], rank[(i+k)%n]
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			r1p, r2p := key(sa[i-1])
+			r1c, r2c := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1p != r1c || r2p != r2c {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == n-1 {
+			break
+		}
+	}
+	out = make([]byte, n)
+	for i, rot := range sa {
+		if rot == 0 {
+			primary = i
+		}
+		out[i] = data[(rot+n-1)%n]
+	}
+	return out, primary
+}
+
+// UnBWT inverts the Burrows-Wheeler transform.
+func UnBWT(bwt []byte, primary int) ([]byte, error) {
+	n := len(bwt)
+	if n == 0 {
+		return nil, nil
+	}
+	if primary < 0 || primary >= n {
+		return nil, fmt.Errorf("kernels: primary index %d out of range [0,%d)", primary, n)
+	}
+	// LF mapping: count occurrences, compute stable order of the first
+	// column, walk backwards.
+	var counts [256]int
+	for _, b := range bwt {
+		counts[b]++
+	}
+	var starts [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		starts[v] = sum
+		sum += counts[v]
+	}
+	next := make([]int, n)
+	var seen [256]int
+	for i, b := range bwt {
+		next[starts[b]+seen[b]] = i
+		seen[b]++
+	}
+	out := make([]byte, n)
+	p := next[primary]
+	for i := 0; i < n; i++ {
+		out[i] = bwt[p]
+		p = next[p]
+	}
+	return out, nil
+}
+
+// MTF applies the move-to-front transform (the BWT post-pass that
+// concentrates probability mass at small values).
+func MTF(data []byte) []byte {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, b := range data {
+		var j int
+		for alphabet[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(alphabet[1:j+1], alphabet[:j])
+		alphabet[0] = b
+	}
+	return out
+}
+
+// UnMTF inverts the move-to-front transform.
+func UnMTF(data []byte) []byte {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, j := range data {
+		b := alphabet[j]
+		out[i] = b
+		copy(alphabet[1:int(j)+1], alphabet[:int(j)])
+		alphabet[0] = b
+	}
+	return out
+}
+
+// RLE run-length-encodes data as (count, byte) pairs with a 255 cap per
+// run — the cheap first stage of Bzip2-style compressors.
+func RLE(data []byte) []byte {
+	var out []byte
+	for i := 0; i < len(data); {
+		b := data[i]
+		run := 1
+		for i+run < len(data) && data[i+run] == b && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), b)
+		i += run
+	}
+	return out
+}
+
+// UnRLE inverts RLE.
+func UnRLE(data []byte) ([]byte, error) {
+	if len(data)%2 != 0 {
+		return nil, fmt.Errorf("kernels: RLE stream has odd length %d", len(data))
+	}
+	var out []byte
+	for i := 0; i < len(data); i += 2 {
+		run := int(data[i])
+		if run == 0 {
+			return nil, fmt.Errorf("kernels: RLE run of zero at %d", i)
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, data[i+1])
+		}
+	}
+	return out, nil
+}

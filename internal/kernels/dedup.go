@@ -1,0 +1,170 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Content-defined chunking and deduplication: the Dedup benchmark's core.
+// A rolling polynomial hash (Rabin-style) finds chunk boundaries; chunks
+// are identified by SHA-1; unique chunks are compressed (LZW) and stored;
+// duplicate chunks store only a reference — which is why unique and
+// duplicate chunk tasks have sharply different costs.
+
+// ChunkerConfig controls content-defined chunking.
+type ChunkerConfig struct {
+	// Window is the rolling-hash window size. Default 16.
+	Window int
+	// MinSize, MaxSize bound chunk sizes. Defaults 256 / 8192.
+	MinSize, MaxSize int
+	// Mask selects boundary density: a boundary occurs when
+	// hash & Mask == Mask. Default 0x1FF (≈512-byte average chunks).
+	Mask uint64
+}
+
+func (c ChunkerConfig) withDefaults() ChunkerConfig {
+	if c.Window == 0 {
+		c.Window = 16
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 256
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 8192
+	}
+	if c.Mask == 0 {
+		c.Mask = 0x1FF
+	}
+	return c
+}
+
+// Chunk splits data at content-defined boundaries: a polynomial rolling
+// hash over the last Window bytes decides boundaries, so identical
+// content yields identical chunks regardless of its offset in the stream.
+func Chunk(data []byte, cfg ChunkerConfig) [][]byte {
+	cfg = cfg.withDefaults()
+	const prime = 1099511628211
+	// pow = prime^Window (mod 2^64), to slide the window.
+	pow := uint64(1)
+	for i := 0; i < cfg.Window; i++ {
+		pow *= prime
+	}
+	var chunks [][]byte
+	start := 0
+	var hash uint64
+	for i := range data {
+		hash = hash*prime + uint64(data[i])
+		if i >= cfg.Window {
+			hash -= pow * uint64(data[i-cfg.Window])
+		}
+		size := i - start + 1
+		if size >= cfg.MinSize && (hash&cfg.Mask == cfg.Mask || size >= cfg.MaxSize) {
+			chunks = append(chunks, data[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		chunks = append(chunks, data[start:])
+	}
+	return chunks
+}
+
+// Store is an in-memory deduplicating chunk store. Put is for serial
+// streams; PutAt supports concurrent insertion while preserving stream
+// order for Reassemble.
+type Store struct {
+	mu     sync.Mutex
+	chunks map[[20]byte][]byte // digest -> LZW-compressed payload
+	order  [][20]byte          // stream order (with repetitions)
+
+	// Stats
+	UniqueChunks, DupChunks int
+	RawBytes, StoredBytes   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{chunks: map[[20]byte][]byte{}}
+}
+
+// Put deduplicates one chunk, returning true if it was new. New chunks
+// pay hashing plus compression; duplicates pay hashing only — the cost
+// asymmetry the Dedup workload models. Put appends at the stream's tail;
+// it is safe for concurrent use but concurrent callers interleave order
+// nondeterministically — use PutAt to preserve stream order.
+func (s *Store) Put(chunk []byte) bool {
+	s.mu.Lock()
+	idx := len(s.order)
+	s.order = append(s.order, [20]byte{})
+	s.mu.Unlock()
+	return s.putAt(idx, chunk)
+}
+
+// PutAt deduplicates the idx-th chunk of a stream whose length was fixed
+// with SetStreamLen. Safe for concurrent use (each index used once); the
+// expensive hashing and compression run outside the store lock.
+func (s *Store) PutAt(idx int, chunk []byte) bool {
+	return s.putAt(idx, chunk)
+}
+
+// SetStreamLen pre-sizes the stream for PutAt.
+func (s *Store) SetStreamLen(n int) {
+	s.mu.Lock()
+	s.order = make([][20]byte, n)
+	s.mu.Unlock()
+}
+
+func (s *Store) putAt(idx int, chunk []byte) bool {
+	digest := SHA1Sum(chunk) // outside the lock: the hash stage
+	s.mu.Lock()
+	s.order[idx] = digest
+	s.RawBytes += len(chunk)
+	_, dup := s.chunks[digest]
+	if dup {
+		s.DupChunks++
+		s.mu.Unlock()
+		return false
+	}
+	// Reserve the digest so concurrent duplicates compress only once.
+	s.chunks[digest] = nil
+	s.UniqueChunks++
+	s.mu.Unlock()
+
+	comp := LZWEncode(chunk) // outside the lock: the compress stage
+	s.mu.Lock()
+	s.chunks[digest] = comp
+	s.StoredBytes += len(comp)
+	s.mu.Unlock()
+	return true
+}
+
+// Reassemble reconstructs the full input stream from the store.
+func (s *Store) Reassemble() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []byte
+	for _, d := range s.order {
+		comp, ok := s.chunks[d]
+		if !ok || comp == nil {
+			return nil, fmt.Errorf("kernels: missing chunk %x", d[:4])
+		}
+		raw, err := LZWDecode(comp)
+		if err != nil {
+			return nil, err
+		}
+		if SHA1Sum(raw) != d {
+			return nil, fmt.Errorf("kernels: chunk digest mismatch")
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+// DedupRatio returns raw/stored size (≥ 1 when deduplication or
+// compression helps).
+func (s *Store) DedupRatio() float64 {
+	if s.StoredBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.StoredBytes)
+}

@@ -1,0 +1,169 @@
+package kernels
+
+import (
+	"math"
+	"sort"
+
+	"wats/internal/rng"
+)
+
+// Ferret-style content-based similarity search: synthetic "images" flow
+// through segmentation, feature extraction, indexing and ranking — the
+// four pipeline stages of the PARSEC benchmark. All stages cost roughly
+// the same per image, which is why the paper finds WATS neutral on
+// Ferret.
+
+// Image is a synthetic W×H image with byte pixels (grayscale).
+type Image struct {
+	W, H int
+	Pix  []byte
+}
+
+// GenImage produces a deterministic synthetic image with smooth regions
+// (so segmentation finds structure).
+func GenImage(w, h int, seed uint64) *Image {
+	r := rng.New(seed ^ 0xF1EA5EED5EED5EED)
+	img := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	// Random low-frequency blobs.
+	type blob struct{ cx, cy, rad, val float64 }
+	blobs := make([]blob, 6)
+	for i := range blobs {
+		blobs[i] = blob{
+			cx: r.Float64() * float64(w), cy: r.Float64() * float64(h),
+			rad: 4 + r.Float64()*float64(w)/3, val: 40 + r.Float64()*200,
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.0
+			for _, b := range blobs {
+				dx, dy := float64(x)-b.cx, float64(y)-b.cy
+				v += b.val * math.Exp(-(dx*dx+dy*dy)/(2*b.rad*b.rad))
+			}
+			if v > 255 {
+				v = 255
+			}
+			img.Pix[y*w+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// Segment quantizes the image into nLevels intensity bands and returns
+// the per-pixel segment labels (stage 1).
+func Segment(img *Image, nLevels int) []uint8 {
+	if nLevels <= 0 {
+		nLevels = 4
+	}
+	out := make([]uint8, len(img.Pix))
+	step := 256 / nLevels
+	for i, p := range img.Pix {
+		l := int(p) / step
+		if l >= nLevels {
+			l = nLevels - 1
+		}
+		out[i] = uint8(l)
+	}
+	return out
+}
+
+// Feature is an image descriptor: per-segment normalized histograms of
+// intensity and simple gradient energy.
+type Feature struct {
+	Hist []float64
+}
+
+// Extract computes a feature vector from an image and its segmentation
+// (stage 2).
+func Extract(img *Image, seg []uint8, nLevels int) *Feature {
+	if nLevels <= 0 {
+		nLevels = 4
+	}
+	const bins = 16
+	f := &Feature{Hist: make([]float64, nLevels*bins+nLevels)}
+	counts := make([]float64, nLevels)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			i := y*img.W + x
+			s := int(seg[i])
+			b := int(img.Pix[i]) * bins / 256
+			f.Hist[s*bins+b]++
+			counts[s]++
+			// Gradient energy per segment.
+			if x+1 < img.W && y+1 < img.H {
+				gx := float64(img.Pix[i+1]) - float64(img.Pix[i])
+				gy := float64(img.Pix[i+img.W]) - float64(img.Pix[i])
+				f.Hist[nLevels*bins+s] += math.Sqrt(gx*gx + gy*gy)
+			}
+		}
+	}
+	// Normalize.
+	for s := 0; s < nLevels; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		for b := 0; b < bins; b++ {
+			f.Hist[s*bins+b] /= counts[s]
+		}
+		f.Hist[nLevels*bins+s] /= counts[s] * 128
+	}
+	return f
+}
+
+// Cosine returns the cosine similarity of two feature vectors.
+func Cosine(a, b *Feature) float64 {
+	n := len(a.Hist)
+	if len(b.Hist) < n {
+		n = len(b.Hist)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a.Hist[i] * b.Hist[i]
+		na += a.Hist[i] * a.Hist[i]
+		nb += b.Hist[i] * b.Hist[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Index is a flat similarity index over features (stage 3 inserts,
+// stage 4 queries).
+type Index struct {
+	feats []*Feature
+	ids   []int
+}
+
+// Add inserts a feature with an id.
+func (ix *Index) Add(id int, f *Feature) {
+	ix.feats = append(ix.feats, f)
+	ix.ids = append(ix.ids, id)
+}
+
+// Len returns the number of indexed features.
+func (ix *Index) Len() int { return len(ix.feats) }
+
+// Match is one ranked query result.
+type Match struct {
+	ID    int
+	Score float64
+}
+
+// Rank returns the top-k most similar indexed features to the query.
+func (ix *Index) Rank(q *Feature, k int) []Match {
+	matches := make([]Match, 0, len(ix.feats))
+	for i, f := range ix.feats {
+		matches = append(matches, Match{ID: ix.ids[i], Score: Cosine(q, f)})
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Score != matches[b].Score {
+			return matches[a].Score > matches[b].Score
+		}
+		return matches[a].ID < matches[b].ID
+	})
+	if k > len(matches) {
+		k = len(matches)
+	}
+	return matches[:k]
+}

@@ -1,0 +1,207 @@
+package kernels
+
+import (
+	"math"
+
+	"wats/internal/rng"
+)
+
+// Island-model genetic algorithm: the GA benchmark. Each island evolves a
+// population against a multimodal objective; islands exchange their best
+// individuals at migration points. Island task costs scale with
+// population size and genome length — the source of the GA workload's
+// class-size spread.
+
+// GAConfig parameterizes one island.
+type GAConfig struct {
+	// Pop is the population size.
+	Pop int
+	// Genome is the number of float genes per individual.
+	Genome int
+	// Generations per Evolve call.
+	Generations int
+	// MutRate is the per-gene mutation probability.
+	MutRate float64
+	// Seed seeds the island's private randomness.
+	Seed uint64
+}
+
+func (c GAConfig) withDefaults() GAConfig {
+	if c.Pop == 0 {
+		c.Pop = 64
+	}
+	if c.Genome == 0 {
+		c.Genome = 16
+	}
+	if c.Generations == 0 {
+		c.Generations = 10
+	}
+	if c.MutRate == 0 {
+		c.MutRate = 0.05
+	}
+	return c
+}
+
+// Island is one GA island.
+type Island struct {
+	cfg  GAConfig
+	r    *rng.Source
+	pop  [][]float64
+	fits []float64
+}
+
+// Rastrigin is the benchmark objective (minimized): a classic multimodal
+// function with the global minimum 0 at the origin.
+func Rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, xi := range x {
+		s += xi*xi - 10*math.Cos(2*math.Pi*xi)
+	}
+	return s
+}
+
+// NewIsland creates an island with a random initial population in
+// [-5.12, 5.12]^Genome.
+func NewIsland(cfg GAConfig) *Island {
+	cfg = cfg.withDefaults()
+	is := &Island{cfg: cfg, r: rng.New(cfg.Seed ^ 0x8AD6C1E8F2A31B7)}
+	is.pop = make([][]float64, cfg.Pop)
+	is.fits = make([]float64, cfg.Pop)
+	for i := range is.pop {
+		g := make([]float64, cfg.Genome)
+		for j := range g {
+			g[j] = (is.r.Float64()*2 - 1) * 5.12
+		}
+		is.pop[i] = g
+		is.fits[i] = Rastrigin(g)
+	}
+	return is
+}
+
+// Best returns the island's best (lowest) fitness.
+func (is *Island) Best() float64 {
+	best := math.Inf(1)
+	for _, f := range is.fits {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// BestGenome returns a copy of the island's best individual.
+func (is *Island) BestGenome() []float64 {
+	bi := 0
+	for i, f := range is.fits {
+		if f < is.fits[bi] {
+			bi = i
+		}
+	}
+	return append([]float64(nil), is.pop[bi]...)
+}
+
+// Evolve runs cfg.Generations of tournament selection, one-point
+// crossover and gaussian mutation. This is the CPU-heavy work unit.
+func (is *Island) Evolve() {
+	cfg := is.cfg
+	n := cfg.Pop
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			p1 := is.tournament()
+			p2 := is.tournament()
+			child := make([]float64, cfg.Genome)
+			cut := is.r.Intn(cfg.Genome)
+			copy(child, is.pop[p1][:cut])
+			copy(child[cut:], is.pop[p2][cut:])
+			for j := range child {
+				if is.r.Float64() < cfg.MutRate {
+					child[j] += is.r.NormFloat64() * 0.3
+					if child[j] > 5.12 {
+						child[j] = 5.12
+					}
+					if child[j] < -5.12 {
+						child[j] = -5.12
+					}
+				}
+			}
+			next[i] = child
+		}
+		// Elitism: keep the best individual.
+		next[0] = is.BestGenome()
+		is.pop = next
+		for i := range is.pop {
+			is.fits[i] = Rastrigin(is.pop[i])
+		}
+	}
+}
+
+// tournament returns the index of the fitter of two random individuals.
+func (is *Island) tournament() int {
+	a := is.r.Intn(len(is.pop))
+	b := is.r.Intn(len(is.pop))
+	if is.fits[a] <= is.fits[b] {
+		return a
+	}
+	return b
+}
+
+// Immigrate replaces the island's worst individual with the immigrant.
+func (is *Island) Immigrate(genome []float64) {
+	wi := 0
+	for i, f := range is.fits {
+		if f > is.fits[wi] {
+			wi = i
+		}
+	}
+	is.pop[wi] = append([]float64(nil), genome...)
+	is.fits[wi] = Rastrigin(is.pop[wi])
+}
+
+// Archipelago is a set of islands with ring migration.
+type Archipelago struct {
+	Islands []*Island
+}
+
+// NewArchipelago builds n islands with graded population sizes (the
+// workload-spread source) from a base configuration.
+func NewArchipelago(n int, base GAConfig, seed uint64) *Archipelago {
+	a := &Archipelago{}
+	for i := 0; i < n; i++ {
+		cfg := base.withDefaults()
+		cfg.Pop = base.Pop * (i + 1) // graded island sizes
+		if cfg.Pop == 0 {
+			cfg.Pop = 32 * (i + 1)
+		}
+		cfg.Seed = seed + uint64(i)*7919
+		a.Islands = append(a.Islands, NewIsland(cfg))
+	}
+	return a
+}
+
+// Migrate performs one ring migration: each island sends its best genome
+// to the next island.
+func (a *Archipelago) Migrate() {
+	n := len(a.Islands)
+	if n < 2 {
+		return
+	}
+	bests := make([][]float64, n)
+	for i, is := range a.Islands {
+		bests[i] = is.BestGenome()
+	}
+	for i := range a.Islands {
+		a.Islands[i].Immigrate(bests[(i+n-1)%n])
+	}
+}
+
+// Best returns the archipelago-wide best fitness.
+func (a *Archipelago) Best() float64 {
+	best := math.Inf(1)
+	for _, is := range a.Islands {
+		if b := is.Best(); b < best {
+			best = b
+		}
+	}
+	return best
+}

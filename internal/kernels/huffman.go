@@ -1,0 +1,219 @@
+package kernels
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Canonical Huffman coding: the entropy stage of Bzip2-style compressors.
+// The encoded stream stores 256 code lengths followed by the bit-packed
+// payload, so decode needs no side channel.
+
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any     { o := *h; n := len(o); v := o[n-1]; *h = o[:n-1]; return v }
+
+// huffLengths computes code lengths for each byte value from frequencies.
+func huffLengths(data []byte) [256]uint8 {
+	var lengths [256]uint8
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	h := &huffHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	if h.Len() == 0 {
+		return lengths
+	}
+	if h.Len() == 1 {
+		lengths[(*h)[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := heap.Pop(h).(*huffNode)
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from code lengths.
+func canonicalCodes(lengths [256]uint8) (codes [256]uint32, ok bool) {
+	// Count lengths, assign first code per length.
+	var count [64]int
+	maxLen := 0
+	for _, l := range lengths {
+		if l > 0 {
+			count[l]++
+			if int(l) > maxLen {
+				maxLen = int(l)
+			}
+		}
+	}
+	if maxLen == 0 {
+		return codes, true
+	}
+	var firstCode [64]uint32
+	code := uint32(0)
+	for l := 1; l <= maxLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		firstCode[l] = code
+	}
+	var next [64]uint32
+	copy(next[:], firstCode[:])
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			codes[s] = next[l]
+			next[l]++
+		}
+	}
+	return codes, true
+}
+
+type bitWriter struct {
+	buf  []byte
+	nbit uint
+}
+
+func (w *bitWriter) writeBits(code uint32, n uint8) {
+	for i := int(n) - 1; i >= 0; i-- {
+		bit := (code >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if int(byteIdx) == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << (7 - w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+type bitReader struct {
+	buf  []byte
+	nbit uint
+}
+
+func (r *bitReader) readBit() (uint32, error) {
+	byteIdx := r.nbit / 8
+	if int(byteIdx) >= len(r.buf) {
+		return 0, fmt.Errorf("kernels: huffman stream truncated")
+	}
+	bit := (r.buf[byteIdx] >> (7 - r.nbit%8)) & 1
+	r.nbit++
+	return uint32(bit), nil
+}
+
+// HuffmanEncode compresses data with canonical Huffman coding. The header
+// is 256 code-length bytes plus a 4-byte big-endian symbol count.
+func HuffmanEncode(data []byte) []byte {
+	lengths := huffLengths(data)
+	codes, _ := canonicalCodes(lengths)
+	out := make([]byte, 0, 260+len(data)/2)
+	out = append(out, lengths[:]...)
+	n := len(data)
+	out = append(out, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	w := &bitWriter{buf: out, nbit: uint(len(out)) * 8}
+	for _, b := range data {
+		w.writeBits(codes[b], lengths[b])
+	}
+	return w.buf
+}
+
+// HuffmanDecode inverts HuffmanEncode.
+func HuffmanDecode(enc []byte) ([]byte, error) {
+	if len(enc) < 260 {
+		return nil, fmt.Errorf("kernels: huffman stream too short (%d)", len(enc))
+	}
+	var lengths [256]uint8
+	copy(lengths[:], enc[:256])
+	n := int(enc[256])<<24 | int(enc[257])<<16 | int(enc[258])<<8 | int(enc[259])
+	if n == 0 {
+		return nil, nil
+	}
+	codes, _ := canonicalCodes(lengths)
+	// Build decode table: map (length, code) -> symbol.
+	type lc struct {
+		l uint8
+		c uint32
+	}
+	decode := map[lc]byte{}
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			decode[lc{lengths[s], codes[s]}] = byte(s)
+		}
+	}
+	r := &bitReader{buf: enc, nbit: 260 * 8}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		var code uint32
+		var l uint8
+		for {
+			bit, err := r.readBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | bit
+			l++
+			if s, ok := decode[lc{l, code}]; ok {
+				out = append(out, s)
+				break
+			}
+			if l > 48 {
+				return nil, fmt.Errorf("kernels: invalid huffman code")
+			}
+		}
+	}
+	return out, nil
+}
+
+// Bzip2Like runs the full Bzip2-style block pipeline: BWT, MTF, RLE,
+// Huffman. It returns the compressed block and the metadata needed by
+// Bzip2LikeDecode.
+func Bzip2Like(data []byte) (enc []byte, primary int) {
+	b, p := BWT(data)
+	return HuffmanEncode(RLE(MTF(b))), p
+}
+
+// Bzip2LikeDecode inverts Bzip2Like.
+func Bzip2LikeDecode(enc []byte, primary int) ([]byte, error) {
+	h, err := HuffmanDecode(enc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := UnRLE(h)
+	if err != nil {
+		return nil, err
+	}
+	return UnBWT(UnMTF(r), primary)
+}

@@ -1,0 +1,82 @@
+package kernels
+
+import "fmt"
+
+// LZW implements Lempel-Ziv-Welch dictionary compression over uint16
+// codes (dictionary capped at 65535 entries, then frozen), the classic
+// variant used by the LZW benchmark.
+
+// LZWEncode compresses data into a stream of 16-bit codes (big-endian).
+func LZWEncode(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	dict := make(map[string]uint16, 4096)
+	for i := 0; i < 256; i++ {
+		dict[string([]byte{byte(i)})] = uint16(i)
+	}
+	next := uint16(256)
+	var out []byte
+	emit := func(c uint16) {
+		out = append(out, byte(c>>8), byte(c))
+	}
+	w := []byte{data[0]}
+	for _, b := range data[1:] {
+		wb := append(w, b)
+		if _, ok := dict[string(wb)]; ok {
+			w = wb
+			continue
+		}
+		emit(dict[string(w)])
+		if next < 65535 {
+			dict[string(wb)] = next
+			next++
+		}
+		w = []byte{b}
+	}
+	emit(dict[string(w)])
+	return out
+}
+
+// LZWDecode inverts LZWEncode.
+func LZWDecode(enc []byte) ([]byte, error) {
+	if len(enc) == 0 {
+		return nil, nil
+	}
+	if len(enc)%2 != 0 {
+		return nil, fmt.Errorf("kernels: LZW stream has odd length")
+	}
+	codes := make([]uint16, len(enc)/2)
+	for i := range codes {
+		codes[i] = uint16(enc[2*i])<<8 | uint16(enc[2*i+1])
+	}
+	dict := make([][]byte, 256, 4096)
+	for i := range dict {
+		dict[i] = []byte{byte(i)}
+	}
+	var out []byte
+	prev := codes[0]
+	if int(prev) >= len(dict) {
+		return nil, fmt.Errorf("kernels: invalid first LZW code %d", prev)
+	}
+	out = append(out, dict[prev]...)
+	for _, c := range codes[1:] {
+		var entry []byte
+		switch {
+		case int(c) < len(dict):
+			entry = dict[c]
+		case int(c) == len(dict):
+			// The KwKwK case: entry = prev + prev[0].
+			entry = append(append([]byte{}, dict[prev]...), dict[prev][0])
+		default:
+			return nil, fmt.Errorf("kernels: invalid LZW code %d", c)
+		}
+		out = append(out, entry...)
+		if len(dict) < 65535 {
+			ne := append(append([]byte{}, dict[prev]...), entry[0])
+			dict = append(dict, ne)
+		}
+		prev = c
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// MD5 implemented from scratch (RFC 1321); validated against crypto/md5
+// in the tests. It is the MD5 benchmark's work unit.
+
+var md5K = func() [64]uint32 {
+	var k [64]uint32
+	for i := range k {
+		k[i] = uint32(math.Floor(math.Abs(math.Sin(float64(i+1))) * (1 << 32)))
+	}
+	return k
+}()
+
+var md5S = [64]uint32{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// MD5Sum computes the MD5 digest of data.
+func MD5Sum(data []byte) [16]byte {
+	a0, b0, c0, d0 := uint32(0x67452301), uint32(0xefcdab89), uint32(0x98badcfe), uint32(0x10325476)
+
+	// Padding: append 0x80, zeros, then the 64-bit little-endian length.
+	msgLen := uint64(len(data))
+	padded := make([]byte, 0, len(data)+72)
+	padded = append(padded, data...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.LittleEndian.PutUint64(lenBytes[:], msgLen*8)
+	padded = append(padded, lenBytes[:]...)
+
+	var m [16]uint32
+	for chunk := 0; chunk < len(padded); chunk += 64 {
+		for i := 0; i < 16; i++ {
+			m[i] = binary.LittleEndian.Uint32(padded[chunk+4*i:])
+		}
+		a, b, c, d := a0, b0, c0, d0
+		for i := 0; i < 64; i++ {
+			var f uint32
+			var g int
+			switch {
+			case i < 16:
+				f = (b & c) | (^b & d)
+				g = i
+			case i < 32:
+				f = (d & b) | (^d & c)
+				g = (5*i + 1) % 16
+			case i < 48:
+				f = b ^ c ^ d
+				g = (3*i + 5) % 16
+			default:
+				f = c ^ (b | ^d)
+				g = (7 * i) % 16
+			}
+			f = f + a + md5K[i] + m[g]
+			a = d
+			d = c
+			c = b
+			b = b + (f<<md5S[i] | f>>(32-md5S[i]))
+		}
+		a0 += a
+		b0 += b
+		c0 += c
+		d0 += d
+	}
+
+	var out [16]byte
+	binary.LittleEndian.PutUint32(out[0:], a0)
+	binary.LittleEndian.PutUint32(out[4:], b0)
+	binary.LittleEndian.PutUint32(out[8:], c0)
+	binary.LittleEndian.PutUint32(out[12:], d0)
+	return out
+}

@@ -1,0 +1,215 @@
+package kernels
+
+import "sort"
+
+// SA-IS: linear-time suffix-array construction by induced sorting
+// (Nong, Zhang & Chan, 2009). This is the algorithm behind the BWT
+// benchmark's block-sorting stage (the bwt_sais task class); the package
+// also uses it for suffix-array pattern search.
+
+// SuffixArray returns the suffix array of data: sa[i] is the start of the
+// i-th lexicographically smallest suffix. Runs in O(n) time.
+func SuffixArray(data []byte) []int {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	// Map to ints with a 0 sentinel appended (required by SA-IS); all
+	// symbols shift by +1.
+	s := make([]int, n+1)
+	for i, b := range data {
+		s[i] = int(b) + 1
+	}
+	s[n] = 0
+	sa := sais(s, 257)
+	// Drop the sentinel suffix (always first).
+	return sa[1:]
+}
+
+// sais computes the suffix array of s over alphabet [0, sigma); s must
+// end with a unique smallest sentinel (0).
+func sais(s []int, sigma int) []int {
+	n := len(s)
+	sa := make([]int, n)
+	if n == 1 {
+		sa[0] = 0
+		return sa
+	}
+
+	// 1. Classify suffixes: S-type (true) or L-type (false).
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = s[i] < s[i+1] || (s[i] == s[i+1] && isS[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	// Bucket boundaries by symbol.
+	bucket := make([]int, sigma+1)
+	for _, c := range s {
+		bucket[c+1]++
+	}
+	for c := 0; c < sigma; c++ {
+		bucket[c+1] += bucket[c]
+	}
+
+	induce := func(lms []int) {
+		for i := range sa {
+			sa[i] = -1
+		}
+		// Place LMS suffixes at their buckets' ends, in the given order
+		// (reversed so later entries land deeper).
+		tail := make([]int, sigma)
+		for c := 0; c < sigma; c++ {
+			tail[c] = bucket[c+1] - 1
+		}
+		for i := len(lms) - 1; i >= 0; i-- {
+			p := lms[i]
+			c := s[p]
+			sa[tail[c]] = p
+			tail[c]--
+		}
+		// Induce L-type from left to right.
+		head := make([]int, sigma)
+		for c := 0; c < sigma; c++ {
+			head[c] = bucket[c]
+		}
+		for i := 0; i < n; i++ {
+			p := sa[i]
+			if p <= 0 {
+				continue
+			}
+			if !isS[p-1] {
+				c := s[p-1]
+				sa[head[c]] = p - 1
+				head[c]++
+			}
+		}
+		// Induce S-type from right to left.
+		for c := 0; c < sigma; c++ {
+			tail[c] = bucket[c+1] - 1
+		}
+		for i := n - 1; i >= 0; i-- {
+			p := sa[i]
+			if p <= 0 {
+				continue
+			}
+			if isS[p-1] {
+				c := s[p-1]
+				sa[tail[c]] = p - 1
+				tail[c]--
+			}
+		}
+	}
+
+	// 2. First pass: induce with LMS positions in text order.
+	var lms []int
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lms = append(lms, i)
+		}
+	}
+	induce(lms)
+
+	// 3. Name LMS substrings in the order they appear in sa.
+	lmsEqual := func(a, b int) bool {
+		// Compare LMS substrings starting at a and b (inclusive of the
+		// terminating LMS position).
+		for d := 0; ; d++ {
+			ai, bi := a+d, b+d
+			if s[ai] != s[bi] || isS[ai] != isS[bi] {
+				return false
+			}
+			if d > 0 && (isLMS(ai) || isLMS(bi)) {
+				return isLMS(ai) && isLMS(bi)
+			}
+		}
+	}
+	names := make([]int, n)
+	for i := range names {
+		names[i] = -1
+	}
+	prev, name := -1, 0
+	for _, p := range sa {
+		if p <= 0 || !isLMS(p) {
+			continue
+		}
+		if prev >= 0 && !lmsEqual(prev, p) {
+			name++
+		}
+		names[p] = name
+		prev = p
+	}
+
+	// 4. Build the reduced string and solve it (recursively if needed).
+	reduced := make([]int, 0, len(lms))
+	for _, p := range lms {
+		reduced = append(reduced, names[p])
+	}
+	var lmsSorted []int
+	if name+1 == len(lms) {
+		// All names unique: order LMS by name directly.
+		lmsSorted = make([]int, len(lms))
+		for i, p := range lms {
+			lmsSorted[reduced[i]] = p
+		}
+	} else {
+		subSA := sais(append(reduced, 0), name+2)
+		lmsSorted = make([]int, 0, len(lms))
+		for _, idx := range subSA[1:] { // skip the sentinel
+			lmsSorted = append(lmsSorted, lms[idx])
+		}
+	}
+
+	// 5. Final induce with sorted LMS.
+	induce(lmsSorted)
+	return sa
+}
+
+// naiveSuffixArray is the O(n² log n) reference used by the tests.
+func naiveSuffixArray(data []byte) []int {
+	sa := make([]int, len(data))
+	for i := range sa {
+		sa[i] = i
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return string(data[sa[a]:]) < string(data[sa[b]:])
+	})
+	return sa
+}
+
+// SearchAll returns the start offsets of every occurrence of pattern in
+// data, located by binary search over the suffix array (O(m log n) per
+// probe). Offsets are returned in ascending order.
+func SearchAll(data []byte, sa []int, pattern []byte) []int {
+	if len(pattern) == 0 || len(sa) == 0 {
+		return nil
+	}
+	cmp := func(i int) int {
+		suf := data[sa[i]:]
+		m := len(pattern)
+		if len(suf) < m {
+			m = len(suf)
+		}
+		for k := 0; k < m; k++ {
+			if suf[k] != pattern[k] {
+				if suf[k] < pattern[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		if len(suf) < len(pattern) {
+			return -1
+		}
+		return 0
+	}
+	lo := sort.Search(len(sa), func(i int) bool { return cmp(i) >= 0 })
+	hi := sort.Search(len(sa), func(i int) bool { return cmp(i) > 0 })
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, sa[i])
+	}
+	sort.Ints(out)
+	return out
+}

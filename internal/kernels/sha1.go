@@ -1,0 +1,74 @@
+package kernels
+
+import "encoding/binary"
+
+// SHA-1 implemented from scratch (FIPS 180-1); validated against
+// crypto/sha1 in the tests. It is the SHA-1 benchmark's work unit.
+
+// SHA1Sum computes the SHA-1 digest of data.
+func SHA1Sum(data []byte) [20]byte {
+	h0 := uint32(0x67452301)
+	h1 := uint32(0xEFCDAB89)
+	h2 := uint32(0x98BADCFE)
+	h3 := uint32(0x10325476)
+	h4 := uint32(0xC3D2E1F0)
+
+	msgLen := uint64(len(data))
+	padded := make([]byte, 0, len(data)+72)
+	padded = append(padded, data...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], msgLen*8)
+	padded = append(padded, lenBytes[:]...)
+
+	var w [80]uint32
+	rotl := func(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+	for chunk := 0; chunk < len(padded); chunk += 64 {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(padded[chunk+4*i:])
+		}
+		for i := 16; i < 80; i++ {
+			w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		a, b, c, d, e := h0, h1, h2, h3, h4
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f = (b & c) | (^b & d)
+				k = 0x5A827999
+			case i < 40:
+				f = b ^ c ^ d
+				k = 0x6ED9EBA1
+			case i < 60:
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x8F1BBCDC
+			default:
+				f = b ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			tmp := rotl(a, 5) + f + e + k + w[i]
+			e = d
+			d = c
+			c = rotl(b, 30)
+			b = a
+			a = tmp
+		}
+		h0 += a
+		h1 += b
+		h2 += c
+		h3 += d
+		h4 += e
+	}
+
+	var out [20]byte
+	binary.BigEndian.PutUint32(out[0:], h0)
+	binary.BigEndian.PutUint32(out[4:], h1)
+	binary.BigEndian.PutUint32(out[8:], h2)
+	binary.BigEndian.PutUint32(out[12:], h3)
+	binary.BigEndian.PutUint32(out[16:], h4)
+	return out
+}

@@ -1,0 +1,200 @@
+// Package proclevel applies the WATS ideas at process granularity, the
+// adaptation sketched in §IV-E: "WATS can be easily adapted to
+// process-level scheduling in AMC if the processes are independent and
+// their workloads can be estimated."
+//
+// Independent processes with (possibly noisy) workload estimates are
+// placed onto an AMC: the WATS-style placement sorts processes by
+// estimated work, partitions them across c-groups with the anchored
+// Algorithm 1 rule, and list-schedules within each group; baselines are
+// uniform-random placement and speed-aware LPT at core granularity. The
+// evaluation model is non-preemptive: a core's finish time is the sum of
+// its processes' actual work divided by its speed.
+package proclevel
+
+import (
+	"fmt"
+	"sort"
+
+	"wats/internal/amc"
+	"wats/internal/history"
+	"wats/internal/rng"
+)
+
+// Process is one independent job.
+type Process struct {
+	// ID identifies the process.
+	ID int
+	// Estimate is the scheduler-visible workload estimate, in
+	// fastest-core seconds.
+	Estimate float64
+	// Actual is the ground-truth workload used to evaluate the schedule.
+	Actual float64
+}
+
+// Assignment maps each process (by slice index) to a core.
+type Assignment []int
+
+// Makespan evaluates an assignment against the processes' actual
+// workloads: each core runs its processes serially at its speed.
+func Makespan(procs []Process, assign Assignment, arch *amc.Arch) (float64, error) {
+	if len(assign) != len(procs) {
+		return 0, fmt.Errorf("proclevel: assignment length %d != %d processes", len(assign), len(procs))
+	}
+	finish := make([]float64, arch.NumCores())
+	f1 := arch.FastestFreq()
+	for i, core := range assign {
+		if core < 0 || core >= arch.NumCores() {
+			return 0, fmt.Errorf("proclevel: process %d assigned to invalid core %d", i, core)
+		}
+		finish[core] += procs[i].Actual * f1 / arch.Speed(core)
+	}
+	var ms float64
+	for _, t := range finish {
+		if t > ms {
+			ms = t
+		}
+	}
+	return ms, nil
+}
+
+// LowerBound is Lemma 1 applied to the processes' actual workloads, plus
+// the non-divisibility bound (the largest process on the fastest core).
+func LowerBound(procs []Process, arch *amc.Arch) float64 {
+	var sum, largest float64
+	for _, p := range procs {
+		sum += p.Actual
+		if p.Actual > largest {
+			largest = p.Actual
+		}
+	}
+	fluid := sum * arch.FastestFreq() / arch.TotalCapacity()
+	if largest > fluid {
+		return largest
+	}
+	return fluid
+}
+
+// WATSPlace places processes WATS-style using their estimates: sort
+// descending, partition across c-groups with the anchored Algorithm 1
+// rule (each process is its own "class"), then greedy-balance within each
+// group (earliest-finishing core first).
+func WATSPlace(procs []Process, arch *amc.Arch) Assignment {
+	order := make([]int, len(procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return procs[order[a]].Estimate > procs[order[b]].Estimate
+	})
+	weights := make([]float64, len(order))
+	for i, pi := range order {
+		weights[i] = procs[pi].Estimate
+	}
+	cuts := history.PartitionAnchored(weights, arch)
+	groupOf := history.AssignmentFromCuts(len(order), cuts)
+
+	assign := make(Assignment, len(procs))
+	f1 := arch.FastestFreq()
+	// Within each c-group, assign each process (largest first — they are
+	// already sorted) to the group's earliest-finishing core.
+	finish := make([]float64, arch.NumCores())
+	for i, pi := range order {
+		g := groupOf[i]
+		cores := arch.CoresIn(g)
+		best := cores[0]
+		for _, c := range cores[1:] {
+			if finish[c] < finish[best] {
+				best = c
+			}
+		}
+		assign[pi] = best
+		finish[best] += procs[pi].Estimate * f1 / arch.Speed(best)
+	}
+	return assign
+}
+
+// LPTPlace is the speed-aware longest-processing-time baseline at core
+// granularity: each process (largest estimate first) goes to the core
+// that would finish it earliest. This is the strong classical heuristic
+// for uniform machines.
+func LPTPlace(procs []Process, arch *amc.Arch) Assignment {
+	order := make([]int, len(procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return procs[order[a]].Estimate > procs[order[b]].Estimate
+	})
+	assign := make(Assignment, len(procs))
+	finish := make([]float64, arch.NumCores())
+	f1 := arch.FastestFreq()
+	for _, pi := range order {
+		best := 0
+		bestT := -1.0
+		for c := 0; c < arch.NumCores(); c++ {
+			t := finish[c] + procs[pi].Estimate*f1/arch.Speed(c)
+			if bestT < 0 || t < bestT {
+				best, bestT = c, t
+			}
+		}
+		assign[pi] = best
+		finish[best] = bestT
+	}
+	return assign
+}
+
+// RandomPlace assigns each process to a uniformly random core — what a
+// scheduler oblivious to both workloads and speeds does.
+func RandomPlace(procs []Process, arch *amc.Arch, r *rng.Source) Assignment {
+	assign := make(Assignment, len(procs))
+	for i := range assign {
+		assign[i] = r.Intn(arch.NumCores())
+	}
+	return assign
+}
+
+// GenProcesses draws n processes with heavy-tailed workloads (a few big
+// jobs, many small ones) and the given estimation error CV.
+func GenProcesses(n int, estimateCV float64, seed uint64) []Process {
+	r := rng.New(seed ^ 0x9E3779B97F4A7C15)
+	procs := make([]Process, n)
+	for i := range procs {
+		base := 0.05 + r.ExpFloat64()*0.3
+		if r.Float64() < 0.1 {
+			base *= 8 // heavy tail
+		}
+		est := base
+		if estimateCV > 0 {
+			est *= 1 + estimateCV*r.NormFloat64()
+			if est < 0.01 {
+				est = 0.01
+			}
+		}
+		procs[i] = Process{ID: i, Estimate: est, Actual: base}
+	}
+	return procs
+}
+
+// Comparison summarizes the three placements on one instance.
+type Comparison struct {
+	Random, WATS, LPT, Bound float64
+}
+
+// Compare evaluates all placements on the given processes.
+func Compare(procs []Process, arch *amc.Arch, seed uint64) (Comparison, error) {
+	r := rng.New(seed)
+	var c Comparison
+	var err error
+	if c.Random, err = Makespan(procs, RandomPlace(procs, arch, r), arch); err != nil {
+		return c, err
+	}
+	if c.WATS, err = Makespan(procs, WATSPlace(procs, arch), arch); err != nil {
+		return c, err
+	}
+	if c.LPT, err = Makespan(procs, LPTPlace(procs, arch), arch); err != nil {
+		return c, err
+	}
+	c.Bound = LowerBound(procs, arch)
+	return c, nil
+}

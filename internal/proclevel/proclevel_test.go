@@ -1,0 +1,132 @@
+package proclevel
+
+import (
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/rng"
+)
+
+func TestMakespanEvaluation(t *testing.T) {
+	arch := amc.MustNew("2c", amc.CGroup{Freq: 2, N: 1}, amc.CGroup{Freq: 1, N: 1})
+	procs := []Process{
+		{ID: 0, Estimate: 4, Actual: 4},
+		{ID: 1, Estimate: 1, Actual: 1},
+	}
+	// Big on fast core (time 4), small on slow core (time 2): makespan 4.
+	ms, err := Makespan(procs, Assignment{0, 1}, arch)
+	if err != nil || ms != 4 {
+		t.Fatalf("ms=%v err=%v", ms, err)
+	}
+	// Reversed: big on slow core = 8.
+	ms, _ = Makespan(procs, Assignment{1, 0}, arch)
+	if ms != 8 {
+		t.Fatalf("ms=%v want 8", ms)
+	}
+	if _, err := Makespan(procs, Assignment{0}, arch); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Makespan(procs, Assignment{0, 9}, arch); err == nil {
+		t.Fatal("invalid core accepted")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	arch := amc.MustNew("2c", amc.CGroup{Freq: 2, N: 1}, amc.CGroup{Freq: 1, N: 1})
+	// Fluid bound: sum=5 over capacity 3 GHz => 5*2/3; largest=4 wins.
+	procs := []Process{{Actual: 4}, {Actual: 1}}
+	if b := LowerBound(procs, arch); b != 4 {
+		t.Fatalf("bound=%v want 4 (largest job)", b)
+	}
+	// Many small jobs: fluid bound dominates.
+	var many []Process
+	for i := 0; i < 30; i++ {
+		many = append(many, Process{Actual: 1})
+	}
+	b := LowerBound(many, arch)
+	if b <= 1 {
+		t.Fatalf("bound=%v should exceed a single job", b)
+	}
+}
+
+func TestPlacementsRespectBound(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		procs := GenProcesses(60, 0.1, seed)
+		for _, arch := range []*amc.Arch{amc.AMC1, amc.AMC2, amc.AMC5} {
+			c, err := Compare(procs, arch, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, ms := range map[string]float64{"random": c.Random, "wats": c.WATS, "lpt": c.LPT} {
+				if ms < c.Bound-1e-9 {
+					t.Fatalf("%s beat the lower bound: %v < %v", name, ms, c.Bound)
+				}
+			}
+		}
+	}
+}
+
+func TestWATSPlacementBeatsRandom(t *testing.T) {
+	var wins int
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		procs := GenProcesses(80, 0.1, seed)
+		c, err := Compare(procs, amc.AMC2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WATS < c.Random {
+			wins++
+		}
+	}
+	if wins < trials*9/10 {
+		t.Fatalf("WATS placement beat random on only %d/%d instances", wins, trials)
+	}
+}
+
+func TestWATSPlacementNearLPT(t *testing.T) {
+	// WATS's group-then-balance placement should stay within a modest
+	// factor of the strong core-level LPT baseline.
+	for seed := uint64(1); seed <= 10; seed++ {
+		procs := GenProcesses(100, 0.05, seed)
+		c, err := Compare(procs, amc.AMC5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WATS > 1.5*c.LPT {
+			t.Fatalf("WATS %v vs LPT %v — too far off", c.WATS, c.LPT)
+		}
+	}
+}
+
+func TestEstimationErrorTolerance(t *testing.T) {
+	// Even with 40% estimate noise, WATS placement should beat random
+	// (the §IV-E requirement is only that workloads "can be estimated").
+	var wins int
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		procs := GenProcesses(80, 0.4, seed)
+		c, err := Compare(procs, amc.AMC2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WATS < c.Random {
+			wins++
+		}
+	}
+	if wins < trials*8/10 {
+		t.Fatalf("noisy WATS placement beat random on only %d/%d", wins, trials)
+	}
+}
+
+func TestRandomPlaceUsesAllCores(t *testing.T) {
+	procs := GenProcesses(500, 0, 3)
+	assign := RandomPlace(procs, amc.AMC2, rng.New(3))
+	seen := map[int]bool{}
+	for _, c := range assign {
+		seen[c] = true
+	}
+	if len(seen) < 12 {
+		t.Fatalf("random placement touched only %d cores", len(seen))
+	}
+}

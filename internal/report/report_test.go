@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "v1", "v2")
+	tb.AddRow("alpha", "1", "2")
+	tb.AddFloats("beta", "%.2f", 3.14159, 2.71828)
+	s := tb.String()
+	if !strings.Contains(s, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "3.14") || !strings.Contains(s, "2.72") {
+		t.Fatalf("missing formatted floats:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+	// Columns align: every data line at least as long as the header.
+	if len(lines[3]) < len("alpha") {
+		t.Fatal("row too short")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("leading blank line for empty title")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `has "quote"`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[2] != `"with,comma","has ""quote"""` {
+		t.Fatalf("escaping: %q", lines[2])
+	}
+}
+
+func TestWideCellsExtendColumns(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("x", "overflow-cell-beyond-headers")
+	s := tb.String()
+	if !strings.Contains(s, "overflow-cell-beyond-headers") {
+		t.Fatal("extra cell dropped")
+	}
+}

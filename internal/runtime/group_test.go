@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"wats/internal/rng"
+)
+
+func TestGroupWaitsForAllChildren(t *testing.T) {
+	rt, err := New(Config{Arch: smallArch(), Seed: 11, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var done atomic.Int64
+	var afterWait atomic.Int64
+	rt.Spawn("root", func(ctx *Ctx) {
+		g := ctx.Group()
+		for i := 0; i < 50; i++ {
+			g.Spawn(ctx, "child", func(ctx *Ctx) { done.Add(1) })
+		}
+		g.Wait(ctx)
+		afterWait.Store(done.Load())
+	})
+	rt.Wait()
+	if afterWait.Load() != 50 {
+		t.Fatalf("Wait returned after %d/50 children", afterWait.Load())
+	}
+}
+
+func TestGroupChildrenSpawnIntoGroup(t *testing.T) {
+	// Children adding grandchildren to the same group: Wait must cover
+	// the transitive set.
+	rt, err := New(Config{Arch: smallArch(), Seed: 12, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var leaves atomic.Int64
+	var seen int64
+	rt.Spawn("root", func(ctx *Ctx) {
+		g := ctx.Group()
+		for i := 0; i < 8; i++ {
+			g.Spawn(ctx, "mid", func(ctx *Ctx) {
+				for j := 0; j < 4; j++ {
+					g.Spawn(ctx, "leaf", func(ctx *Ctx) { leaves.Add(1) })
+				}
+			})
+		}
+		g.Wait(ctx)
+		seen = leaves.Load()
+	})
+	rt.Wait()
+	if seen != 32 {
+		t.Fatalf("Wait returned after %d/32 transitive children", seen)
+	}
+}
+
+// parallelMergeSort sorts xs with nested fork-join groups, cutting over
+// to serial sort below a threshold — the classic recursive decomposition
+// the runtime must support without deadlocking even when every worker is
+// inside a Wait.
+func parallelMergeSort(ctx *Ctx, xs []int) {
+	if len(xs) < 64 {
+		sort.Ints(xs)
+		return
+	}
+	mid := len(xs) / 2
+	left, right := xs[:mid], xs[mid:]
+	g := ctx.Group()
+	g.Spawn(ctx, "msort", func(ctx *Ctx) { parallelMergeSort(ctx, left) })
+	parallelMergeSort(ctx, right)
+	g.Wait(ctx)
+	// Merge in place via a scratch copy.
+	tmp := make([]int, 0, len(xs))
+	i, j := 0, mid
+	for i < mid && j < len(xs) {
+		if xs[i] <= xs[j] {
+			tmp = append(tmp, xs[i])
+			i++
+		} else {
+			tmp = append(tmp, xs[j])
+			j++
+		}
+	}
+	tmp = append(tmp, xs[i:mid]...)
+	tmp = append(tmp, xs[j:]...)
+	copy(xs, tmp)
+}
+
+func TestGroupRecursiveMergeSort(t *testing.T) {
+	rt, err := New(Config{Arch: smallArch(), Seed: 13, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	r := rng.New(13)
+	xs := make([]int, 20000)
+	for i := range xs {
+		xs[i] = r.Intn(1 << 20)
+	}
+	rt.Spawn("msort_root", func(ctx *Ctx) { parallelMergeSort(ctx, xs) })
+	rt.Wait()
+	if !sort.IntsAreSorted(xs) {
+		t.Fatal("parallel merge sort produced an unsorted result")
+	}
+}
+
+func TestGroupHelpingMakesProgress(t *testing.T) {
+	// A single-worker machine: Wait MUST help (there is nobody else), or
+	// this deadlocks. The test passing at all proves the helping path.
+	arch := smallArch()
+	rt, err := New(Config{Arch: arch, Seed: 14, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var order []string
+	rt.Spawn("root", func(ctx *Ctx) {
+		g := ctx.Group()
+		for i := 0; i < 4; i++ {
+			g.Spawn(ctx, "step", func(ctx *Ctx) {})
+		}
+		g.Wait(ctx)
+		order = append(order, "after-wait")
+	})
+	rt.Wait()
+	if len(order) != 1 {
+		t.Fatal("root never passed Wait")
+	}
+}

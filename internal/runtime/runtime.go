@@ -1,0 +1,529 @@
+// Package runtime is a live work-stealing task runtime implementing the
+// WATS scheme on real goroutines: per-worker, per-cluster task pools,
+// parent-first spawning, history-based allocation (Algorithms 1 and 2 via
+// package history) and preference-based stealing (Algorithm 3).
+//
+// It plays the role of the paper's modified MIT Cilk runtime. Because Go
+// neither exposes core pinning nor per-core DVFS, core-speed asymmetry is
+// emulated: each worker is assigned a relative speed from the configured
+// AMC architecture and, after executing a task for d wall-clock seconds,
+// stalls for d*(1/rel - 1), so a worker of relative speed 0.32 delivers
+// 0.32× the throughput of a fast one. Task workloads are measured as
+// fastest-core seconds (Eq. 2: elapsed-on-worker × rel), exactly what the
+// paper's performance counters report after normalization.
+//
+// The runtime is a usable library: see examples/pipeline and cmd/watsrun.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/deque"
+	"wats/internal/history"
+	"wats/internal/rng"
+	"wats/internal/task"
+)
+
+// Policy selects the runtime's scheduling scheme.
+type Policy int8
+
+const (
+	// PolicyWATS is the paper's scheduler: history-based allocation plus
+	// preference-based stealing.
+	PolicyWATS Policy = iota
+	// PolicyRandom is the PFT baseline: one pool per worker, random
+	// stealing, no workload awareness.
+	PolicyRandom
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Arch gives each worker its emulated speed; the number of workers is
+	// the architecture's core count.
+	Arch *amc.Arch
+	// Policy selects WATS or random stealing. Default WATS.
+	Policy Policy
+	// HelperPeriod is the cadence of the helper goroutine that re-runs
+	// Algorithm 1 (default 1ms, as in §III-C).
+	HelperPeriod time.Duration
+	// Seed seeds victim selection.
+	Seed uint64
+	// DisableSpeedEmulation turns off the slowdown stalls (useful when
+	// the runtime is used as a plain work-stealing pool).
+	DisableSpeedEmulation bool
+	// LockFree switches the per-worker pools from mutex-guarded deques to
+	// lock-free Chase-Lev deques. Worker-local spawns then push without
+	// synchronization; external Spawn calls are routed through a small
+	// locked inbox (Chase-Lev requires owner-only pushes).
+	LockFree bool
+}
+
+// Task is one unit of work submitted to the runtime.
+type liveTask struct {
+	class string
+	fn    func(ctx *Ctx)
+	group *Group // non-nil for tasks spawned into a fork-join group
+}
+
+// Ctx is passed to every task function; it identifies the executing
+// worker and allows parent-first child spawning.
+type Ctx struct {
+	rt     *Runtime
+	Worker int
+	// Rel is the executing worker's emulated relative speed.
+	Rel float64
+}
+
+// Spawn submits a child task from inside a running task (parent-first:
+// the child is queued and the parent continues).
+func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
+	c.rt.spawnTask(c.Worker, &liveTask{class: class, fn: fn})
+}
+
+// Group returns a new fork-join scope: Spawn children into it and Wait
+// for exactly those children (and their transitive group spawns), the
+// runtime's equivalent of cilk_spawn/cilk_sync.
+func (c *Ctx) Group() *Group {
+	return &Group{rt: c.rt}
+}
+
+// Group is a structured fork-join scope over the runtime.
+type Group struct {
+	rt      *Runtime
+	pending atomic.Int64
+}
+
+// Spawn submits a child task into the group (parent-first).
+func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
+	g.pending.Add(1)
+	g.rt.spawnTask(ctx.Worker, &liveTask{class: class, fn: fn, group: g})
+}
+
+// Wait blocks until every task spawned into the group has completed.
+// Instead of idling, the calling worker helps: it keeps acquiring and
+// executing queued tasks (its own first, then stolen ones) until the
+// group drains — the standard help-first join of work-stealing runtimes,
+// which keeps the machine busy and avoids deadlock when all workers sync.
+func (g *Group) Wait(ctx *Ctx) {
+	rt := g.rt
+	w := ctx.Worker
+	r := rt.helpRngs[w]
+	for g.pending.Load() > 0 {
+		if t := rt.acquire(w, r); t != nil {
+			rt.execute(w, rt.rels[w], t)
+			continue
+		}
+		// Nothing runnable anywhere; the group's stragglers are being
+		// executed by other workers. Yield briefly.
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// taskPool abstracts a worker's per-cluster task pool: a mutex-guarded
+// deque by default, a lock-free Chase-Lev deque with Config.LockFree.
+type taskPool interface {
+	// push appends at the owner end. For the lock-free pool only the
+	// owning worker may call it.
+	push(t *liveTask)
+	// popBottom removes the owner-end task (owner only in lock-free mode).
+	popBottom() *liveTask
+	// stealTop removes the thief-end task (any goroutine).
+	stealTop() *liveTask
+	// empty reports (racily, in lock-free mode) whether the pool is empty.
+	empty() bool
+}
+
+// pool is a mutex-guarded deque (the paper's task pools lock only for
+// steals; a single mutex keeps this implementation obviously correct).
+type pool struct {
+	mu sync.Mutex
+	d  deque.Deque[*liveTask]
+}
+
+func (p *pool) push(t *liveTask) {
+	p.mu.Lock()
+	p.d.PushBottom(t)
+	p.mu.Unlock()
+}
+
+func (p *pool) popBottom() *liveTask {
+	p.mu.Lock()
+	t, ok := p.d.PopBottom()
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (p *pool) stealTop() *liveTask {
+	p.mu.Lock()
+	t, ok := p.d.PopTop()
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (p *pool) empty() bool {
+	p.mu.Lock()
+	e := p.d.Empty()
+	p.mu.Unlock()
+	return e
+}
+
+// clPool adapts the lock-free Chase-Lev deque to the taskPool interface.
+type clPool struct {
+	d *deque.ChaseLevPtr[liveTask]
+}
+
+func newCLPool() *clPool { return &clPool{d: deque.NewChaseLevPtr[liveTask](32)} }
+
+func (p *clPool) push(t *liveTask) { p.d.PushBottom(t) }
+
+func (p *clPool) popBottom() *liveTask {
+	t, ok := p.d.PopBottom()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (p *clPool) stealTop() *liveTask {
+	t, ok := p.d.Steal()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (p *clPool) empty() bool { return p.d.Empty() }
+
+// WorkerStats reports one worker's counters.
+type WorkerStats struct {
+	Worker    int
+	Group     int
+	Rel       float64
+	TasksRun  int64
+	Steals    int64
+	BusyNanos int64
+}
+
+// Runtime is the live scheduler instance.
+type Runtime struct {
+	cfg   Config
+	arch  *amc.Arch
+	k     int
+	pools [][]taskPool // [worker][cluster]
+	// inbox receives external (non-worker) spawns in lock-free mode,
+	// where workers own their deques' push ends exclusively.
+	inbox *pool
+	rels  []float64
+	grps  []int
+
+	reg   *task.Registry
+	alloc *history.Allocator
+	prefs [][]int
+
+	outstanding atomic.Int64
+	mu          sync.Mutex
+	cond        *sync.Cond
+	shutdown    atomic.Bool
+
+	tasksRun []atomic.Int64
+	steals   []atomic.Int64
+	busy     []atomic.Int64
+	// helpRngs are per-worker victim-selection streams for Group.Wait's
+	// helping path (the worker loop has its own stream).
+	helpRngs []*rng.Source
+
+	wg sync.WaitGroup
+}
+
+// New starts a runtime with one worker goroutine per core of cfg.Arch.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("runtime: Config.Arch is required")
+	}
+	if cfg.HelperPeriod == 0 {
+		cfg.HelperPeriod = time.Millisecond
+	}
+	n := cfg.Arch.NumCores()
+	k := cfg.Arch.K()
+	if cfg.Policy == PolicyRandom {
+		k = 1
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		arch:     cfg.Arch,
+		k:        k,
+		reg:      task.NewRegistry(),
+		tasksRun: make([]atomic.Int64, n),
+		steals:   make([]atomic.Int64, n),
+		busy:     make([]atomic.Int64, n),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.alloc = history.NewAllocator(rt.reg, cfg.Arch)
+	f1 := cfg.Arch.FastestFreq()
+	rt.inbox = &pool{}
+	for w := 0; w < n; w++ {
+		ps := make([]taskPool, k)
+		for c := range ps {
+			if cfg.LockFree {
+				ps[c] = newCLPool()
+			} else {
+				ps[c] = &pool{}
+			}
+		}
+		rt.pools = append(rt.pools, ps)
+		rt.rels = append(rt.rels, cfg.Arch.Speed(w)/f1)
+		rt.grps = append(rt.grps, cfg.Arch.GroupOf(w))
+	}
+	if cfg.Policy == PolicyWATS {
+		rt.prefs = history.PreferenceTable(k)
+	} else {
+		rt.prefs = [][]int{{0}}
+	}
+	for w := 0; w < n; w++ {
+		rt.helpRngs = append(rt.helpRngs, rng.New(cfg.Seed^0xABCD+uint64(w)*7919+3))
+	}
+	for w := 0; w < n; w++ {
+		rt.wg.Add(1)
+		go rt.worker(w, rng.New(cfg.Seed+uint64(w)*0x9E3779B97F4A7C15+1))
+	}
+	rt.wg.Add(1)
+	go rt.helper()
+	return rt, nil
+}
+
+// clusterOf routes a class through the current allocation (always 0 for
+// the random policy).
+func (rt *Runtime) clusterOf(class string) int {
+	if rt.cfg.Policy != PolicyWATS {
+		return 0
+	}
+	c := rt.alloc.ClusterOf(class)
+	if c >= rt.k {
+		c = rt.k - 1
+	}
+	return c
+}
+
+// Spawn submits a root task; it is routed to the fastest core's pools
+// (the paper schedules the main task's work on the fastest core, §IV-E).
+// In lock-free mode external spawns go through the inbox, since only a
+// worker may push to its own Chase-Lev deques.
+func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
+	if rt.shutdown.Load() {
+		return
+	}
+	if rt.cfg.LockFree {
+		rt.outstanding.Add(1)
+		rt.inbox.push(&liveTask{class: class, fn: fn})
+		rt.wake()
+		return
+	}
+	rt.spawnAt(0, class, fn)
+}
+
+func (rt *Runtime) spawnAt(worker int, class string, fn func(ctx *Ctx)) {
+	rt.spawnTask(worker, &liveTask{class: class, fn: fn})
+}
+
+func (rt *Runtime) spawnTask(worker int, t *liveTask) {
+	if rt.shutdown.Load() {
+		if t.group != nil {
+			t.group.pending.Add(-1)
+		}
+		return
+	}
+	rt.outstanding.Add(1)
+	rt.pools[worker][rt.clusterOf(t.class)].push(t)
+	rt.wake()
+}
+
+func (rt *Runtime) wake() {
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// acquire implements Algorithm 3 for a worker; returns nil when no task
+// is available anywhere.
+func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
+	prefList := rt.prefs[0]
+	if rt.cfg.Policy == PolicyWATS {
+		g := rt.grps[w]
+		if g >= len(rt.prefs) {
+			g = len(rt.prefs) - 1
+		}
+		prefList = rt.prefs[g]
+	}
+	if t := rt.inbox.stealTop(); t != nil {
+		return t
+	}
+	for _, cl := range prefList {
+		if t := rt.pools[w][cl].popBottom(); t != nil {
+			return t
+		}
+		// Random victims within the cluster.
+		n := len(rt.pools)
+		start := r.Intn(n)
+		for i := 0; i < n; i++ {
+			v := (start + i) % n
+			if v == w {
+				continue
+			}
+			if t := rt.pools[v][cl].stealTop(); t != nil {
+				rt.steals[w].Add(1)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) worker(w int, r *rng.Source) {
+	defer rt.wg.Done()
+	rel := rt.rels[w]
+	for {
+		t := rt.acquire(w, r)
+		if t == nil {
+			rt.mu.Lock()
+			for {
+				if rt.shutdown.Load() {
+					rt.mu.Unlock()
+					return
+				}
+				if rt.haveWork(w) {
+					break
+				}
+				rt.cond.Wait()
+			}
+			rt.mu.Unlock()
+			continue
+		}
+		rt.execute(w, rel, t)
+	}
+}
+
+// execute runs one task on worker w: timing, speed-emulation stall,
+// Eq. 2 workload observation and completion accounting. It is shared by
+// the worker loop and by Group.Wait's helping path.
+func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
+	start := time.Now()
+	t.fn(&Ctx{rt: rt, Worker: w, Rel: rel})
+	d := time.Since(start)
+	rt.busy[w].Add(int64(d))
+	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
+		stall := time.Duration(float64(d) * (1/rel - 1))
+		rt.sleepUnlessShutdown(stall)
+		rt.busy[w].Add(int64(stall))
+	}
+	// Eq. 2: elapsed-on-core × rel = fastest-core seconds. With the
+	// emulation stall the elapsed time is d/rel, so the normalized
+	// workload is exactly d.
+	rt.reg.Observe(t.class, d.Seconds())
+	rt.tasksRun[w].Add(1)
+	if t.group != nil {
+		t.group.pending.Add(-1)
+	}
+	if rt.outstanding.Add(-1) == 0 {
+		rt.mu.Lock()
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
+	}
+}
+
+// sleepUnlessShutdown sleeps in small slices so Shutdown stays prompt.
+func (rt *Runtime) sleepUnlessShutdown(d time.Duration) {
+	const slice = 2 * time.Millisecond
+	for d > 0 && !rt.shutdown.Load() {
+		s := d
+		if s > slice {
+			s = slice
+		}
+		time.Sleep(s)
+		d -= s
+	}
+}
+
+// haveWork reports whether any pool the worker may take from is
+// non-empty. Called with rt.mu held.
+func (rt *Runtime) haveWork(w int) bool {
+	if !rt.inbox.empty() {
+		return true
+	}
+	for cl := 0; cl < rt.k; cl++ {
+		for v := range rt.pools {
+			if !rt.pools[v][cl].empty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (rt *Runtime) helper() {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.cfg.HelperPeriod)
+	defer tick.Stop()
+	for range tick.C {
+		if rt.shutdown.Load() {
+			return
+		}
+		if rt.cfg.Policy == PolicyWATS {
+			rt.alloc.Reorganize()
+		}
+	}
+}
+
+// Wait blocks until every spawned task (including transitively spawned
+// children) has completed.
+func (rt *Runtime) Wait() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.outstanding.Load() != 0 {
+		rt.cond.Wait()
+	}
+}
+
+// Shutdown stops the workers. Pending tasks are abandoned; call Wait
+// first for a clean drain.
+func (rt *Runtime) Shutdown() {
+	if rt.shutdown.Swap(true) {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// Registry exposes the learned task-class statistics.
+func (rt *Runtime) Registry() *task.Registry { return rt.reg }
+
+// Allocator exposes the history-based allocator (nil-safe for inspection
+// under PolicyRandom too, where it simply never reorganizes).
+func (rt *Runtime) Allocator() *history.Allocator { return rt.alloc }
+
+// Stats returns a snapshot of per-worker counters.
+func (rt *Runtime) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(rt.pools))
+	for w := range out {
+		out[w] = WorkerStats{
+			Worker:    w,
+			Group:     rt.grps[w],
+			Rel:       rt.rels[w],
+			TasksRun:  rt.tasksRun[w].Load(),
+			Steals:    rt.steals[w].Load(),
+			BusyNanos: rt.busy[w].Load(),
+		}
+	}
+	return out
+}

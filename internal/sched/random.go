@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"wats/internal/sim"
+	"wats/internal/task"
+)
+
+// randomStealer is the traditional task-stealing runtime shared by Cilk,
+// PFT and RTS: one task pool per core, owner pops the bottom, idle cores
+// steal the top of a randomly chosen non-empty victim.
+type randomStealer struct {
+	name       string
+	childFirst bool
+	// snatch enables RTS behaviour: an idle core that cannot steal
+	// preempts the task of a randomly chosen core from a strictly slower
+	// c-group (Bender & Rabin's model, §IV-A).
+	snatch bool
+
+	e     *sim.Engine
+	pools *sim.PoolSet
+}
+
+// NewCilk returns the MIT Cilk policy: child-first spawning with
+// traditional random task-stealing.
+func NewCilk() sim.Policy {
+	return &randomStealer{name: string(KindCilk), childFirst: true}
+}
+
+// NewPFT returns the parent-first task-stealing policy.
+func NewPFT() sim.Policy {
+	return &randomStealer{name: string(KindPFT), childFirst: false}
+}
+
+// NewRTS returns the random task-snatching policy: Cilk spawning and
+// stealing, plus random snatching by idle faster cores.
+func NewRTS() sim.Policy {
+	return &randomStealer{name: string(KindRTS), childFirst: true, snatch: true}
+}
+
+func (p *randomStealer) Name() string     { return p.name }
+func (p *randomStealer) ChildFirst() bool { return p.childFirst }
+
+func (p *randomStealer) Init(e *sim.Engine) {
+	p.e = e
+	p.pools = sim.NewPoolSet(e, 1)
+}
+
+func (p *randomStealer) Inject(origin *sim.Core, t *task.Task) {
+	p.pools.Push(origin.ID, 0, t)
+}
+
+func (p *randomStealer) Enqueue(c *sim.Core, t *task.Task) {
+	p.pools.Push(c.ID, 0, t)
+}
+
+func (p *randomStealer) Acquire(c *sim.Core) (*task.Task, float64) {
+	if t := p.pools.PopBottom(c.ID, 0); t != nil {
+		c.LocalPops++
+		return t, 0
+	}
+	if t := p.pools.StealRandom(c, 0); t != nil {
+		c.Steals++
+		return t, p.e.Cfg.StealCost
+	}
+	if p.snatch {
+		if t := p.snatchRandom(c); t != nil {
+			c.Snatches++
+			return t, p.e.Cfg.SnatchCost
+		}
+	}
+	return nil, 0
+}
+
+// snatchRandom preempts the running task of a uniformly random busy core
+// belonging to a strictly slower c-group than the thief's.
+func (p *randomStealer) snatchRandom(thief *sim.Core) *task.Task {
+	var victims []*sim.Core
+	for _, v := range p.e.Cores() {
+		if v.Group > thief.Group && v.Running() != nil {
+			victims = append(victims, v)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	v := victims[thief.Rng.Intn(len(victims))]
+	return p.e.Preempt(v, thief)
+}
+
+func (p *randomStealer) OnComplete(c *sim.Core, t *task.Task) {}
+
+func (p *randomStealer) OnHelperTick(e *sim.Engine) {}

@@ -1,0 +1,83 @@
+// Package sched implements the task-scheduling policies evaluated in the
+// WATS paper on top of the discrete-event engine of package sim:
+//
+//   - Cilk    — MIT Cilk: child-first (work-first) spawning, traditional
+//     random task-stealing (§IV-A).
+//   - PFT     — parent-first spawning, traditional random stealing
+//     (Guo et al.'s help-first policy).
+//   - RTS     — random task-snatching (Bender & Rabin): Cilk plus idle
+//     faster cores snatching from randomly chosen slower cores.
+//   - WATS    — the paper's contribution: parent-first spawning,
+//     history-based task allocation (Algorithms 1 and 2) and
+//     preference-based task stealing (Algorithm 3).
+//   - WATS-NP — WATS without cross-cluster stealing (ablation, §IV-C).
+//   - WATS-TS — WATS plus workload-aware snatching (ablation, §IV-D).
+//
+// Policies are deterministic given the engine seed.
+package sched
+
+import (
+	"fmt"
+
+	"wats/internal/sim"
+)
+
+// Kind names a scheduling policy.
+type Kind string
+
+const (
+	KindCilk   Kind = "Cilk"
+	KindPFT    Kind = "PFT"
+	KindRTS    Kind = "RTS"
+	KindWATS   Kind = "WATS"
+	KindWATSNP Kind = "WATS-NP"
+	KindWATSTS Kind = "WATS-TS"
+	// KindWATSMem is the §IV-E memory-aware extension (not a paper
+	// baseline; used by the ablations and the CLI).
+	KindWATSMem Kind = "WATS-Mem"
+	// KindShare is the OpenMP-style centralized task-sharing baseline
+	// (§I), provided for comparison; the paper evaluates the stealing
+	// family only.
+	KindShare Kind = "Share"
+)
+
+// Kinds lists every built-in policy: the paper's five plus the
+// task-sharing baseline.
+var Kinds = []Kind{KindShare, KindCilk, KindPFT, KindRTS, KindWATS, KindWATSNP, KindWATSTS}
+
+// FigureKinds lists the four policies compared in Figs. 6–8.
+var FigureKinds = []Kind{KindCilk, KindPFT, KindRTS, KindWATS}
+
+// New constructs a fresh policy instance of the given kind. Policies are
+// single-use: build a new one per engine run.
+func New(kind Kind) (sim.Policy, error) {
+	switch kind {
+	case KindCilk:
+		return NewCilk(), nil
+	case KindPFT:
+		return NewPFT(), nil
+	case KindRTS:
+		return NewRTS(), nil
+	case KindWATS:
+		return NewWATS(), nil
+	case KindWATSNP:
+		return NewWATSNP(), nil
+	case KindWATSTS:
+		return NewWATSTS(), nil
+	case KindWATSMem:
+		return NewWATSMem(), nil
+	case KindShare:
+		return NewShare(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy kind %q", kind)
+	}
+}
+
+// MustNew is New but panics on error.
+func MustNew(kind Kind) sim.Policy {
+	p, err := New(kind)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

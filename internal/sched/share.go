@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"wats/internal/sim"
+	"wats/internal/task"
+)
+
+// taskSharer is the OpenMP-style task-sharing baseline the paper contrasts
+// with task-stealing in §I: a single centralized task pool that every core
+// takes work from under a lock. The central pool needs no stealing, but
+// every dequeue pays the lock (modeled as the steal cost), and — like the
+// other random schedulers — it is blind to workloads and core speeds.
+type taskSharer struct {
+	e    *sim.Engine
+	pool *sim.PoolSet // one logical queue: pool (0,0)
+}
+
+// NewShare returns the centralized task-sharing policy (parent-first
+// spawning, FIFO central queue).
+func NewShare() sim.Policy { return &taskSharer{} }
+
+func (p *taskSharer) Name() string     { return string(KindShare) }
+func (p *taskSharer) ChildFirst() bool { return false }
+
+func (p *taskSharer) Init(e *sim.Engine) {
+	p.e = e
+	p.pool = sim.NewPoolSet(e, 1)
+}
+
+func (p *taskSharer) Inject(origin *sim.Core, t *task.Task) {
+	p.pool.Push(0, 0, t)
+}
+
+func (p *taskSharer) Enqueue(c *sim.Core, t *task.Task) {
+	p.pool.Push(0, 0, t)
+}
+
+func (p *taskSharer) Acquire(c *sim.Core) (*task.Task, float64) {
+	// FIFO from the shared queue; every acquire pays the central lock.
+	if t := p.pool.StealTop(0, 0); t != nil {
+		return t, p.e.Cfg.StealCost
+	}
+	return nil, 0
+}
+
+func (p *taskSharer) OnComplete(c *sim.Core, t *task.Task) {}
+func (p *taskSharer) OnHelperTick(e *sim.Engine)           {}

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"wats/internal/history"
+	"wats/internal/sim"
+	"wats/internal/task"
+)
+
+// WATS is the Workload-Aware Task Scheduling policy of the paper:
+//
+//   - parent-first spawning (so completed-task cycle counts measure a
+//     task's own work, §III-C);
+//   - history-based task allocation: completed tasks update class records
+//     TC(f, n, w) via Algorithm 2; a helper tick re-partitions classes
+//     into task clusters via Algorithm 1 (§III-A);
+//   - per-core, per-cluster task pools with preference-based stealing
+//     following the "rob the weaker first" lists of Fig. 4 (§III-B).
+//
+// Variants (all ablations from the paper's evaluation):
+//
+//   - NoPreference (WATS-NP): idle cores only take tasks of their own
+//     cluster (§IV-C).
+//   - Snatch (WATS-TS): if preference stealing finds nothing, preempt the
+//     slower core holding the largest estimated remaining task (§IV-D).
+//   - ChildFirstSpawn: run WATS with the child-first discipline to expose
+//     the workload mis-measurement that motivates parent-first (extra
+//     ablation, not a paper figure).
+type WATS struct {
+	// NoPreference restricts stealing to the core's own cluster (WATS-NP).
+	NoPreference bool
+	// Snatch enables workload-aware task snatching (WATS-TS).
+	Snatch bool
+	// ChildFirstSpawn switches to child-first spawning (measurement
+	//-corruption ablation; the real WATS always uses parent-first).
+	ChildFirstSpawn bool
+	// LiteralPartition uses the verbatim Algorithm 1 greedy instead of
+	// the default deviation-minimizing cut rule (partition-rule ablation;
+	// see history.Partition vs history.PartitionBalanced).
+	LiteralPartition bool
+	// ReorgEveryCompletion rebuilds clusters on every task completion in
+	// addition to helper ticks (the paper reorganizes "once a task is
+	// completed"; the default here is helper-tick-only, which matches the
+	// 1 ms helper cadence and is indistinguishable in results).
+	ReorgEveryCompletion bool
+	// MemAware enables the §IV-E extension: classes whose average CMPI
+	// exceeds CMPIThreshold are allocated to the slowest c-group ("there
+	// will be no performance gain for memory-bound tasks to run on fast
+	// cores"), freeing fast cores for CPU-bound classes.
+	MemAware bool
+	// CMPIThreshold is the memory-boundedness cutoff (default 0.05).
+	CMPIThreshold float64
+	// DetectRecursion enables the §IV-E divide-and-conquer fallback: if a
+	// task ever spawns a child of its own class, the program is assumed
+	// to be divide-and-conquer and WATS reverts to plain random stealing
+	// (all classes routed to the fastest cluster's pools). The paper does
+	// this detection in the cilk2c compiler; here it happens at the first
+	// self-recursive spawn.
+	DetectRecursion bool
+	// FreezeAfterReorgs, when positive, stops cluster reorganization after
+	// that many rebuilds (the "stale history" ablation for phase-change
+	// experiments).
+	FreezeAfterReorgs int
+	// EWMAAlpha, when positive, replaces Algorithm 2's cumulative mean
+	// with an exponential moving average (extension; adapts faster to
+	// phase changes).
+	EWMAAlpha float64
+
+	recursionDetected bool
+
+	label string
+
+	e     *sim.Engine
+	pools *sim.PoolSet
+	alloc *history.Allocator
+	reg   *task.Registry
+	prefs [][]int
+}
+
+// NewWATS returns the full WATS policy.
+func NewWATS() *WATS { return &WATS{label: string(KindWATS)} }
+
+// NewWATSNP returns WATS without cross-cluster stealing (§IV-C).
+func NewWATSNP() *WATS { return &WATS{label: string(KindWATSNP), NoPreference: true} }
+
+// NewWATSTS returns WATS with workload-aware task snatching (§IV-D).
+func NewWATSTS() *WATS { return &WATS{label: string(KindWATSTS), Snatch: true} }
+
+// NewWATSMem returns the memory-aware WATS extension of §IV-E: CPU-bound
+// classes are allocated as usual, memory-bound classes (per their CMPI
+// counters) go to the slowest c-group.
+func NewWATSMem() *WATS { return &WATS{label: "WATS-Mem", MemAware: true} }
+
+// Name implements sim.Policy.
+func (p *WATS) Name() string {
+	if p.label != "" {
+		return p.label
+	}
+	return string(KindWATS)
+}
+
+// SetName overrides the report label (used by ablation harnesses).
+func (p *WATS) SetName(s string) { p.label = s }
+
+// ChildFirst implements sim.Policy.
+func (p *WATS) ChildFirst() bool { return p.ChildFirstSpawn }
+
+// Allocator exposes the history allocator for inspection in tests.
+func (p *WATS) Allocator() *history.Allocator { return p.alloc }
+
+// Init implements sim.Policy.
+func (p *WATS) Init(e *sim.Engine) {
+	p.e = e
+	k := e.NumGroups()
+	p.pools = sim.NewPoolSet(e, k)
+	p.reg = task.NewRegistry()
+	if p.EWMAAlpha > 0 {
+		p.reg.SetEWMA(p.EWMAAlpha)
+	}
+	p.alloc = history.NewAllocator(p.reg, e.Arch)
+	if p.LiteralPartition {
+		p.alloc.UseLiteralPartition()
+	}
+	p.prefs = history.PreferenceTable(k)
+}
+
+// clusterOf routes a task by its class through the current cluster map;
+// unknown classes go to cluster 0 (fastest c-group), per §III-A. Under
+// MemAware, known memory-bound classes go to the slowest c-group instead
+// (§IV-E).
+func (p *WATS) clusterOf(t *task.Task) int {
+	if p.recursionDetected {
+		return 0 // divide-and-conquer fallback: plain random stealing
+	}
+	if p.MemAware {
+		th := p.CMPIThreshold
+		if th == 0 {
+			th = 0.05
+		}
+		if cl, ok := p.reg.Lookup(t.Class); ok && cl.AvgCMPI > th {
+			return p.e.NumGroups() - 1
+		}
+	}
+	return p.alloc.ClusterOf(t.Class)
+}
+
+// Inject implements sim.Policy: the task is pushed to the origin core's
+// pool for the task's cluster.
+func (p *WATS) Inject(origin *sim.Core, t *task.Task) {
+	p.pools.Push(origin.ID, p.clusterOf(t), t)
+}
+
+// Enqueue implements sim.Policy: children (parent-first) and continuations
+// (child-first ablation) are pushed to the spawning core's pool for the
+// task's cluster.
+func (p *WATS) Enqueue(c *sim.Core, t *task.Task) {
+	if p.DetectRecursion && !p.recursionDetected &&
+		t.Parent != nil && t.Parent.Class == t.Class {
+		p.recursionDetected = true
+	}
+	p.pools.Push(c.ID, p.clusterOf(t), t)
+}
+
+// Acquire implements Algorithm 3: walk the core's preference list; for
+// each cluster Cj first pop the local Cj pool, then steal from a random
+// core's Cj pool; fall through to the next cluster only when every Cj
+// pool in the system is empty.
+func (p *WATS) Acquire(c *sim.Core) (*task.Task, float64) {
+	prefs := p.prefs[c.Group]
+	if p.NoPreference {
+		prefs = prefs[:1] // own cluster only
+	}
+	for _, cl := range prefs {
+		if t := p.pools.PopBottom(c.ID, cl); t != nil {
+			c.LocalPops++
+			return t, 0
+		}
+		if t := p.pools.StealRandom(c, cl); t != nil {
+			c.Steals++
+			return t, p.e.Cfg.StealCost
+		}
+	}
+	if p.Snatch {
+		if t := p.snatchLargest(c); t != nil {
+			c.Snatches++
+			return t, p.e.Cfg.SnatchCost
+		}
+	}
+	return nil, 0
+}
+
+// snatchLargest implements WATS-TS's workload-aware snatching: among busy
+// cores of strictly slower c-groups, preempt the one whose running task
+// has the largest estimated remaining workload (class average from the
+// history, minus observed progress).
+func (p *WATS) snatchLargest(thief *sim.Core) *task.Task {
+	var best *sim.Core
+	bestRem := -1.0
+	for _, v := range p.e.Cores() {
+		if v.Group <= thief.Group {
+			continue
+		}
+		run := v.Running()
+		if run == nil {
+			continue
+		}
+		est := -1.0
+		if cl, ok := p.reg.Lookup(run.Class); ok {
+			est = cl.AvgWork
+		}
+		rem := p.e.EstimatedRemaining(v, est)
+		if rem > bestRem {
+			bestRem = rem
+			best = v
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return p.e.Preempt(best, thief)
+}
+
+// OnComplete implements sim.Policy: fold the measured, Eq.2-normalized
+// workload into the task's class (Algorithm 2).
+func (p *WATS) OnComplete(c *sim.Core, t *task.Task) {
+	p.reg.ObserveFull(t.Class, t.Measured, t.CMPI)
+	if p.ReorgEveryCompletion {
+		p.alloc.Reorganize()
+	}
+}
+
+// OnHelperTick implements the helper thread of §III-C: re-run Algorithm 1
+// over the current class statistics.
+func (p *WATS) OnHelperTick(e *sim.Engine) {
+	if p.FreezeAfterReorgs > 0 && p.alloc.Reorganizations() >= p.FreezeAfterReorgs {
+		return
+	}
+	p.alloc.Reorganize()
+}
+
+// RecursionDetected reports whether the divide-and-conquer fallback has
+// triggered.
+func (p *WATS) RecursionDetected() bool { return p.recursionDetected }

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"wats/internal/rng"
+	"wats/internal/task"
+)
+
+// Core is one simulated processor core.
+type Core struct {
+	// ID is the physical core number (fastest-first, as in Fig. 5).
+	ID int
+	// Group is the index of the c-group the core belongs to (0 = fastest).
+	Group int
+	// Rel is the core's speed relative to the fastest core, Fi/F1 in (0,1].
+	Rel float64
+
+	// Rng is the core's private random stream (victim selection).
+	Rng *rng.Source
+
+	// --- execution state (engine-owned) ---
+
+	cur      *task.Task // task currently executing, nil if idle/dispatching
+	segStart float64    // virtual time the current segment started
+	segWork  float64    // own-work units the current segment covers
+	token    int64      // run token; bumping it invalidates pending evSegEnd
+	idle     bool       // true when parked waiting for work
+	// inline is the stack of tasks suspended on this core under the
+	// child-first discipline whose continuations sit in this core's own
+	// pools. While a task is on this stack, segments executed by this core
+	// are also charged to its Measured workload — the §III-C
+	// mis-measurement that makes child-first unusable for WATS.
+	inline []*task.Task
+
+	// --- per-core statistics ---
+
+	// Busy is total virtual time spent executing task segments.
+	Busy float64
+	// Overhead is virtual time spent on steals, failed steals and snatches.
+	Overhead float64
+	// Steals counts successful steals; FailedAcquires counts Acquire calls
+	// that found no work anywhere; Snatches counts successful snatch
+	// operations initiated by this core; SnatchedFrom counts preemptions
+	// suffered.
+	Steals, LocalPops, FailedAcquires, Snatches, SnatchedFrom int
+	// TasksRun counts task completions on this core.
+	TasksRun int
+}
+
+// Running returns the task currently executing on the core, or nil.
+func (c *Core) Running() *task.Task { return c.cur }
+
+// Idle reports whether the core is parked waiting for work.
+func (c *Core) Idle() bool { return c.idle }
+
+// removeInline deletes t from the inline stack if present.
+func (c *Core) removeInline(t *task.Task) {
+	for i, u := range c.inline {
+		if u == t {
+			c.inline = append(c.inline[:i], c.inline[i+1:]...)
+			return
+		}
+	}
+}

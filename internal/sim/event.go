@@ -1,0 +1,45 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the engine's event types.
+type eventKind int8
+
+const (
+	// evDispatch makes an idle core look for work.
+	evDispatch eventKind = iota
+	// evSegEnd fires when a core finishes its current task segment.
+	evSegEnd
+	// evHelper is the periodic helper-thread tick (cluster reorganization).
+	evHelper
+	// evSpeed applies a scheduled DVFS speed change to a core.
+	evSpeed
+)
+
+// event is one entry in the virtual-time event queue. Events at equal time
+// are processed in insertion (seq) order, which keeps runs deterministic.
+type event struct {
+	at   float64
+	seq  int64
+	kind eventKind
+	core int
+	// token validates evSegEnd events: a preemption or re-dispatch bumps
+	// the core's run token, turning stale segment-end events into no-ops.
+	token int64
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *eventHeap) push(ev event) { heap.Push(h, ev) }
+func (h *eventHeap) pop() event    { return heap.Pop(h).(event) }

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/rng"
+	"wats/internal/task"
+)
+
+// TestFuzzRandomSpawnTrees drives the engine with randomly generated
+// spawn trees under both spawn disciplines on random architectures and
+// checks the global invariants on every run:
+//
+//   - every task completes exactly once;
+//   - executed work equals injected work (conservation);
+//   - makespan ≥ Lemma 1's lower bound;
+//   - no virtual-time regressions or engine errors;
+//   - parent-first measurement equals ground truth for every task.
+func TestFuzzRandomSpawnTrees(t *testing.T) {
+	r := rng.New(0xF00D)
+	for trial := 0; trial < 60; trial++ {
+		// Random architecture: 1-3 groups, 1-6 cores each.
+		k := 1 + r.Intn(3)
+		groups := make([]amc.CGroup, k)
+		freq := 2.5
+		for i := range groups {
+			groups[i] = amc.CGroup{Freq: freq, N: 1 + r.Intn(6)}
+			freq *= 0.3 + 0.5*r.Float64()
+		}
+		arch := amc.MustNew("fuzz", groups...)
+
+		// Random forest of spawn trees.
+		var totalWork float64
+		var totalTasks int
+		var roots []*task.Task
+		var build func(depth int) *task.Task
+		build = func(depth int) *task.Task {
+			w := 0.001 + r.Float64()*0.05
+			tk := task.New("c"+string(rune('a'+r.Intn(5))), w)
+			totalWork += w
+			totalTasks++
+			if depth > 0 {
+				nkids := r.Intn(3)
+				for i := 0; i < nkids; i++ {
+					child := build(depth - 1)
+					tk.Spawns = append(tk.Spawns, task.Spawn{At: r.Float64() * w, Child: child})
+				}
+			}
+			return tk
+		}
+		nRoots := 1 + r.Intn(6)
+		for i := 0; i < nRoots; i++ {
+			roots = append(roots, build(1+r.Intn(3)))
+		}
+
+		childFirst := r.Intn(2) == 0
+		e := New(arch, &fifoPolicy{childFirst: childFirst}, Config{
+			Seed: r.Uint64(), CollectTasks: true,
+		})
+		res, err := e.Run(&listWorkload{tasks: roots})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.TasksDone != totalTasks {
+			t.Fatalf("trial %d: %d tasks done, want %d", trial, res.TasksDone, totalTasks)
+		}
+		if math.Abs(res.TotalWork-totalWork) > 1e-9 {
+			t.Fatalf("trial %d: work %v != %v", trial, res.TotalWork, totalWork)
+		}
+		var executed float64
+		for _, c := range res.Cores {
+			executed += c.Busy * c.Rel
+		}
+		if math.Abs(executed-totalWork) > 1e-9 {
+			t.Fatalf("trial %d: conservation violated (%v vs %v)", trial, executed, totalWork)
+		}
+		if res.Makespan < res.LowerBound-1e-9 {
+			t.Fatalf("trial %d: makespan %v < bound %v", trial, res.Makespan, res.LowerBound)
+		}
+		// Tasks never left in a non-done state.
+		for _, tk := range res.Completed {
+			if tk.State != task.Done {
+				t.Fatalf("trial %d: task %d in state %v", trial, tk.ID, tk.State)
+			}
+			if !childFirst && math.Abs(tk.Measured-tk.Work) > 1e-9 {
+				t.Fatalf("trial %d: parent-first mismeasured task %d: %v vs %v",
+					trial, tk.ID, tk.Measured, tk.Work)
+			}
+		}
+	}
+}
+
+// TestFuzzMemFracTasks fuzzes the §IV-E timing model: tasks with random
+// memory fractions still conserve work and respect per-task duration
+// formulas.
+func TestFuzzMemFracTasks(t *testing.T) {
+	r := rng.New(0xBEEF)
+	arch := amc.MustNew("mf", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	for trial := 0; trial < 30; trial++ {
+		var tasks []*task.Task
+		var totalWork float64
+		n := 4 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			tk := task.New("m", 0.01+r.Float64()*0.05)
+			tk.MemFrac = r.Float64()
+			totalWork += tk.Work
+			tasks = append(tasks, tk)
+		}
+		e := New(arch, &fifoPolicy{}, Config{Seed: r.Uint64(), CollectTasks: true})
+		res, err := e.Run(&listWorkload{tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksDone != n {
+			t.Fatalf("tasks done %d/%d", res.TasksDone, n)
+		}
+		for _, tk := range res.Completed {
+			rel := arch.Speed(tk.LastCore) / arch.FastestFreq()
+			want := tk.Work*(1-tk.MemFrac)/rel + tk.Work*tk.MemFrac
+			got := tk.EndT - tk.StartT
+			// StartT precedes the steal-cost delay, so allow it on top.
+			if got < want-1e-9 || got > want+1e-4 {
+				t.Fatalf("task on core %d (rel %v, mf %v): duration %v want %v",
+					tk.LastCore, rel, tk.MemFrac, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wats/internal/counters"
+	"wats/internal/task"
+)
+
+// CoreStats is the per-core slice of a run's statistics.
+type CoreStats struct {
+	ID           int
+	Group        int
+	Rel          float64
+	Busy         float64
+	Overhead     float64
+	Steals       int
+	LocalPops    int
+	Snatches     int
+	SnatchedFrom int
+	TasksRun     int
+}
+
+// ClassAccuracy compares the scheduler-visible measured statistics of a
+// task class with its ground truth.
+type ClassAccuracy struct {
+	Class    string
+	Count    int
+	TrueMean float64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Policy   string
+	Workload string
+	ArchName string
+
+	// Makespan is the virtual time at which the last task completed.
+	Makespan float64
+	// TotalWork is the ground-truth work completed, in fastest-core units.
+	TotalWork float64
+	// LowerBound is Lemma 1's TL for the completed work on this
+	// architecture: TotalWork / sum(Rel_i) — no schedule can finish
+	// faster even with perfect knowledge.
+	LowerBound float64
+	// TasksDone is the number of completed tasks.
+	TasksDone int
+	// Steals, Snatches aggregate the per-core counters.
+	Steals, Snatches int
+	// HelperTicks counts helper-thread activations.
+	HelperTicks int
+	// EnergyJoules estimates the run's energy with the default DVFS model
+	// of package counters: a core burns dynamic power (∝ f³) while busy
+	// and static power for the whole makespan. Schedulers that finish
+	// sooner save the machine-wide static energy of the difference.
+	EnergyJoules float64
+	// QuiescentTimes are the virtual times at which the system fully
+	// drained — the batch barriers of batch workloads. Successive
+	// differences are per-batch makespans (see BatchMakespans), which
+	// expose the history's cold-start convergence.
+	QuiescentTimes []float64
+	// Cores holds the per-core breakdown.
+	Cores []CoreStats
+	// Truth holds per-class ground-truth means (for accuracy tests).
+	Truth map[string]ClassAccuracy
+	// Completed holds every task if Config.CollectTasks was set.
+	Completed []*task.Task
+}
+
+// BatchMakespans returns the durations between consecutive quiescence
+// points (per-batch makespans for barrier-style workloads).
+func (r *Result) BatchMakespans() []float64 {
+	out := make([]float64, 0, len(r.QuiescentTimes))
+	prev := 0.0
+	for _, t := range r.QuiescentTimes {
+		out = append(out, t-prev)
+		prev = t
+	}
+	return out
+}
+
+// Utilization returns the fraction of aggregate capacity spent on task
+// work: TotalWork / (Makespan * sum(Rel)).
+func (r *Result) Utilization() float64 {
+	var cap float64
+	for _, c := range r.Cores {
+		cap += c.Rel
+	}
+	if r.Makespan == 0 || cap == 0 {
+		return 0
+	}
+	return r.TotalWork / (r.Makespan * cap)
+}
+
+// OptimalityGap returns Makespan/LowerBound - 1: zero means the run
+// achieved Lemma 1's bound.
+func (r *Result) OptimalityGap() float64 {
+	if r.LowerBound == 0 {
+		return 0
+	}
+	return r.Makespan/r.LowerBound - 1
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s on %s: makespan=%.4gs (TL=%.4gs, gap=%.1f%%, util=%.1f%%, tasks=%d, steals=%d, snatches=%d)",
+		r.Policy, r.Workload, r.ArchName, r.Makespan, r.LowerBound,
+		100*r.OptimalityGap(), 100*r.Utilization(), r.TasksDone, r.Steals, r.Snatches)
+}
+
+// Detail renders a multi-line per-core report.
+func (r *Result) Detail() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.String())
+	for _, c := range r.Cores {
+		util := 0.0
+		if r.Makespan > 0 {
+			util = c.Busy / r.Makespan
+		}
+		fmt.Fprintf(&b, "  core %2d (grp %d, rel %.2f): busy %.1f%% ovh %.3gs pops %d steals %d snatch %d/%d tasks %d\n",
+			c.ID, c.Group, c.Rel, 100*util, c.Overhead, c.LocalPops, c.Steals, c.Snatches, c.SnatchedFrom, c.TasksRun)
+	}
+	if len(r.Truth) > 0 {
+		classes := make([]string, 0, len(r.Truth))
+		for f := range r.Truth {
+			classes = append(classes, f)
+		}
+		sort.Strings(classes)
+		for _, f := range classes {
+			t := r.Truth[f]
+			fmt.Fprintf(&b, "  class %-12s n=%d trueMean=%.4g\n", f, t.Count, t.TrueMean)
+		}
+	}
+	return b.String()
+}
+
+func (e *Engine) result() *Result {
+	r := &Result{
+		Policy:      e.Policy.Name(),
+		ArchName:    e.Arch.Name,
+		Makespan:    e.lastDone,
+		TotalWork:   e.totalWork,
+		TasksDone:   e.tasksDone,
+		HelperTicks: e.helperTicks,
+		Truth:       map[string]ClassAccuracy{},
+		Completed:   e.completed,
+	}
+	if e.workload != nil {
+		r.Workload = e.workload.Name()
+	}
+	r.QuiescentTimes = append(r.QuiescentTimes, e.quiescents...)
+	var cap float64
+	for _, c := range e.cores {
+		cap += c.Rel
+		r.Cores = append(r.Cores, CoreStats{
+			ID: c.ID, Group: c.Group, Rel: c.Rel,
+			Busy: c.Busy, Overhead: c.Overhead,
+			Steals: c.Steals, LocalPops: c.LocalPops,
+			Snatches: c.Snatches, SnatchedFrom: c.SnatchedFrom,
+			TasksRun: c.TasksRun,
+		})
+		r.Steals += c.Steals
+		r.Snatches += c.Snatches
+	}
+	if cap > 0 {
+		r.LowerBound = e.totalWork / cap
+	}
+	m := counters.DefaultEnergyModel
+	for _, c := range e.cores {
+		f := e.Arch.Speed(c.ID)
+		dyn := m.Power(f) - m.StaticPower
+		r.EnergyJoules += c.Busy*dyn + r.Makespan*m.StaticPower
+	}
+	for f, t := range e.classTruth {
+		r.Truth[f] = ClassAccuracy{Class: f, Count: t.n, TrueMean: t.sum / float64(t.n)}
+	}
+	return r
+}

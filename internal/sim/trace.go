@@ -1,0 +1,16 @@
+package sim
+
+// Tracer receives fine-grained execution events from the engine. Package
+// trace provides a Recorder implementation; custom tracers can compute
+// online statistics. All callbacks run on the single-threaded event loop.
+type Tracer interface {
+	// Segment reports an executed stretch of a task on a core over
+	// [start, end] in virtual time.
+	Segment(core, taskID int, class string, start, end float64)
+	// Complete reports a task completion.
+	Complete(core, taskID int, class string, at float64)
+	// Steal reports a successful steal of a queued task.
+	Steal(thief, victim, cluster, taskID int, at float64)
+	// Snatch reports a preemption of victim's running task by thief.
+	Snatch(thief, victim, taskID int, at float64)
+}

@@ -1,0 +1,162 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class is the task-class record TC(f, n, w) of the paper: f is the
+// function name, n the number of completed tasks observed, and w their
+// average Eq.2-normalized workload. AvgCMPI extends the record with the
+// class's average cache-misses-per-instruction for the §IV-E
+// memory-boundedness classification.
+type Class struct {
+	// Name is the function name f.
+	Name string
+	// Count is n, the number of completed tasks folded in so far.
+	Count int
+	// AvgWork is w, the running average normalized workload.
+	AvgWork float64
+	// AvgCMPI is the running average CMPI reported by the performance
+	// counters (0 when counters are not collected).
+	AvgCMPI float64
+}
+
+// TotalWork returns n*w, the aggregate workload of the class, which
+// Algorithm 1 uses as the class's weight when partitioning classes into
+// task clusters.
+func (c Class) TotalWork() float64 { return float64(c.Count) * c.AvgWork }
+
+// Registry is the concurrency-safe collection of task classes maintained
+// by the helper thread (Algorithm 2). The simulator uses it
+// single-threaded; the live runtime updates it from many workers.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+	// epoch increments on every update; the allocator uses it to skip
+	// reorganizations when nothing changed since the last one.
+	epoch uint64
+	// ewma, when nonzero, switches the workload average from the paper's
+	// cumulative mean to an exponential moving average with this weight
+	// for the newest observation — an extension that adapts faster to
+	// phase changes (§III-A discusses timely updates; a cumulative mean
+	// over a long history adapts at rate n_new/n_total).
+	ewma float64
+}
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[string]*Class)}
+}
+
+// SetEWMA switches the registry to exponential moving averages with the
+// given weight in (0,1] for the newest observation; 0 restores the
+// paper's cumulative mean. Call before observations for clean semantics.
+func (r *Registry) SetEWMA(alpha float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ewma = alpha
+}
+
+// Observe folds one completed task into its class, implementing
+// Algorithm 2 of the paper:
+//
+//	TC(f, n, w)  =>  TC(f, n+1, (n*w + wγ)/(n+1))
+//
+// creating the class on first observation. workload must already be
+// normalized per Eq. 2. It reports whether a new class was created.
+func (r *Registry) Observe(function string, workload float64) bool {
+	return r.ObserveFull(function, workload, 0)
+}
+
+// ObserveFull is Observe plus the task's CMPI counter readout, for the
+// §IV-E memory-aware extension.
+func (r *Registry) ObserveFull(function string, workload, cmpi float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	c, ok := r.classes[function]
+	if !ok {
+		r.classes[function] = &Class{Name: function, Count: 1, AvgWork: workload, AvgCMPI: cmpi}
+		return true
+	}
+	if a := r.ewma; a > 0 {
+		c.AvgWork = (1-a)*c.AvgWork + a*workload
+		c.AvgCMPI = (1-a)*c.AvgCMPI + a*cmpi
+	} else {
+		n := float64(c.Count)
+		c.AvgWork = (n*c.AvgWork + workload) / (n + 1)
+		c.AvgCMPI = (n*c.AvgCMPI + cmpi) / (n + 1)
+	}
+	c.Count++
+	return false
+}
+
+// Lookup returns the class record for a function name and whether it
+// exists. The returned struct is a copy.
+func (r *Registry) Lookup(function string) (Class, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.classes[function]
+	if !ok {
+		return Class{}, false
+	}
+	return *c, true
+}
+
+// Len returns the number of known classes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.classes)
+}
+
+// Epoch returns a counter that increments on every Observe, letting
+// callers detect staleness cheaply.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// Snapshot returns all classes sorted in descending order of average
+// workload (the order Algorithm 1 consumes), ties broken by name for
+// determinism.
+func (r *Registry) Snapshot() []Class {
+	r.mu.RLock()
+	out := make([]Class, 0, len(r.classes))
+	for _, c := range r.classes {
+		out = append(out, *c)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AvgWork != out[j].AvgWork {
+			return out[i].AvgWork > out[j].AvgWork
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Reset discards all collected statistics. The phase-change tests use it
+// to model an application whose workload pattern shifts abruptly.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classes = make(map[string]*Class)
+	r.epoch++
+}
+
+// String renders the registry contents for debugging.
+func (r *Registry) String() string {
+	s := r.Snapshot()
+	out := "classes{"
+	for i, c := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s: n=%d w=%.3g", c.Name, c.Count, c.AvgWork)
+	}
+	return out + "}"
+}

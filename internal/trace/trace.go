@@ -1,0 +1,253 @@
+// Package trace records and analyzes fine-grained execution traces of
+// simulator runs: per-core Gantt segments, steal/snatch logs, utilization
+// timelines, and textual/CSV exports. Attach a Recorder via
+// sim.Config.Tracer.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Segment is one executed stretch of a task on a core.
+type Segment struct {
+	Core       int
+	TaskID     int
+	Class      string
+	Start, End float64
+}
+
+// StealEvent is one successful steal.
+type StealEvent struct {
+	Thief, Victim, Cluster, TaskID int
+	At                             float64
+}
+
+// SnatchEvent is one preemption.
+type SnatchEvent struct {
+	Thief, Victim, TaskID int
+	At                    float64
+}
+
+// CompleteEvent is one task completion.
+type CompleteEvent struct {
+	Core, TaskID int
+	Class        string
+	At           float64
+}
+
+// Recorder implements sim.Tracer by accumulating all events.
+type Recorder struct {
+	Segments  []Segment
+	Steals    []StealEvent
+	Snatches  []SnatchEvent
+	Completes []CompleteEvent
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Segment implements sim.Tracer.
+func (r *Recorder) Segment(core, taskID int, class string, start, end float64) {
+	r.Segments = append(r.Segments, Segment{core, taskID, class, start, end})
+}
+
+// Complete implements sim.Tracer.
+func (r *Recorder) Complete(core, taskID int, class string, at float64) {
+	r.Completes = append(r.Completes, CompleteEvent{core, taskID, class, at})
+}
+
+// Steal implements sim.Tracer.
+func (r *Recorder) Steal(thief, victim, cluster, taskID int, at float64) {
+	r.Steals = append(r.Steals, StealEvent{thief, victim, cluster, taskID, at})
+}
+
+// Snatch implements sim.Tracer.
+func (r *Recorder) Snatch(thief, victim, taskID int, at float64) {
+	r.Snatches = append(r.Snatches, SnatchEvent{thief, victim, taskID, at})
+}
+
+// Makespan returns the last recorded segment end.
+func (r *Recorder) Makespan() float64 {
+	var m float64
+	for _, s := range r.Segments {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// NumCores returns 1 + the largest core id seen.
+func (r *Recorder) NumCores() int {
+	n := 0
+	for _, s := range r.Segments {
+		if s.Core+1 > n {
+			n = s.Core + 1
+		}
+	}
+	return n
+}
+
+// Utilization returns, for nbuckets equal time buckets, the fraction of
+// cores busy in each bucket.
+func (r *Recorder) Utilization(nbuckets int) []float64 {
+	if nbuckets <= 0 {
+		nbuckets = 50
+	}
+	ms := r.Makespan()
+	cores := r.NumCores()
+	if ms == 0 || cores == 0 {
+		return make([]float64, nbuckets)
+	}
+	busy := make([]float64, nbuckets)
+	bw := ms / float64(nbuckets)
+	for _, s := range r.Segments {
+		b0 := int(s.Start / bw)
+		b1 := int(s.End / bw)
+		for b := b0; b <= b1 && b < nbuckets; b++ {
+			lo := float64(b) * bw
+			hi := lo + bw
+			if s.Start > lo {
+				lo = s.Start
+			}
+			if s.End < hi {
+				hi = s.End
+			}
+			if hi > lo {
+				busy[b] += hi - lo
+			}
+		}
+	}
+	for b := range busy {
+		busy[b] /= bw * float64(cores)
+	}
+	return busy
+}
+
+// CoreBusy returns total busy time per core.
+func (r *Recorder) CoreBusy() []float64 {
+	out := make([]float64, r.NumCores())
+	for _, s := range r.Segments {
+		out[s.Core] += s.End - s.Start
+	}
+	return out
+}
+
+// ClassPlacement returns, per class, the work-time executed on each core.
+func (r *Recorder) ClassPlacement() map[string][]float64 {
+	n := r.NumCores()
+	out := map[string][]float64{}
+	for _, s := range r.Segments {
+		v := out[s.Class]
+		if v == nil {
+			v = make([]float64, n)
+			out[s.Class] = v
+		}
+		v[s.Core] += s.End - s.Start
+	}
+	return out
+}
+
+// StealMatrix returns counts[thief][victim].
+func (r *Recorder) StealMatrix() [][]int {
+	n := r.NumCores()
+	for _, s := range r.Steals {
+		if s.Thief+1 > n {
+			n = s.Thief + 1
+		}
+		if s.Victim+1 > n {
+			n = s.Victim + 1
+		}
+	}
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for _, s := range r.Steals {
+		m[s.Thief][s.Victim]++
+	}
+	return m
+}
+
+// Gantt renders an ASCII Gantt chart with the given width in character
+// cells, one row per core. Cells show the first letter of the class
+// occupying most of the cell's time; idle cells show '.'.
+func (r *Recorder) Gantt(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	ms := r.Makespan()
+	cores := r.NumCores()
+	if ms == 0 || cores == 0 {
+		return ""
+	}
+	cw := ms / float64(width)
+	grid := make([][]map[byte]float64, cores)
+	for c := range grid {
+		grid[c] = make([]map[byte]float64, width)
+	}
+	for _, s := range r.Segments {
+		letter := byte('?')
+		if len(s.Class) > 0 {
+			letter = s.Class[0]
+		}
+		b0 := int(s.Start / cw)
+		b1 := int(s.End / cw)
+		for b := b0; b <= b1 && b < width; b++ {
+			lo := float64(b) * cw
+			hi := lo + cw
+			if s.Start > lo {
+				lo = s.Start
+			}
+			if s.End < hi {
+				hi = s.End
+			}
+			if hi <= lo {
+				continue
+			}
+			if grid[s.Core][b] == nil {
+				grid[s.Core][b] = map[byte]float64{}
+			}
+			grid[s.Core][b][letter] += hi - lo
+		}
+	}
+	var sb strings.Builder
+	for c := 0; c < cores; c++ {
+		fmt.Fprintf(&sb, "core %2d |", c)
+		for b := 0; b < width; b++ {
+			cell := grid[c][b]
+			if len(cell) == 0 {
+				sb.WriteByte('.')
+				continue
+			}
+			var best byte
+			bestT := -1.0
+			keys := make([]int, 0, len(cell))
+			for k := range cell {
+				keys = append(keys, int(k))
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				if cell[byte(k)] > bestT {
+					bestT = cell[byte(k)]
+					best = byte(k)
+				}
+			}
+			sb.WriteByte(best)
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// SegmentsCSV exports segments as CSV (core,task,class,start,end).
+func (r *Recorder) SegmentsCSV() string {
+	var sb strings.Builder
+	sb.WriteString("core,task,class,start,end\n")
+	for _, s := range r.Segments {
+		fmt.Fprintf(&sb, "%d,%d,%s,%.9f,%.9f\n", s.Core, s.TaskID, s.Class, s.Start, s.End)
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/sched"
+	"wats/internal/sim"
+	"wats/internal/workload"
+)
+
+func record(t *testing.T) (*Recorder, *sim.Result) {
+	rec := New()
+	w := workload.GA(5)
+	w.Batches = 2
+	res, err := sim.New(amc.AMC2, sched.MustNew(sched.KindWATS),
+		sim.Config{Seed: 5, Tracer: rec}).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderConsistency(t *testing.T) {
+	rec, res := record(t)
+	if len(rec.Completes) != res.TasksDone {
+		t.Fatalf("completes %d != tasks %d", len(rec.Completes), res.TasksDone)
+	}
+	if math.Abs(rec.Makespan()-res.Makespan) > 1e-9 {
+		t.Fatalf("trace makespan %v != result %v", rec.Makespan(), res.Makespan)
+	}
+	if rec.NumCores() != 16 {
+		t.Fatalf("NumCores=%d", rec.NumCores())
+	}
+	// Per-core busy from segments matches the engine's accounting.
+	busy := rec.CoreBusy()
+	for i, c := range res.Cores {
+		if math.Abs(busy[i]-c.Busy) > 1e-6 {
+			t.Fatalf("core %d busy %v != %v", i, busy[i], c.Busy)
+		}
+	}
+	if len(rec.Steals) != res.Steals {
+		t.Fatalf("steal events %d != counter %d", len(rec.Steals), res.Steals)
+	}
+}
+
+func TestSegmentsNonOverlappingPerCore(t *testing.T) {
+	rec, _ := record(t)
+	byCore := map[int][]Segment{}
+	for _, s := range rec.Segments {
+		if s.End < s.Start {
+			t.Fatalf("segment with negative duration: %+v", s)
+		}
+		byCore[s.Core] = append(byCore[s.Core], s)
+	}
+	for core, segs := range byCore {
+		for i := 1; i < len(segs); i++ {
+			// Engine emits per-core segments in time order.
+			if segs[i].Start < segs[i-1].End-1e-9 {
+				t.Fatalf("core %d segments overlap: %+v then %+v", core, segs[i-1], segs[i])
+			}
+		}
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	rec, _ := record(t)
+	u := rec.Utilization(40)
+	if len(u) != 40 {
+		t.Fatalf("len=%d", len(u))
+	}
+	for i, v := range u {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("utilization[%d]=%v out of [0,1]", i, v)
+		}
+	}
+	// Average utilization should be substantial for a WATS run.
+	var sum float64
+	for _, v := range u {
+		sum += v
+	}
+	if sum/40 < 0.3 {
+		t.Fatalf("mean utilization %v suspiciously low", sum/40)
+	}
+}
+
+func TestClassPlacementAndStealMatrix(t *testing.T) {
+	rec, _ := record(t)
+	place := rec.ClassPlacement()
+	if len(place) < 5 {
+		t.Fatalf("placement classes: %d", len(place))
+	}
+	m := rec.StealMatrix()
+	var total int
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("self-steal recorded at core %d", i)
+		}
+		for _, v := range m[i] {
+			total += v
+		}
+	}
+	if total != len(rec.Steals) {
+		t.Fatalf("steal matrix total %d != %d", total, len(rec.Steals))
+	}
+}
+
+func TestGanttAndCSV(t *testing.T) {
+	rec, _ := record(t)
+	g := rec.Gantt(60)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("gantt rows: %d", len(lines))
+	}
+	csv := rec.SegmentsCSV()
+	if !strings.HasPrefix(csv, "core,task,class,start,end\n") {
+		t.Fatal("csv header missing")
+	}
+	if strings.Count(csv, "\n") != len(rec.Segments)+1 {
+		t.Fatal("csv row count mismatch")
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	rec := New()
+	if rec.Makespan() != 0 || rec.NumCores() != 0 {
+		t.Fatal("empty recorder not zeroed")
+	}
+	if rec.Gantt(10) != "" {
+		t.Fatal("empty gantt should be empty")
+	}
+	u := rec.Utilization(5)
+	if len(u) != 5 {
+		t.Fatal("utilization length")
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"wats/internal/rng"
+	"wats/internal/sim"
+	"wats/internal/task"
+)
+
+// StageSpec describes one pipeline stage: every item passing through it
+// spawns a task named Name costing Work times the item's size factor.
+type StageSpec struct {
+	Name string
+	Work float64
+}
+
+// Pipeline is a pipeline-based workload (Dedup and Ferret in Table III):
+// a stream of items flows through parallel stages; the completion of an
+// item's stage-i task injects its stage-(i+1) task, so tasks of different
+// stages run concurrently, communicating "via pipelines".
+//
+// Items enter in waves (the input buffers the real programs read and
+// process one at a time): a wave of WaveItems items is released, its tasks
+// flow through the stages, and the next wave starts when the pipeline has
+// fully drained. Waves are deliberately small relative to the machine —
+// that is where scheduling matters: near a wave's drain, a heavy stage
+// task stranded on a 0.8 GHz core idles the rest of the machine, the
+// pipeline "bubble" that workload-aware placement avoids.
+type Pipeline struct {
+	BenchName string
+	Stages    []StageSpec
+	// WaveItems is the number of items per wave. Default 32.
+	WaveItems int
+	// Waves is the number of waves. Default 16.
+	Waves int
+	// SizeCV is the coefficient of variation of per-item size factors
+	// (all of an item's stage tasks scale together): Dedup items (file
+	// chunks) vary a lot, Ferret items (images) barely.
+	SizeCV float64
+	// Noise is extra per-task noise on top of the item size factor.
+	Noise float64
+	// Seed seeds the generator.
+	Seed uint64
+
+	launched int
+	r        *rng.Source
+	engine   *sim.Engine
+}
+
+// Name implements sim.Workload.
+func (w *Pipeline) Name() string { return w.BenchName }
+
+func (w *Pipeline) defaults() {
+	if w.WaveItems == 0 {
+		w.WaveItems = 32
+	}
+	if w.Waves == 0 {
+		w.Waves = 16
+	}
+	if w.Noise == 0 {
+		w.Noise = DefaultNoise
+	}
+	if w.r == nil {
+		w.r = rng.New(w.Seed ^ 0xD1B54A32D192ED03)
+	}
+}
+
+func (w *Pipeline) factor(cv float64) float64 {
+	if cv <= 0 {
+		return 1
+	}
+	f := 1 + cv*w.r.NormFloat64()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// injectWave releases one wave of items: every item's stage-0 task enters
+// at once (the program hands the freshly read buffer to the pipeline).
+func (w *Pipeline) injectWave() {
+	for i := 0; i < w.WaveItems; i++ {
+		size := w.factor(w.SizeCV)
+		w.engine.Inject(w.stageTask(0, size))
+	}
+}
+
+// stageTask builds one item's task for the given stage. Completion of a
+// non-final stage injects the item's next stage at the completing core,
+// so tasks of different stages overlap within a wave.
+func (w *Pipeline) stageTask(stage int, size float64) *task.Task {
+	sp := w.Stages[stage]
+	t := task.New(sp.Name, sp.Work*size*w.factor(w.Noise))
+	if stage+1 < len(w.Stages) {
+		next := stage + 1
+		t.OnComplete = func(done *task.Task) {
+			w.engine.Inject(w.stageTask(next, size))
+		}
+	}
+	return t
+}
+
+// Start implements sim.Workload: release the first wave.
+func (w *Pipeline) Start(e *sim.Engine) {
+	w.engine = e
+	w.defaults()
+	w.launched = 1
+	w.injectWave()
+}
+
+// OnQuiescent implements sim.Workload: the pipeline drained; release the
+// next wave, if any.
+func (w *Pipeline) OnQuiescent(e *sim.Engine) bool {
+	if w.launched >= w.Waves {
+		return false
+	}
+	w.launched++
+	w.injectWave()
+	return true
+}
+
+var _ sim.Workload = (*Pipeline)(nil)
+
+// WorkPerItem returns the expected (noise-free, unit-size) per-item work.
+func (w *Pipeline) WorkPerItem() float64 {
+	var s float64
+	for _, st := range w.Stages {
+		s += st.Work
+	}
+	return s
+}
+
+// Validate checks the stage specs.
+func (w *Pipeline) Validate() error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("pipeline %q: no stages", w.BenchName)
+	}
+	for _, s := range w.Stages {
+		if s.Work < 0 {
+			return fmt.Errorf("pipeline %q: negative work in stage %q", w.BenchName, s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wats/internal/sim"
+	"wats/internal/task"
+)
+
+// Replay is a workload loaded from a task listing — the adoption path for
+// users who want to evaluate schedulers against their own applications'
+// task profiles. The format is CSV with a header:
+//
+//	batch,class,work[,memfrac[,cmpi]]
+//
+// where batch is a 0-based barrier group (all of batch b completes before
+// b+1 starts, as in the Table III harness), class is the function name,
+// work is fastest-core seconds, and the optional memfrac/cmpi columns
+// mark memory-bound tasks (§IV-E).
+type Replay struct {
+	// TraceName labels the workload in results.
+	TraceName string
+	// Batches holds the parsed tasks per barrier group.
+	Batches [][]ReplayTask
+	// SpawnGap is the root task's serial spawn cost per task (default
+	// 1e-5, as in Batch).
+	SpawnGap float64
+
+	launched int
+}
+
+// ReplayTask is one parsed task record.
+type ReplayTask struct {
+	Class   string
+	Work    float64
+	MemFrac float64
+	CMPI    float64
+}
+
+// ParseReplay parses the CSV task listing described on Replay.
+func ParseReplay(name, data string) (*Replay, error) {
+	r := &Replay{TraceName: name}
+	lines := strings.Split(strings.ReplaceAll(data, "\r\n", "\n"), "\n")
+	start := 0
+	if len(lines) > 0 && strings.HasPrefix(strings.ToLower(lines[0]), "batch,") {
+		start = 1
+	}
+	for ln := start; ln < len(lines); ln++ {
+		line := strings.TrimSpace(lines[ln])
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("workload: replay line %d: want batch,class,work[,memfrac[,cmpi]]", ln+1)
+		}
+		batch, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || batch < 0 {
+			return nil, fmt.Errorf("workload: replay line %d: bad batch %q", ln+1, fields[0])
+		}
+		work, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil || work < 0 {
+			return nil, fmt.Errorf("workload: replay line %d: bad work %q", ln+1, fields[2])
+		}
+		t := ReplayTask{Class: strings.TrimSpace(fields[1]), Work: work}
+		if t.Class == "" {
+			return nil, fmt.Errorf("workload: replay line %d: empty class", ln+1)
+		}
+		if len(fields) > 3 {
+			if t.MemFrac, err = strconv.ParseFloat(strings.TrimSpace(fields[3]), 64); err != nil {
+				return nil, fmt.Errorf("workload: replay line %d: bad memfrac", ln+1)
+			}
+			if t.MemFrac < 0 || t.MemFrac > 1 {
+				return nil, fmt.Errorf("workload: replay line %d: memfrac %v out of [0,1]", ln+1, t.MemFrac)
+			}
+		}
+		if len(fields) > 4 {
+			if t.CMPI, err = strconv.ParseFloat(strings.TrimSpace(fields[4]), 64); err != nil {
+				return nil, fmt.Errorf("workload: replay line %d: bad cmpi", ln+1)
+			}
+		}
+		for batch >= len(r.Batches) {
+			r.Batches = append(r.Batches, nil)
+		}
+		r.Batches[batch] = append(r.Batches[batch], t)
+	}
+	if len(r.Batches) == 0 {
+		return nil, fmt.Errorf("workload: replay %q has no tasks", name)
+	}
+	for b, tasks := range r.Batches {
+		if len(tasks) == 0 {
+			return nil, fmt.Errorf("workload: replay %q: batch %d is empty", name, b)
+		}
+	}
+	return r, nil
+}
+
+// Name implements sim.Workload.
+func (r *Replay) Name() string { return r.TraceName }
+
+func (r *Replay) inject(e *sim.Engine, batch int) {
+	gap := r.SpawnGap
+	if gap == 0 {
+		gap = 1e-5
+	}
+	tasks := r.Batches[batch]
+	root := task.New("main", float64(len(tasks))*gap)
+	root.Main = true
+	for i, rt := range tasks {
+		leaf := task.New(rt.Class, rt.Work)
+		leaf.MemFrac = rt.MemFrac
+		leaf.CMPI = rt.CMPI
+		root.Spawns = append(root.Spawns, task.Spawn{At: float64(i) * gap, Child: leaf})
+	}
+	e.Inject(root)
+}
+
+// Start implements sim.Workload.
+func (r *Replay) Start(e *sim.Engine) {
+	r.launched = 1
+	r.inject(e, 0)
+}
+
+// OnQuiescent implements sim.Workload.
+func (r *Replay) OnQuiescent(e *sim.Engine) bool {
+	if r.launched >= len(r.Batches) {
+		return false
+	}
+	b := r.launched
+	r.launched++
+	r.inject(e, b)
+	return true
+}
+
+// TotalTasks returns the number of leaf tasks across all batches.
+func (r *Replay) TotalTasks() int {
+	n := 0
+	for _, b := range r.Batches {
+		n += len(b)
+	}
+	return n
+}
+
+var _ sim.Workload = (*Replay)(nil)

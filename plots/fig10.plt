@@ -1,0 +1,15 @@
+# Fig. 10 — snatching ablation, normalized to WATS (AMC 2).
+#   go run ./cmd/watsbench -experiment fig10 -seeds 10 -out out
+#   gnuplot -e "datafile='out/fig10.dat.csv'" plots/fig10.plt
+set datafile separator ","
+set terminal pngcairo size 800,450
+set output datafile.".png"
+set style data histogram
+set style histogram errorbars gap 2 lw 1
+set style fill solid 0.85 border -1
+set ylabel "Normalized execution time (WATS = 1)"
+set yrange [0:1.4]
+set key top right
+set xtics rotate by -30
+plot datafile using 2:3:xtic(1) title "WATS", \
+     ''       using 4:5 title "WATS-TS"

@@ -1,0 +1,20 @@
+# Fig. 6 — normalized execution time per benchmark (one panel per AMC).
+# Generate data first:
+#   go run ./cmd/watsbench -experiment fig6 -seeds 10 -out out
+# then:
+#   gnuplot -e "datafile='out/fig6.dat.csv'" plots/fig6.plt
+set datafile separator ","
+set terminal pngcairo size 900,500
+set output datafile.".png"
+set style data histogram
+set style histogram errorbars gap 2 lw 1
+set style fill solid 0.85 border -1
+set boxwidth 0.9
+set ylabel "Normalized execution time (Cilk = 1)"
+set yrange [0:1.4]
+set key top right
+set xtics rotate by -30
+plot datafile using 2:3:xtic(1) title "Cilk", \
+     ''       using 4:5 title "PFT", \
+     ''       using 6:7 title "RTS", \
+     ''       using 8:9 title "WATS"

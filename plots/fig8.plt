@@ -1,0 +1,13 @@
+# Fig. 8 — GA under the alpha-parameterized workload distribution (AMC 5).
+#   go run ./cmd/watsbench -experiment fig8 -seeds 10 -out out
+#   gnuplot -e "datafile='out/fig8.dat.csv'" plots/fig8.plt
+set datafile separator ","
+set terminal pngcairo size 800,500
+set output datafile.".png"
+set xlabel "Workload-set parameter alpha"
+set ylabel "Execution time (s)"
+set key top left
+plot datafile using 1:2:3 with yerrorlines title "Cilk", \
+     ''       using 1:4:5 with yerrorlines title "PFT", \
+     ''       using 1:6:7 with yerrorlines title "RTS", \
+     ''       using 1:8:9 with yerrorlines title "WATS"

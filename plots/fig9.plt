@@ -1,0 +1,15 @@
+# Fig. 9 — preference-stealing ablation (GA on all architectures).
+#   go run ./cmd/watsbench -experiment fig9 -seeds 10 -out out
+#   gnuplot -e "datafile='out/fig9.dat.csv'" plots/fig9.plt
+set datafile separator ","
+set terminal pngcairo size 800,500
+set output datafile.".png"
+set style data histogram
+set style histogram errorbars gap 2 lw 1
+set style fill solid 0.85 border -1
+set ylabel "Execution time (s)"
+set key top right
+plot datafile using 2:3:xtic(1) title "Cilk", \
+     ''       using 4:5 title "PFT", \
+     ''       using 6:7 title "WATS-NP", \
+     ''       using 8:9 title "WATS"

@@ -1,0 +1,129 @@
+package wats_test
+
+import (
+	"testing"
+
+	"wats"
+	"wats/internal/amc"
+	"wats/internal/experiments"
+)
+
+// TestReproductionHeadlines is the canonical "does this repository
+// reproduce the paper" test: it runs scaled-down versions of the main
+// figures (2 seeds, fewer batches) and asserts every qualitative claim
+// the paper's evaluation makes. EXPERIMENTS.md records the full-size
+// numbers; this test keeps the shapes from regressing.
+func TestReproductionHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproduction test is not -short")
+	}
+	o := experiments.Options{Seeds: []uint64{1, 2}, Batches: 6}
+
+	// --- Fig. 6 on AMC 2: WATS wins every CPU-bound benchmark, Ferret
+	// is neutral, RTS sits between Cilk and WATS.
+	grids, err := experiments.Fig6(o, amc.AMC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grids[0]
+	for _, bench := range g.RowLabel {
+		watsC, _ := g.At(bench, "WATS")
+		rtsC, _ := g.At(bench, "RTS")
+		if bench == "Ferret" {
+			if watsC.Mean < 0.90 || watsC.Mean > 1.08 {
+				t.Errorf("Ferret should be neutral for WATS, got %.3f", watsC.Mean)
+			}
+			continue
+		}
+		if watsC.Mean >= 0.90 {
+			t.Errorf("%s: WATS %.3f not clearly below Cilk", bench, watsC.Mean)
+		}
+		if watsC.Mean >= rtsC.Mean+0.03 {
+			t.Errorf("%s: WATS (%.3f) clearly behind RTS (%.3f)", bench, watsC.Mean, rtsC.Mean)
+		}
+	}
+
+	// --- Fig. 7: WATS monotone-ish in fast cores; all equal on AMC 7.
+	g7, err := experiments.Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, _ := g7.At("AMC 3", "WATS")
+	w5, _ := g7.At("AMC 5", "WATS")
+	w7, _ := g7.At("AMC 7", "WATS")
+	if !(w3.Mean > w5.Mean && w5.Mean > w7.Mean) {
+		t.Errorf("WATS not improving with fast cores: AMC3 %.2f, AMC5 %.2f, AMC7 %.2f",
+			w3.Mean, w5.Mean, w7.Mean)
+	}
+	c7, _ := g7.At("AMC 7", "Cilk")
+	if rel := (w7.Mean - c7.Mean) / c7.Mean; rel > 0.05 || rel < -0.05 {
+		t.Errorf("AMC 7 symmetric: WATS %.2f vs Cilk %.2f", w7.Mean, c7.Mean)
+	}
+
+	// --- Fig. 9: preference stealing is effective on every asymmetric
+	// architecture.
+	g9, err := experiments.Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"AMC 1", "AMC 2", "AMC 4", "AMC 5"} {
+		np, _ := g9.At(arch, "WATS-NP")
+		full, _ := g9.At(arch, "WATS")
+		if full.Mean >= np.Mean {
+			t.Errorf("%s: WATS (%.2f) not better than WATS-NP (%.2f)", arch, full.Mean, np.Mean)
+		}
+	}
+
+	// --- Fig. 10: snatching does not pay once WATS has balanced (mean
+	// over benchmarks ≥ ~1).
+	g10, err := experiments.Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, bench := range g10.RowLabel {
+		ts, _ := g10.At(bench, "WATS-TS")
+		sum += ts.Mean
+	}
+	if mean := sum / float64(len(g10.RowLabel)); mean < 0.98 {
+		t.Errorf("WATS-TS mean ratio %.3f — snatching should not clearly pay", mean)
+	}
+}
+
+// TestReproductionMotivation pins the §II-A example end to end.
+func TestReproductionMotivation(t *testing.T) {
+	r, err := experiments.Motivation(experiments.Options{Seeds: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulated["WATS"] > 4.3 {
+		t.Errorf("WATS per-batch %.2ft, want ≈ the optimal 4t", r.Simulated["WATS"])
+	}
+	if r.Simulated["Cilk"] < 6.0 {
+		t.Errorf("Cilk per-batch %.2ft, want near the worst-case 8t", r.Simulated["Cilk"])
+	}
+}
+
+// TestReproductionSHA1BestCase pins the headline best case: WATS vs Cilk
+// on SHA-1/AMC 5 stays a large win.
+func TestReproductionSHA1BestCase(t *testing.T) {
+	var cilk, watsMS float64
+	for seed := uint64(1); seed <= 2; seed++ {
+		for _, kind := range []wats.Kind{wats.Cilk, wats.WATS} {
+			w := wats.SHA1(seed)
+			w.Batches = 10
+			res, err := wats.Simulate(wats.AMC5, kind, w, wats.Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind == wats.Cilk {
+				cilk += res.Makespan
+			} else {
+				watsMS += res.Makespan
+			}
+		}
+	}
+	if ratio := watsMS / cilk; ratio > 0.55 {
+		t.Errorf("SHA-1/AMC5 WATS/Cilk = %.3f, want < 0.55 (paper's flagship case)", ratio)
+	}
+}

@@ -1,0 +1,37 @@
+package wats_test
+
+import (
+	"testing"
+
+	"wats"
+)
+
+// TestSmokeAllPolicies runs every policy on GA/AMC2 and checks basic
+// sanity: all tasks complete, makespan is at least the Lemma 1 bound, and
+// WATS beats the random schedulers on this skewed workload.
+func TestSmokeAllPolicies(t *testing.T) {
+	kinds := []wats.Kind{wats.Cilk, wats.PFT, wats.RTS, wats.WATS, wats.WATSNP, wats.WATSTS}
+	makespans := map[wats.Kind]float64{}
+	for _, k := range kinds {
+		res, err := wats.Simulate(wats.AMC2, k, wats.GA(7), wats.Config{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		t.Logf("%s", res)
+		if res.TasksDone == 0 {
+			t.Fatalf("%s: no tasks completed", k)
+		}
+		if res.Makespan < res.LowerBound*(1-1e-9) {
+			t.Fatalf("%s: makespan %g below lower bound %g", k, res.Makespan, res.LowerBound)
+		}
+		makespans[k] = res.Makespan
+	}
+	if makespans[wats.WATS] >= makespans[wats.Cilk] {
+		t.Errorf("WATS (%g) should beat Cilk (%g) on skewed GA",
+			makespans[wats.WATS], makespans[wats.Cilk])
+	}
+	if makespans[wats.WATS] >= makespans[wats.RTS] {
+		t.Errorf("WATS (%g) should beat RTS (%g) on skewed GA",
+			makespans[wats.WATS], makespans[wats.RTS])
+	}
+}
