@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench figures
+
+# check is the CI gate: vet + build + full tests + race pass over the
+# concurrent packages (live runtime, lock-free deques).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/deque/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/watsbench -experiment all -seeds 5

@@ -8,7 +8,7 @@
 //	watsbench -experiment fig8 -csv
 //
 // Experiments: motivation, table1, table2, fig6, fig7, fig8, fig9, fig10,
-// ablation, all.
+// ablation, policies, all.
 package main
 
 import (
@@ -19,12 +19,13 @@ import (
 
 	"wats/internal/experiments"
 	"wats/internal/report"
+	"wats/internal/sched"
 	"wats/internal/sim"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run: motivation|table1|table2|fig6|fig7|fig8|fig9|fig10|ablation|all")
+		exp     = flag.String("experiment", "all", "which experiment to run: motivation|table1|table2|fig6|fig7|fig8|fig9|fig10|ablation|policies|all")
 		seeds   = flag.Int("seeds", 5, "number of replication seeds (paper: 10 runs)")
 		batches = flag.Int("batches", 0, "override batches/waves per run (0 = workload default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -150,6 +151,8 @@ func run(exp string, opt experiments.Options, csv bool) error {
 		}
 		emitNamed("fig10", experiments.RenderGrid(g, "%.3f"), csv)
 		writeGridData("fig10", g)
+	case "policies":
+		emitNamed("policies", policiesTable(), csv)
 	case "ablation":
 		grids, err := experiments.Ablations(opt)
 		if err != nil {
@@ -159,7 +162,7 @@ func run(exp string, opt experiments.Options, csv bool) error {
 			emitNamed("ablation", experiments.RenderGrid(g, "%.3f"), csv)
 		}
 	case "all":
-		for _, e := range []string{"motivation", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"} {
+		for _, e := range []string{"policies", "motivation", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"} {
 			if err := run(e, opt, csv); err != nil {
 				return err
 			}
@@ -168,6 +171,18 @@ func run(exp string, opt experiments.Options, csv bool) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// policiesTable renders the strategy layer's kind → (spawn, allocation,
+// acquisition) table: one row per built-in policy kind, both engines
+// construct each from the same Strategy.
+func policiesTable() *report.Table {
+	t := report.NewTable("policy kinds: spawn / allocation / acquisition triples",
+		"kind", "spawn", "allocation", "acquisition")
+	for _, tr := range sched.Describe() {
+		t.AddRow(string(tr.Kind), tr.Spawn, tr.Allocation, tr.Acquire)
+	}
+	return t
 }
 
 // Ensure sim is linked for its config defaults documentation.

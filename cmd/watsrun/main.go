@@ -1,24 +1,30 @@
 // Command watsrun drives the live goroutine runtime over the real
 // CPU-bound kernels: a batch of mixed compression/hash/GA tasks runs
-// under WATS and under random stealing on an emulated asymmetric machine,
-// and the wall-clock makespans are compared.
+// under each selected scheduling policy on an emulated asymmetric machine,
+// and the wall-clock makespans are compared. Every policy kind of the
+// unified strategy layer is accepted — the same kinds the simulator runs.
 //
 // Usage:
 //
-//	watsrun                 # default: 2 fast + 2 slow emulated cores
+//	watsrun                         # default: PFT vs WATS on 2 fast + 2 slow
+//	watsrun -policy WATS            # one policy only
+//	watsrun -policy Cilk,PFT,WATS-NP,WATS
 //	watsrun -rounds 4 -fast 2 -slow 4 -scale 2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"wats/internal/amc"
 	"wats/internal/kernels"
 	"wats/internal/report"
 	"wats/internal/runtime"
+	"wats/internal/sched"
 )
 
 func main() {
@@ -27,17 +33,24 @@ func main() {
 		slow      = flag.Int("slow", 2, "number of slow workers (0.4x speed)")
 		rounds    = flag.Int("rounds", 3, "batches of kernel tasks")
 		scale     = flag.Int("scale", 1, "work multiplier per task")
-		compare   = flag.Bool("compare", false, "compare WATS vs random across several emulated machines")
+		policy    = flag.String("policy", "PFT,WATS", "comma-separated policy kinds to run (Share|Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS|WATS-Mem)")
+		compare   = flag.Bool("compare", false, "compare the selected policies across several emulated machines")
 		calibrate = flag.Bool("calibrate", false, "measure per-kernel task costs across input sizes")
 	)
 	flag.Parse()
+
+	kinds, err := parseKinds(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watsrun:", err)
+		os.Exit(1)
+	}
 
 	if *calibrate {
 		calibrateKernels()
 		return
 	}
 	if *compare {
-		compareArchs(*rounds, *scale)
+		compareArchs(kinds, *rounds, *scale)
 		return
 	}
 
@@ -45,11 +58,8 @@ func main() {
 		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
 	fmt.Printf("running kernels on %s (speed emulation on)\n\n", arch)
 
-	for _, pol := range []struct {
-		name string
-		p    runtime.Policy
-	}{{"random", runtime.PolicyRandom}, {"WATS", runtime.PolicyWATS}} {
-		rt, err := runtime.New(runtime.Config{Arch: arch, Policy: pol.p, Seed: 7})
+	for _, kind := range kinds {
+		rt, err := runtime.New(runtime.Config{Arch: arch, Policy: kind, Seed: 7})
 		if err != nil {
 			panic(err)
 		}
@@ -60,8 +70,8 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		rt.Shutdown()
-		fmt.Printf("%-7s makespan %8v\n", pol.name, elapsed.Round(time.Millisecond))
-		if pol.p == runtime.PolicyWATS {
+		fmt.Printf("%-8s makespan %8v\n", kind, elapsed.Round(time.Millisecond))
+		if kind == kinds[len(kinds)-1] {
 			fmt.Println("\nlearned classes (avg fastest-core ms):")
 			classes := rt.Registry().Snapshot()
 			sort.Slice(classes, func(i, j int) bool { return classes[i].AvgWork > classes[j].AvgWork })
@@ -70,6 +80,26 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseKinds validates a comma-separated kind list against the strategy
+// layer (construction is the validation: one code path for every engine).
+func parseKinds(s string) ([]sched.Kind, error) {
+	var kinds []sched.Kind
+	for _, part := range strings.Split(s, ",") {
+		k := sched.Kind(strings.TrimSpace(part))
+		if k == "" {
+			continue
+		}
+		if _, err := sched.NewStrategy(k); err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no policy kinds in %q", s)
+	}
+	return kinds, nil
 }
 
 // calibrateKernels measures each kernel's single-task cost across input
@@ -127,21 +157,27 @@ func calibrateKernels() {
 	fmt.Println(t.String())
 }
 
-// compareArchs runs the kernel mix under both policies on a ladder of
-// emulated machines and prints the live-runtime equivalent of Fig. 7.
-func compareArchs(rounds, scale int) {
+// compareArchs runs the kernel mix under the selected policies on a ladder
+// of emulated machines and prints the live-runtime equivalent of Fig. 7.
+// The gain column compares the last selected kind against the first.
+func compareArchs(kinds []sched.Kind, rounds, scale int) {
 	archs := []*amc.Arch{
 		amc.MustNew("1 fast + 3 slow", amc.CGroup{Freq: 2.0, N: 1}, amc.CGroup{Freq: 0.8, N: 3}),
 		amc.MustNew("2 fast + 2 slow", amc.CGroup{Freq: 2.0, N: 2}, amc.CGroup{Freq: 0.8, N: 2}),
 		amc.MustNew("3 fast + 1 slow", amc.CGroup{Freq: 2.0, N: 3}, amc.CGroup{Freq: 0.8, N: 1}),
 		amc.MustNew("4 fast (symmetric)", amc.CGroup{Freq: 2.0, N: 4}),
 	}
-	t := report.NewTable("live runtime: mixed kernels, WATS vs random stealing",
-		"machine", "random", "WATS", "gain")
+	cols := []string{"machine"}
+	for _, k := range kinds {
+		cols = append(cols, string(k))
+	}
+	cols = append(cols, "gain")
+	t := report.NewTable("live runtime: mixed kernels per policy", cols...)
 	for _, arch := range archs {
-		times := map[runtime.Policy]time.Duration{}
-		for _, pol := range []runtime.Policy{runtime.PolicyRandom, runtime.PolicyWATS} {
-			rt, err := runtime.New(runtime.Config{Arch: arch, Policy: pol, Seed: 7})
+		times := map[sched.Kind]time.Duration{}
+		row := []string{arch.Name}
+		for _, kind := range kinds {
+			rt, err := runtime.New(runtime.Config{Arch: arch, Policy: kind, Seed: 7})
 			if err != nil {
 				panic(err)
 			}
@@ -150,14 +186,14 @@ func compareArchs(rounds, scale int) {
 				submit(rt, uint64(r), scale)
 				rt.Wait()
 			}
-			times[pol] = time.Since(start)
+			times[kind] = time.Since(start)
 			rt.Shutdown()
+			row = append(row, times[kind].Round(time.Millisecond).String())
 		}
-		gain := 100 * (1 - float64(times[runtime.PolicyWATS])/float64(times[runtime.PolicyRandom]))
-		t.AddRow(arch.Name,
-			times[runtime.PolicyRandom].Round(time.Millisecond).String(),
-			times[runtime.PolicyWATS].Round(time.Millisecond).String(),
-			fmt.Sprintf("%.1f%%", gain))
+		first, last := kinds[0], kinds[len(kinds)-1]
+		gain := 100 * (1 - float64(times[last])/float64(times[first]))
+		row = append(row, fmt.Sprintf("%.1f%%", gain))
+		t.AddRow(row...)
 	}
 	fmt.Println(t.String())
 }

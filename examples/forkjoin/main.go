@@ -1,7 +1,8 @@
 // Forkjoin: structured fork-join parallelism (the runtime's equivalent of
 // cilk_spawn/cilk_sync) on the live WATS runtime — a recursive parallel
-// merge sort, and an island-model GA with migration barriers between
-// generations, both on an emulated asymmetric machine.
+// merge sort run under several scheduling policies selected by kind, and
+// an island-model GA with migration barriers between generations, both on
+// an emulated asymmetric machine.
 package main
 
 import (
@@ -13,33 +14,44 @@ import (
 	"wats/internal/kernels"
 	"wats/internal/rng"
 	"wats/internal/runtime"
+	"wats/internal/sched"
 )
 
 func main() {
 	arch := amc.MustNew("fj-AMC",
 		amc.CGroup{Freq: 2.0, N: 2}, amc.CGroup{Freq: 0.8, N: 2})
-	rt, err := runtime.New(runtime.Config{Arch: arch, Seed: 1})
+
+	// --- 1. Recursive parallel merge sort under each policy kind ------
+	// Any sched.Kind the simulator accepts runs live too; the runtime
+	// builds the same Strategy from the kind name.
+	for _, kind := range []sched.Kind{sched.KindCilk, sched.KindPFT, sched.KindWATS} {
+		rt, err := runtime.New(runtime.Config{Arch: arch, Policy: kind, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		r := rng.New(7)
+		xs := make([]int, 200000)
+		for i := range xs {
+			xs[i] = r.Intn(1 << 30)
+		}
+		start := time.Now()
+		rt.Spawn("msort", func(ctx *runtime.Ctx) { msort(ctx, xs) })
+		rt.Wait()
+		rt.Shutdown()
+		fmt.Printf("%-5s parallel merge sort of %d ints: %v (sorted=%v)\n",
+			kind, len(xs), time.Since(start).Round(time.Millisecond), sort.IntsAreSorted(xs))
+	}
+
+	rt, err := runtime.New(runtime.Config{Arch: arch, Policy: sched.KindWATS, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
 	defer rt.Shutdown()
 
-	// --- 1. Recursive parallel merge sort -----------------------------
-	r := rng.New(7)
-	xs := make([]int, 200000)
-	for i := range xs {
-		xs[i] = r.Intn(1 << 30)
-	}
-	start := time.Now()
-	rt.Spawn("msort", func(ctx *runtime.Ctx) { msort(ctx, xs) })
-	rt.Wait()
-	fmt.Printf("parallel merge sort of %d ints: %v (sorted=%v)\n",
-		len(xs), time.Since(start).Round(time.Millisecond), sort.IntsAreSorted(xs))
-
 	// --- 2. Island GA with migration barriers -------------------------
 	arch2 := kernels.NewArchipelago(6, kernels.GAConfig{Pop: 24, Genome: 12, Generations: 4}, 3)
 	before := arch2.Best()
-	start = time.Now()
+	start := time.Now()
 	rt.Spawn("ga_driver", func(ctx *runtime.Ctx) {
 		for round := 0; round < 5; round++ {
 			g := ctx.Group()

@@ -1,0 +1,218 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/sched"
+)
+
+// allKinds is every policy kind of the unified strategy layer; each must
+// run on the live runtime (acceptance criterion of the policy-core
+// unification).
+var allKinds = []sched.Kind{
+	sched.KindShare, sched.KindCilk, sched.KindPFT, sched.KindRTS,
+	sched.KindWATS, sched.KindWATSNP, sched.KindWATSTS, sched.KindWATSMem,
+}
+
+// TestAllKindsRunLive: every sched.Kind is constructible for the live
+// runtime and drains a nested spawn tree completely.
+func TestAllKindsRunLive(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			rt, err := New(Config{Arch: smallArch(), Policy: kind, Seed: 21, DisableSpeedEmulation: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			var ran atomic.Int64
+			for i := 0; i < 10; i++ {
+				rt.Spawn("root", func(ctx *Ctx) {
+					ran.Add(1)
+					for j := 0; j < 5; j++ {
+						ctx.Spawn("leaf", func(ctx *Ctx) { ran.Add(1) })
+					}
+				})
+			}
+			rt.Wait()
+			if got := ran.Load(); got != 60 {
+				t.Fatalf("ran %d tasks, want 60", got)
+			}
+			if rt.Registry() == nil || rt.Allocator() == nil {
+				t.Fatal("registry/allocator must be non-nil for every kind")
+			}
+		})
+	}
+}
+
+// TestUnknownKindRejected: a bogus kind fails construction with an error,
+// not a panic, through the same validation path the simulator uses.
+func TestUnknownKindRejected(t *testing.T) {
+	if _, err := New(Config{Arch: smallArch(), Policy: sched.Kind("bogus")}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestCustomStrategyOverride: Config.Strategy runs a caller-configured
+// WATS variant (ablation knobs) on real goroutines.
+func TestCustomStrategyOverride(t *testing.T) {
+	s := sched.NewWATS()
+	s.EWMAAlpha = 0.5
+	rt, err := New(Config{Arch: smallArch(), Strategy: s, Seed: 23, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var ran atomic.Int64
+	for i := 0; i < 32; i++ {
+		rt.Spawn("x", func(ctx *Ctx) { ran.Add(1) })
+	}
+	rt.Wait()
+	if ran.Load() != 32 {
+		t.Fatalf("ran=%d", ran.Load())
+	}
+	if rt.Strategy() != s {
+		t.Fatal("Strategy() must expose the caller's strategy")
+	}
+}
+
+// TestLockFreeMutexParity (lock-free vs mutex pool parity): the same
+// seeded workload through Config.LockFree true/false under each policy
+// kind must execute the identical task set and leave every pool drained.
+// CI runs this package under -race, so the lock-free pools are exercised
+// with the detector on.
+func TestLockFreeMutexParity(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			counts := map[bool]int64{}
+			for _, lockFree := range []bool{false, true} {
+				rt, err := New(Config{Arch: smallArch(), Policy: kind, Seed: 42,
+					LockFree: lockFree, DisableSpeedEmulation: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ran atomic.Int64
+				// Deterministic spawn tree: 12 roots, each spawning a
+				// class-dependent number of children, each child one leaf.
+				for i := 0; i < 12; i++ {
+					children := 1 + i%3
+					class := fmt.Sprintf("c%d", i%3)
+					rt.Spawn(class, func(ctx *Ctx) {
+						ran.Add(1)
+						for j := 0; j < children; j++ {
+							ctx.Spawn(class+"_kid", func(ctx *Ctx) {
+								ran.Add(1)
+								ctx.Spawn("leaf", func(ctx *Ctx) { ran.Add(1) })
+							})
+						}
+					})
+				}
+				rt.Wait()
+				if q := rt.nonEmptyPools(); q != 0 {
+					t.Fatalf("lockFree=%v: %d pools not drained after Wait", lockFree, q)
+				}
+				var statsRun int64
+				for _, s := range rt.Stats() {
+					statsRun += s.TasksRun
+				}
+				if statsRun != ran.Load() {
+					t.Fatalf("lockFree=%v: stats count %d != executed %d", lockFree, statsRun, ran.Load())
+				}
+				rt.Shutdown()
+				counts[lockFree] = ran.Load()
+			}
+			// 12 roots + sum(1+i%3) children ×2 (child+leaf) = 12 + 2*24 = 60.
+			if counts[false] != counts[true] || counts[false] != 60 {
+				t.Fatalf("task counts differ: mutex=%d lock-free=%d want 60",
+					counts[false], counts[true])
+			}
+		})
+	}
+}
+
+// gaBatch mirrors the simulator's GA (α=8) batch mix of Fig. 8 on the
+// live runtime with spin tasks: per batch 8×migrate(8u) + 8×evolve(4u) +
+// 8×select(2u) + 104×eval(u) of fastest-core work.
+func gaBatch(rt *Runtime, unit time.Duration) {
+	for i := 0; i < 8; i++ {
+		rt.Spawn("ga_migrate", func(ctx *Ctx) { spin(8 * unit) })
+		rt.Spawn("ga_evolve", func(ctx *Ctx) { spin(4 * unit) })
+		rt.Spawn("ga_select", func(ctx *Ctx) { spin(2 * unit) })
+	}
+	for i := 0; i < 104; i++ {
+		rt.Spawn("ga_eval", func(ctx *Ctx) { spin(unit) })
+	}
+}
+
+// TestLiveRankingWATSvsPFT mirrors the simulator's Fig. 6 assertion on
+// real goroutines: on AMC2 with the GA workload, WATS's makespan must not
+// exceed PFT's. Wall-clock measurements on a shared host are noisy, so
+// the comparison gets a tolerance and up to three attempts.
+func TestLiveRankingWATSvsPFT(t *testing.T) {
+	const (
+		unit     = time.Millisecond
+		batches  = 3
+		attempts = 3
+		slack    = 1.15
+	)
+	run := func(kind sched.Kind) time.Duration {
+		rt, err := New(Config{Arch: amc.AMC2, Policy: kind, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			gaBatch(rt, unit)
+			rt.Wait()
+		}
+		elapsed := time.Since(start)
+		rt.Shutdown()
+		return elapsed
+	}
+	var wats, pft time.Duration
+	for i := 0; i < attempts; i++ {
+		pft = run(sched.KindPFT)
+		wats = run(sched.KindWATS)
+		if float64(wats) <= float64(pft)*slack {
+			return
+		}
+		t.Logf("attempt %d: WATS %v vs PFT %v, retrying", i+1, wats, pft)
+	}
+	t.Fatalf("WATS makespan %v exceeds PFT %v beyond tolerance ×%.2f", wats, pft, slack)
+}
+
+// TestHelperShutdownPrompt: Shutdown must not block until the next helper
+// tick — the done channel stops the helper immediately even with a huge
+// HelperPeriod.
+func TestHelperShutdownPrompt(t *testing.T) {
+	rt, err := New(Config{Arch: smallArch(), Policy: sched.KindWATS, Seed: 31,
+		HelperPeriod: time.Hour, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Spawn("x", func(ctx *Ctx) {})
+	rt.Wait()
+	start := time.Now()
+	rt.Shutdown()
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Shutdown took %v with HelperPeriod=1h", d)
+	}
+}
+
+// TestNoHelperForStaticPolicies: policies without a reorganization step
+// must not start a helper goroutine at all.
+func TestNoHelperForStaticPolicies(t *testing.T) {
+	for _, kind := range []sched.Kind{sched.KindCilk, sched.KindPFT, sched.KindRTS, sched.KindShare} {
+		rt, err := New(Config{Arch: smallArch(), Policy: kind, Seed: 33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.helperDone != nil {
+			t.Fatalf("%s: helper started for a policy with no reorganization step", kind)
+		}
+		rt.Shutdown()
+	}
+}

@@ -1,16 +1,30 @@
 // Package runtime is a live work-stealing task runtime implementing the
-// WATS scheme on real goroutines: per-worker, per-cluster task pools,
-// parent-first spawning, history-based allocation (Algorithms 1 and 2 via
-// package history) and preference-based stealing (Algorithm 3).
+// paper's scheduling policies on real goroutines: per-worker, per-cluster
+// task pools, parent-first spawning, history-based allocation (Algorithms
+// 1 and 2 via package history) and preference-based stealing (Algorithm 3).
 //
-// It plays the role of the paper's modified MIT Cilk runtime. Because Go
-// neither exposes core pinning nor per-core DVFS, core-speed asymmetry is
-// emulated: each worker is assigned a relative speed from the configured
-// AMC architecture and, after executing a task for d wall-clock seconds,
-// stalls for d*(1/rel - 1), so a worker of relative speed 0.32 delivers
-// 0.32× the throughput of a fast one. Task workloads are measured as
-// fastest-core seconds (Eq. 2: elapsed-on-worker × rel), exactly what the
-// paper's performance counters report after normalization.
+// It plays the role of the paper's modified MIT Cilk runtime. The policy
+// logic itself — spawn discipline, task-to-pool allocation, acquisition
+// order — is not implemented here: the runtime consumes the same
+// engine-agnostic sched.Strategy values as the discrete-event simulator,
+// so every policy kind (Cilk, PFT, RTS, WATS, WATS-NP, WATS-TS, WATS-Mem,
+// Share) runs on real goroutines through Config.Policy.
+//
+// Because Go neither exposes core pinning nor per-core DVFS, core-speed
+// asymmetry is emulated: each worker is assigned a relative speed from the
+// configured AMC architecture and, after executing a task for d wall-clock
+// seconds, stalls for d*(1/rel - 1), so a worker of relative speed 0.32
+// delivers 0.32× the throughput of a fast one. Task workloads are measured
+// as fastest-core seconds (Eq. 2: elapsed-on-worker × rel), exactly what
+// the paper's performance counters report after normalization.
+//
+// One divergence from the simulator: goroutines cannot be preempted from
+// the outside, so the snatch modes of RTS and WATS-TS are inert here —
+// an idle worker has already drained every reachable queue when snatching
+// would trigger, and the victim's running task cannot be taken. RTS thus
+// behaves like Cilk and WATS-TS like WATS on the live runtime; the paper
+// performed snatches by swapping OS threads between cores, which has no
+// goroutine equivalent.
 //
 // The runtime is a usable library: see examples/pipeline and cmd/watsrun.
 package runtime
@@ -25,19 +39,8 @@ import (
 	"wats/internal/deque"
 	"wats/internal/history"
 	"wats/internal/rng"
+	"wats/internal/sched"
 	"wats/internal/task"
-)
-
-// Policy selects the runtime's scheduling scheme.
-type Policy int8
-
-const (
-	// PolicyWATS is the paper's scheduler: history-based allocation plus
-	// preference-based stealing.
-	PolicyWATS Policy = iota
-	// PolicyRandom is the PFT baseline: one pool per worker, random
-	// stealing, no workload awareness.
-	PolicyRandom
 )
 
 // Config configures a Runtime.
@@ -45,10 +48,15 @@ type Config struct {
 	// Arch gives each worker its emulated speed; the number of workers is
 	// the architecture's core count.
 	Arch *amc.Arch
-	// Policy selects WATS or random stealing. Default WATS.
-	Policy Policy
+	// Policy selects the scheduling policy by kind; every sched.Kind is
+	// accepted. Default sched.KindWATS.
+	Policy sched.Kind
+	// Strategy, when non-nil, overrides Policy with a caller-constructed
+	// (unbound) strategy — configured WATS variants or custom policies.
+	Strategy sched.Strategy
 	// HelperPeriod is the cadence of the helper goroutine that re-runs
-	// Algorithm 1 (default 1ms, as in §III-C).
+	// Algorithm 1 (default 1ms, as in §III-C). The helper is only started
+	// for policies with a reorganization step.
 	HelperPeriod time.Duration
 	// Seed seeds victim selection.
 	Seed uint64
@@ -73,6 +81,7 @@ type liveTask struct {
 // worker and allows parent-first child spawning.
 type Ctx struct {
 	rt     *Runtime
+	class  string // class of the task being executed (spawn-edge tracking)
 	Worker int
 	// Rel is the executing worker's emulated relative speed.
 	Rel float64
@@ -81,7 +90,7 @@ type Ctx struct {
 // Spawn submits a child task from inside a running task (parent-first:
 // the child is queued and the parent continues).
 func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
-	c.rt.spawnTask(c.Worker, &liveTask{class: class, fn: fn})
+	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn})
 }
 
 // Group returns a new fork-join scope: Spawn children into it and Wait
@@ -100,7 +109,7 @@ type Group struct {
 // Spawn submits a child task into the group (parent-first).
 func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 	g.pending.Add(1)
-	g.rt.spawnTask(ctx.Worker, &liveTask{class: class, fn: fn, group: g})
+	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g})
 }
 
 // Wait blocks until every task spawned into the group has completed.
@@ -108,6 +117,10 @@ func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 // executing queued tasks (its own first, then stolen ones) until the
 // group drains — the standard help-first join of work-stealing runtimes,
 // which keeps the machine busy and avoids deadlock when all workers sync.
+// When nothing is runnable anywhere, the worker parks on the runtime's
+// condvar (like the worker loop) until new work arrives or the group's
+// stragglers, running on other workers, drain it. Wait returns early on
+// Shutdown, since abandoned group tasks would otherwise never drain.
 func (g *Group) Wait(ctx *Ctx) {
 	rt := g.rt
 	w := ctx.Worker
@@ -117,9 +130,14 @@ func (g *Group) Wait(ctx *Ctx) {
 			rt.execute(w, rt.rels[w], t)
 			continue
 		}
-		// Nothing runnable anywhere; the group's stragglers are being
-		// executed by other workers. Yield briefly.
-		time.Sleep(50 * time.Microsecond)
+		rt.mu.Lock()
+		for g.pending.Load() > 0 && !rt.haveWork(w) && !rt.shutdown.Load() {
+			rt.cond.Wait()
+		}
+		rt.mu.Unlock()
+		if rt.shutdown.Load() {
+			return
+		}
 	}
 }
 
@@ -218,22 +236,25 @@ type WorkerStats struct {
 type Runtime struct {
 	cfg   Config
 	arch  *amc.Arch
-	k     int
+	strat sched.Strategy
+	k     int  // pool columns per worker (strat.Clusters())
+	central bool // strat.Central(): all work flows through the inbox
 	pools [][]taskPool // [worker][cluster]
-	// inbox receives external (non-worker) spawns in lock-free mode,
-	// where workers own their deques' push ends exclusively.
+	// inbox receives external (non-worker) spawns in lock-free mode, where
+	// workers own their deques' push ends exclusively, and every spawn for
+	// central-queue policies (Share).
 	inbox *pool
 	rels  []float64
 	grps  []int
-
-	reg   *task.Registry
-	alloc *history.Allocator
-	prefs [][]int
 
 	outstanding atomic.Int64
 	mu          sync.Mutex
 	cond        *sync.Cond
 	shutdown    atomic.Bool
+	// helperDone stops the helper goroutine promptly on Shutdown instead
+	// of letting it linger until the next HelperPeriod tick. Nil when the
+	// policy has no reorganization step (no helper started).
+	helperDone chan struct{}
 
 	tasksRun []atomic.Int64
 	steals   []atomic.Int64
@@ -253,26 +274,35 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.HelperPeriod == 0 {
 		cfg.HelperPeriod = time.Millisecond
 	}
-	n := cfg.Arch.NumCores()
-	k := cfg.Arch.K()
-	if cfg.Policy == PolicyRandom {
-		k = 1
+	strat := cfg.Strategy
+	if strat == nil {
+		kind := cfg.Policy
+		if kind == "" {
+			kind = sched.KindWATS
+		}
+		var err error
+		strat, err = sched.NewStrategy(kind)
+		if err != nil {
+			return nil, err
+		}
 	}
+	strat.Bind(cfg.Arch)
+	n := cfg.Arch.NumCores()
 	rt := &Runtime{
 		cfg:      cfg,
 		arch:     cfg.Arch,
-		k:        k,
-		reg:      task.NewRegistry(),
+		strat:    strat,
+		k:        strat.Clusters(),
+		central:  strat.Central(),
 		tasksRun: make([]atomic.Int64, n),
 		steals:   make([]atomic.Int64, n),
 		busy:     make([]atomic.Int64, n),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
-	rt.alloc = history.NewAllocator(rt.reg, cfg.Arch)
 	f1 := cfg.Arch.FastestFreq()
 	rt.inbox = &pool{}
 	for w := 0; w < n; w++ {
-		ps := make([]taskPool, k)
+		ps := make([]taskPool, rt.k)
 		for c := range ps {
 			if cfg.LockFree {
 				ps[c] = newCLPool()
@@ -284,11 +314,6 @@ func New(cfg Config) (*Runtime, error) {
 		rt.rels = append(rt.rels, cfg.Arch.Speed(w)/f1)
 		rt.grps = append(rt.grps, cfg.Arch.GroupOf(w))
 	}
-	if cfg.Policy == PolicyWATS {
-		rt.prefs = history.PreferenceTable(k)
-	} else {
-		rt.prefs = [][]int{{0}}
-	}
 	for w := 0; w < n; w++ {
 		rt.helpRngs = append(rt.helpRngs, rng.New(cfg.Seed^0xABCD+uint64(w)*7919+3))
 	}
@@ -296,20 +321,23 @@ func New(cfg Config) (*Runtime, error) {
 		rt.wg.Add(1)
 		go rt.worker(w, rng.New(cfg.Seed+uint64(w)*0x9E3779B97F4A7C15+1))
 	}
-	rt.wg.Add(1)
-	go rt.helper()
+	if strat.Reorganizes() {
+		rt.helperDone = make(chan struct{})
+		rt.wg.Add(1)
+		go rt.helper()
+	}
 	return rt, nil
 }
 
-// clusterOf routes a class through the current allocation (always 0 for
-// the random policy).
+// clusterOf routes a class through the strategy's allocation axis, clamped
+// to the pool columns actually built.
 func (rt *Runtime) clusterOf(class string) int {
-	if rt.cfg.Policy != PolicyWATS {
-		return 0
-	}
-	c := rt.alloc.ClusterOf(class)
+	c := rt.strat.ClusterOf(class)
 	if c >= rt.k {
 		c = rt.k - 1
+	}
+	if c < 0 {
+		c = 0
 	}
 	return c
 }
@@ -322,28 +350,35 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
 	if rt.shutdown.Load() {
 		return
 	}
-	if rt.cfg.LockFree {
+	if rt.cfg.LockFree && !rt.central {
 		rt.outstanding.Add(1)
 		rt.inbox.push(&liveTask{class: class, fn: fn})
 		rt.wake()
 		return
 	}
-	rt.spawnAt(0, class, fn)
+	rt.spawnTask(0, "", &liveTask{class: class, fn: fn})
 }
 
-func (rt *Runtime) spawnAt(worker int, class string, fn func(ctx *Ctx)) {
-	rt.spawnTask(worker, &liveTask{class: class, fn: fn})
-}
-
-func (rt *Runtime) spawnTask(worker int, t *liveTask) {
+// spawnTask routes one task: the spawn edge is reported to the strategy
+// (divide-and-conquer detection), then the task goes to the spawning
+// worker's pool for its class's cluster — or the central inbox for
+// central-queue policies.
+func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	if rt.shutdown.Load() {
-		if t.group != nil {
-			t.group.pending.Add(-1)
+		if t.group != nil && t.group.pending.Add(-1) == 0 {
+			rt.wake()
 		}
 		return
 	}
+	if parentClass != "" {
+		rt.strat.NoteSpawn(parentClass, t.class)
+	}
 	rt.outstanding.Add(1)
-	rt.pools[worker][rt.clusterOf(t.class)].push(t)
+	if rt.central {
+		rt.inbox.push(t)
+	} else {
+		rt.pools[worker][rt.clusterOf(t.class)].push(t)
+	}
 	rt.wake()
 }
 
@@ -353,21 +388,20 @@ func (rt *Runtime) wake() {
 	rt.mu.Unlock()
 }
 
-// acquire implements Algorithm 3 for a worker; returns nil when no task
-// is available anywhere.
+// acquire implements the acquisition axis for a worker: drain the inbox,
+// then walk the strategy's cluster order — own pool pop, then steal from
+// random victims — exactly as the sim adapter does on virtual cores.
+// Returns nil when no task is available anywhere. The strategy's snatch
+// mode is inert here: a running goroutine cannot be preempted (see the
+// package comment).
 func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
-	prefList := rt.prefs[0]
-	if rt.cfg.Policy == PolicyWATS {
-		g := rt.grps[w]
-		if g >= len(rt.prefs) {
-			g = len(rt.prefs) - 1
-		}
-		prefList = rt.prefs[g]
-	}
 	if t := rt.inbox.stealTop(); t != nil {
 		return t
 	}
-	for _, cl := range prefList {
+	if rt.central {
+		return nil
+	}
+	for _, cl := range rt.strat.AcquireOrder(rt.grps[w]) {
 		if t := rt.pools[w][cl].popBottom(); t != nil {
 			return t
 		}
@@ -417,7 +451,7 @@ func (rt *Runtime) worker(w int, r *rng.Source) {
 // the worker loop and by Group.Wait's helping path.
 func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	start := time.Now()
-	t.fn(&Ctx{rt: rt, Worker: w, Rel: rel})
+	t.fn(&Ctx{rt: rt, Worker: w, Rel: rel, class: t.class})
 	d := time.Since(start)
 	rt.busy[w].Add(int64(d))
 	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
@@ -428,10 +462,11 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	// Eq. 2: elapsed-on-core × rel = fastest-core seconds. With the
 	// emulation stall the elapsed time is d/rel, so the normalized
 	// workload is exactly d.
-	rt.reg.Observe(t.class, d.Seconds())
+	rt.strat.Observe(t.class, d.Seconds(), 0)
 	rt.tasksRun[w].Add(1)
-	if t.group != nil {
-		t.group.pending.Add(-1)
+	if t.group != nil && t.group.pending.Add(-1) == 0 {
+		// The group drained: wake workers parked in Group.Wait.
+		rt.wake()
 	}
 	if rt.outstanding.Add(-1) == 0 {
 		rt.mu.Lock()
@@ -454,12 +489,17 @@ func (rt *Runtime) sleepUnlessShutdown(d time.Duration) {
 }
 
 // haveWork reports whether any pool the worker may take from is
-// non-empty. Called with rt.mu held.
+// non-empty — only the clusters in the worker's acquire order count, or a
+// WATS-NP worker would spin on work it is never allowed to steal. Called
+// with rt.mu held.
 func (rt *Runtime) haveWork(w int) bool {
 	if !rt.inbox.empty() {
 		return true
 	}
-	for cl := 0; cl < rt.k; cl++ {
+	if rt.central {
+		return false
+	}
+	for _, cl := range rt.strat.AcquireOrder(rt.grps[w]) {
 		for v := range rt.pools {
 			if !rt.pools[v][cl].empty() {
 				return true
@@ -469,16 +509,40 @@ func (rt *Runtime) haveWork(w int) bool {
 	return false
 }
 
+// nonEmptyPools counts pools (inbox included) still holding tasks.
+// Quiescent only: with workers running the count is racy. Tests use it to
+// assert drained pools.
+func (rt *Runtime) nonEmptyPools() int {
+	n := 0
+	if !rt.inbox.empty() {
+		n++
+	}
+	for _, ps := range rt.pools {
+		for _, p := range ps {
+			if !p.empty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// helper periodically runs the strategy's reorganization step (the helper
+// thread of §III-C). It is only started for strategies that have one, and
+// exits promptly when Shutdown closes helperDone.
 func (rt *Runtime) helper() {
 	defer rt.wg.Done()
 	tick := time.NewTicker(rt.cfg.HelperPeriod)
 	defer tick.Stop()
-	for range tick.C {
-		if rt.shutdown.Load() {
+	for {
+		select {
+		case <-tick.C:
+			if rt.shutdown.Load() {
+				return
+			}
+			rt.strat.Reorganize()
+		case <-rt.helperDone:
 			return
-		}
-		if rt.cfg.Policy == PolicyWATS {
-			rt.alloc.Reorganize()
 		}
 	}
 }
@@ -499,18 +563,24 @@ func (rt *Runtime) Shutdown() {
 	if rt.shutdown.Swap(true) {
 		return
 	}
+	if rt.helperDone != nil {
+		close(rt.helperDone)
+	}
 	rt.mu.Lock()
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
 	rt.wg.Wait()
 }
 
-// Registry exposes the learned task-class statistics.
-func (rt *Runtime) Registry() *task.Registry { return rt.reg }
+// Strategy exposes the scheduling strategy driving this runtime.
+func (rt *Runtime) Strategy() sched.Strategy { return rt.strat }
 
-// Allocator exposes the history-based allocator (nil-safe for inspection
-// under PolicyRandom too, where it simply never reorganizes).
-func (rt *Runtime) Allocator() *history.Allocator { return rt.alloc }
+// Registry exposes the learned task-class statistics.
+func (rt *Runtime) Registry() *task.Registry { return rt.strat.Registry() }
+
+// Allocator exposes the history-based allocator (non-nil for every policy
+// kind; history-less kinds simply never reorganize it).
+func (rt *Runtime) Allocator() *history.Allocator { return rt.strat.Allocator() }
 
 // Stats returns a snapshot of per-worker counters.
 func (rt *Runtime) Stats() []WorkerStats {

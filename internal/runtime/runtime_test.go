@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wats/internal/amc"
+	"wats/internal/sched"
 )
 
 // spin burns roughly d of CPU time (wall-clock bounded loop).
@@ -133,7 +134,7 @@ func TestRuntimeLearnsWorkloads(t *testing.T) {
 }
 
 func TestRuntimeRandomPolicy(t *testing.T) {
-	rt, err := New(Config{Arch: smallArch(), Policy: PolicyRandom, Seed: 5, DisableSpeedEmulation: true})
+	rt, err := New(Config{Arch: smallArch(), Policy: sched.KindPFT, Seed: 5, DisableSpeedEmulation: true})
 	if err != nil {
 		t.Fatal(err)
 	}

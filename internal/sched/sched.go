@@ -1,5 +1,5 @@
 // Package sched implements the task-scheduling policies evaluated in the
-// WATS paper on top of the discrete-event engine of package sim:
+// WATS paper:
 //
 //   - Cilk    — MIT Cilk: child-first (work-first) spawning, traditional
 //     random task-stealing (§IV-A).
@@ -13,12 +13,15 @@
 //   - WATS-NP — WATS without cross-cluster stealing (ablation, §IV-C).
 //   - WATS-TS — WATS plus workload-aware snatching (ablation, §IV-D).
 //
-// Policies are deterministic given the engine seed.
+// Each policy is a single engine-agnostic Strategy — the spawn discipline,
+// task-to-pool allocation and acquisition order the paper varies — that
+// both execution engines consume: the discrete-event simulator of package
+// sim (through the sim adapter in this package) and the live goroutine
+// runtime of internal/runtime. Simulated policies are deterministic given
+// the engine seed.
 package sched
 
 import (
-	"fmt"
-
 	"wats/internal/sim"
 )
 
@@ -48,30 +51,35 @@ var Kinds = []Kind{KindShare, KindCilk, KindPFT, KindRTS, KindWATS, KindWATSNP, 
 // FigureKinds lists the four policies compared in Figs. 6–8.
 var FigureKinds = []Kind{KindCilk, KindPFT, KindRTS, KindWATS}
 
-// New constructs a fresh policy instance of the given kind. Policies are
-// single-use: build a new one per engine run.
+// New constructs a fresh simulator policy of the given kind: the kind's
+// Strategy wrapped in the sim adapter. Policies are single-use: build a
+// new one per engine run.
 func New(kind Kind) (sim.Policy, error) {
-	switch kind {
-	case KindCilk:
-		return NewCilk(), nil
-	case KindPFT:
-		return NewPFT(), nil
-	case KindRTS:
-		return NewRTS(), nil
-	case KindWATS:
-		return NewWATS(), nil
-	case KindWATSNP:
-		return NewWATSNP(), nil
-	case KindWATSTS:
-		return NewWATSTS(), nil
-	case KindWATSMem:
-		return NewWATSMem(), nil
-	case KindShare:
-		return NewShare(), nil
-	default:
-		return nil, fmt.Errorf("sched: unknown policy kind %q", kind)
+	s, err := NewStrategy(kind)
+	if err != nil {
+		return nil, err
 	}
+	// The WATS family already carries its own sim adapter.
+	if p, ok := s.(sim.Policy); ok {
+		return p, nil
+	}
+	return newSimPolicy(s), nil
 }
+
+// NewCilk returns the MIT Cilk policy: child-first spawning with
+// traditional random task-stealing.
+func NewCilk() sim.Policy { return MustNew(KindCilk) }
+
+// NewPFT returns the parent-first task-stealing policy.
+func NewPFT() sim.Policy { return MustNew(KindPFT) }
+
+// NewRTS returns the random task-snatching policy: Cilk spawning and
+// stealing, plus random snatching by idle faster cores.
+func NewRTS() sim.Policy { return MustNew(KindRTS) }
+
+// NewShare returns the centralized task-sharing policy (parent-first
+// spawning, FIFO central queue).
+func NewShare() sim.Policy { return MustNew(KindShare) }
 
 // MustNew is New but panics on error.
 func MustNew(kind Kind) sim.Policy {

@@ -1,12 +1,15 @@
 package sched
 
 import (
+	"sync/atomic"
+
+	"wats/internal/amc"
 	"wats/internal/history"
 	"wats/internal/sim"
 	"wats/internal/task"
 )
 
-// WATS is the Workload-Aware Task Scheduling policy of the paper:
+// WATS is the Workload-Aware Task Scheduling strategy of the paper:
 //
 //   - parent-first spawning (so completed-task cycle counts measure a
 //     task's own work, §III-C);
@@ -15,6 +18,10 @@ import (
 //     into task clusters via Algorithm 1 (§III-A);
 //   - per-core, per-cluster task pools with preference-based stealing
 //     following the "rob the weaker first" lists of Fig. 4 (§III-B).
+//
+// It implements both the engine-agnostic Strategy interface (consumed by
+// the live runtime of internal/runtime) and sim.Policy (via the shared sim
+// adapter), so one instance of the policy logic serves both engines.
 //
 // Variants (all ablations from the paper's evaluation):
 //
@@ -65,15 +72,16 @@ type WATS struct {
 	// phase changes).
 	EWMAAlpha float64
 
-	recursionDetected bool
+	recursionDetected atomic.Bool
 
 	label string
 
-	e     *sim.Engine
-	pools *sim.PoolSet
-	alloc *history.Allocator
+	arch  *amc.Arch
 	reg   *task.Registry
+	alloc *history.Allocator
 	prefs [][]int
+
+	sim simAdapter
 }
 
 // NewWATS returns the full WATS policy.
@@ -88,7 +96,7 @@ func NewWATSTS() *WATS { return &WATS{label: string(KindWATSTS), Snatch: true} }
 // NewWATSMem returns the memory-aware WATS extension of §IV-E: CPU-bound
 // classes are allocated as usual, memory-bound classes (per their CMPI
 // counters) go to the slowest c-group.
-func NewWATSMem() *WATS { return &WATS{label: "WATS-Mem", MemAware: true} }
+func NewWATSMem() *WATS { return &WATS{label: string(KindWATSMem), MemAware: true} }
 
 // Name implements sim.Policy.
 func (p *WATS) Name() string {
@@ -101,34 +109,49 @@ func (p *WATS) Name() string {
 // SetName overrides the report label (used by ablation harnesses).
 func (p *WATS) SetName(s string) { p.label = s }
 
-// ChildFirst implements sim.Policy.
+// Kind implements Strategy (the report label, which the constructors set
+// to the policy kind).
+func (p *WATS) Kind() Kind { return Kind(p.Name()) }
+
+// ChildFirst implements Strategy and sim.Policy.
 func (p *WATS) ChildFirst() bool { return p.ChildFirstSpawn }
 
-// Allocator exposes the history allocator for inspection in tests.
-func (p *WATS) Allocator() *history.Allocator { return p.alloc }
-
-// Init implements sim.Policy.
-func (p *WATS) Init(e *sim.Engine) {
-	p.e = e
-	k := e.NumGroups()
-	p.pools = sim.NewPoolSet(e, k)
+// Bind implements Strategy: fix the architecture and allocate the per-run
+// history state. The sim adapter calls it from Init; the live runtime
+// calls it at construction.
+func (p *WATS) Bind(arch *amc.Arch) {
+	if p.arch != nil {
+		panic("sched: WATS strategy is single-use; Bind called twice")
+	}
+	p.arch = arch
 	p.reg = task.NewRegistry()
 	if p.EWMAAlpha > 0 {
 		p.reg.SetEWMA(p.EWMAAlpha)
 	}
-	p.alloc = history.NewAllocator(p.reg, e.Arch)
+	p.alloc = history.NewAllocator(p.reg, arch)
 	if p.LiteralPartition {
 		p.alloc.UseLiteralPartition()
 	}
-	p.prefs = history.PreferenceTable(k)
+	p.prefs = history.PreferenceTable(arch.K())
 }
 
-// clusterOf routes a task by its class through the current cluster map;
-// unknown classes go to cluster 0 (fastest c-group), per §III-A. Under
-// MemAware, known memory-bound classes go to the slowest c-group instead
-// (§IV-E).
-func (p *WATS) clusterOf(t *task.Task) int {
-	if p.recursionDetected {
+// Clusters implements Strategy: one task cluster per c-group (§III-A).
+func (p *WATS) Clusters() int { return p.arch.K() }
+
+// Central implements Strategy.
+func (p *WATS) Central() bool { return false }
+
+// Registry exposes the class statistics (Strategy interface).
+func (p *WATS) Registry() *task.Registry { return p.reg }
+
+// Allocator exposes the history allocator for inspection in tests.
+func (p *WATS) Allocator() *history.Allocator { return p.alloc }
+
+// ClusterOf routes a class through the current cluster map; unknown
+// classes go to cluster 0 (fastest c-group), per §III-A. Under MemAware,
+// known memory-bound classes go to the slowest c-group instead (§IV-E).
+func (p *WATS) ClusterOf(class string) int {
+	if p.recursionDetected.Load() {
 		return 0 // divide-and-conquer fallback: plain random stealing
 	}
 	if p.MemAware {
@@ -136,107 +159,102 @@ func (p *WATS) clusterOf(t *task.Task) int {
 		if th == 0 {
 			th = 0.05
 		}
-		if cl, ok := p.reg.Lookup(t.Class); ok && cl.AvgCMPI > th {
-			return p.e.NumGroups() - 1
+		if cl, ok := p.reg.Lookup(class); ok && cl.AvgCMPI > th {
+			return p.arch.K() - 1
 		}
 	}
-	return p.alloc.ClusterOf(t.Class)
+	return p.alloc.ClusterOf(class)
 }
 
-// Inject implements sim.Policy: the task is pushed to the origin core's
-// pool for the task's cluster.
-func (p *WATS) Inject(origin *sim.Core, t *task.Task) {
-	p.pools.Push(origin.ID, p.clusterOf(t), t)
-}
-
-// Enqueue implements sim.Policy: children (parent-first) and continuations
-// (child-first ablation) are pushed to the spawning core's pool for the
-// task's cluster.
-func (p *WATS) Enqueue(c *sim.Core, t *task.Task) {
-	if p.DetectRecursion && !p.recursionDetected &&
-		t.Parent != nil && t.Parent.Class == t.Class {
-		p.recursionDetected = true
+// AcquireOrder implements Algorithm 3's cluster walk: the c-group's "rob
+// the weaker first" preference list (Fig. 4), truncated to the own cluster
+// under NoPreference (WATS-NP).
+func (p *WATS) AcquireOrder(group int) []int {
+	if group < 0 {
+		group = 0
 	}
-	p.pools.Push(c.ID, p.clusterOf(t), t)
-}
-
-// Acquire implements Algorithm 3: walk the core's preference list; for
-// each cluster Cj first pop the local Cj pool, then steal from a random
-// core's Cj pool; fall through to the next cluster only when every Cj
-// pool in the system is empty.
-func (p *WATS) Acquire(c *sim.Core) (*task.Task, float64) {
-	prefs := p.prefs[c.Group]
+	if group >= len(p.prefs) {
+		group = len(p.prefs) - 1
+	}
 	if p.NoPreference {
-		prefs = prefs[:1] // own cluster only
+		return p.prefs[group][:1]
 	}
-	for _, cl := range prefs {
-		if t := p.pools.PopBottom(c.ID, cl); t != nil {
-			c.LocalPops++
-			return t, 0
-		}
-		if t := p.pools.StealRandom(c, cl); t != nil {
-			c.Steals++
-			return t, p.e.Cfg.StealCost
-		}
-	}
+	return p.prefs[group]
+}
+
+// SnatchMode implements Strategy: workload-aware snatching when the
+// WATS-TS knob is on.
+func (p *WATS) SnatchMode() SnatchMode {
 	if p.Snatch {
-		if t := p.snatchLargest(c); t != nil {
-			c.Snatches++
-			return t, p.e.Cfg.SnatchCost
-		}
+		return SnatchLargest
 	}
-	return nil, 0
+	return SnatchNone
 }
 
-// snatchLargest implements WATS-TS's workload-aware snatching: among busy
-// cores of strictly slower c-groups, preempt the one whose running task
-// has the largest estimated remaining workload (class average from the
-// history, minus observed progress).
-func (p *WATS) snatchLargest(thief *sim.Core) *task.Task {
-	var best *sim.Core
-	bestRem := -1.0
-	for _, v := range p.e.Cores() {
-		if v.Group <= thief.Group {
-			continue
-		}
-		run := v.Running()
-		if run == nil {
-			continue
-		}
-		est := -1.0
-		if cl, ok := p.reg.Lookup(run.Class); ok {
-			est = cl.AvgWork
-		}
-		rem := p.e.EstimatedRemaining(v, est)
-		if rem > bestRem {
-			bestRem = rem
-			best = v
-		}
+// EstimateWork returns the class's average normalized workload from the
+// history, or -1 when the class is unknown (snatch victim ranking).
+func (p *WATS) EstimateWork(class string) float64 {
+	if cl, ok := p.reg.Lookup(class); ok {
+		return cl.AvgWork
 	}
-	if best == nil {
-		return nil
-	}
-	return p.e.Preempt(best, thief)
+	return -1
 }
 
-// OnComplete implements sim.Policy: fold the measured, Eq.2-normalized
-// workload into the task's class (Algorithm 2).
-func (p *WATS) OnComplete(c *sim.Core, t *task.Task) {
-	p.reg.ObserveFull(t.Class, t.Measured, t.CMPI)
+// NoteSpawn feeds the divide-and-conquer detector: a task spawning a child
+// of its own class flips the runtime into the random-stealing fallback.
+func (p *WATS) NoteSpawn(parentClass, childClass string) {
+	if p.DetectRecursion && parentClass == childClass && !p.recursionDetected.Load() {
+		p.recursionDetected.Store(true)
+	}
+}
+
+// Observe folds the measured, Eq.2-normalized workload into the task's
+// class (Algorithm 2).
+func (p *WATS) Observe(class string, measured, cmpi float64) {
+	p.reg.ObserveFull(class, measured, cmpi)
 	if p.ReorgEveryCompletion {
 		p.alloc.Reorganize()
 	}
 }
 
-// OnHelperTick implements the helper thread of §III-C: re-run Algorithm 1
-// over the current class statistics.
-func (p *WATS) OnHelperTick(e *sim.Engine) {
+// Reorganizes implements Strategy: WATS has a helper-thread step.
+func (p *WATS) Reorganizes() bool { return true }
+
+// Reorganize is the helper-thread body of §III-C: re-run Algorithm 1 over
+// the current class statistics (unless the map is frozen by the ablation).
+func (p *WATS) Reorganize() bool {
 	if p.FreezeAfterReorgs > 0 && p.alloc.Reorganizations() >= p.FreezeAfterReorgs {
-		return
+		return false
 	}
-	p.alloc.Reorganize()
+	return p.alloc.Reorganize()
 }
 
 // RecursionDetected reports whether the divide-and-conquer fallback has
 // triggered.
-func (p *WATS) RecursionDetected() bool { return p.recursionDetected }
+func (p *WATS) RecursionDetected() bool { return p.recursionDetected.Load() }
+
+// --- sim.Policy, via the shared strategy adapter ---
+
+// Init implements sim.Policy.
+func (p *WATS) Init(e *sim.Engine) {
+	p.sim.s = p
+	p.sim.init(e)
+}
+
+// Inject implements sim.Policy: the task is pushed to the origin core's
+// pool for the task's cluster.
+func (p *WATS) Inject(origin *sim.Core, t *task.Task) { p.sim.inject(origin, t) }
+
+// Enqueue implements sim.Policy: children (parent-first) and continuations
+// (child-first ablation) are pushed to the spawning core's pool for the
+// task's cluster.
+func (p *WATS) Enqueue(c *sim.Core, t *task.Task) { p.sim.enqueue(c, t) }
+
+// Acquire implements sim.Policy via the shared Algorithm 3 walk.
+func (p *WATS) Acquire(c *sim.Core) (*task.Task, float64) { return p.sim.acquire(c) }
+
+// OnComplete implements sim.Policy.
+func (p *WATS) OnComplete(c *sim.Core, t *task.Task) { p.sim.onComplete(t) }
+
+// OnHelperTick implements sim.Policy (the helper thread of §III-C).
+func (p *WATS) OnHelperTick(e *sim.Engine) { p.sim.onHelperTick() }

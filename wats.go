@@ -30,6 +30,7 @@ package wats
 
 import (
 	"wats/internal/amc"
+	liveruntime "wats/internal/runtime"
 	"wats/internal/sched"
 	"wats/internal/sim"
 	"wats/internal/workload"
@@ -62,6 +63,23 @@ type (
 	ClassSpec = workload.ClassSpec
 	// StageSpec describes one pipeline stage.
 	StageSpec = workload.StageSpec
+	// Strategy is one engine-agnostic scheduling policy: the spawn
+	// discipline, task-to-pool allocation and acquisition order both the
+	// simulator and the live runtime consume.
+	Strategy = sched.Strategy
+	// Runtime is the live goroutine-based scheduler: the same policy
+	// kinds as the simulator, on real threads with emulated core speeds.
+	Runtime = liveruntime.Runtime
+	// RuntimeConfig configures a live Runtime (architecture, policy kind
+	// or custom strategy, speed emulation, pool implementation).
+	RuntimeConfig = liveruntime.Config
+	// Ctx is the execution context a live task receives; it spawns
+	// children and joins groups.
+	Ctx = liveruntime.Ctx
+	// Group joins a set of live tasks (help-first work-stealing join).
+	Group = liveruntime.Group
+	// WorkerStats reports one live worker's counters.
+	WorkerStats = liveruntime.WorkerStats
 )
 
 // The built-in scheduling policies.
@@ -98,6 +116,22 @@ func NewArch(name string, groups ...CGroup) (*Arch, error) {
 // are single-use: construct a new one per Simulate call when driving the
 // engine manually.
 func NewPolicy(kind Kind) (Policy, error) { return sched.New(kind) }
+
+// NewStrategy constructs the engine-agnostic strategy of a built-in
+// policy kind — the single construction point the simulator and the live
+// runtime share. Strategies are single-use: one per engine run.
+func NewStrategy(kind Kind) (Strategy, error) { return sched.NewStrategy(kind) }
+
+// NewRuntime starts a live goroutine-based scheduler: one worker per
+// core of cfg.Arch, running the policy selected by cfg.Policy (any Kind;
+// defaults to WATS) or a caller-configured cfg.Strategy.
+//
+//	rt, err := wats.NewRuntime(wats.RuntimeConfig{Arch: wats.AMC2, Policy: wats.WATS})
+//	if err != nil { ... }
+//	defer rt.Shutdown()
+//	rt.Spawn("work", func(ctx *wats.Ctx) { ... })
+//	rt.Wait()
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return liveruntime.New(cfg) }
 
 // Simulate runs one workload under one policy on one architecture and
 // returns the run's result. It is deterministic in cfg.Seed.
