@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench figures
+.PHONY: check vet build test race bench figures trace-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
-# concurrent packages (live runtime, lock-free deques).
+# concurrent packages (live runtime, lock-free deques, event rings).
 check: vet build test race
 
 vet:
@@ -16,10 +16,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 figures:
 	$(GO) run ./cmd/watsbench -experiment all -seeds 5
+
+# trace-demo writes a sample Chrome trace of the forkjoin example's
+# island-GA run — load trace-demo.json in ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./examples/forkjoin -trace trace-demo.json
+
+# vulncheck needs network access to the vuln DB, so it is CI-only by
+# default; run it locally the same way when online.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -17,10 +17,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"wats/internal/amc"
 	"wats/internal/experiments"
+	"wats/internal/obs"
 	"wats/internal/report"
 	"wats/internal/sched"
 	"wats/internal/sim"
+	"wats/internal/trace"
+	"wats/internal/workload"
 )
 
 func main() {
@@ -30,8 +34,17 @@ func main() {
 		batches = flag.Int("batches", 0, "override batches/waves per run (0 = workload default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir  = flag.String("out", "", "also write each table to <out>/<name>.{txt,csv}")
+		chrome  = flag.String("chrome", "", "instead of an experiment, write a Chrome trace of one simulated WATS GA run on AMC 2 to this file (load in ui.perfetto.dev)")
 	)
 	flag.Parse()
+
+	if *chrome != "" {
+		if err := writeChromeTrace(*chrome); err != nil {
+			fmt.Fprintln(os.Stderr, "watsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiments.Options{Batches: *batches}
 	for s := 1; s <= *seeds; s++ {
@@ -185,5 +198,37 @@ func policiesTable() *report.Table {
 	return t
 }
 
-// Ensure sim is linked for its config defaults documentation.
-var _ = sim.Config{}
+// writeChromeTrace runs one short WATS GA simulation on AMC 2 with the
+// trace recorder attached and exports it through the shared Chrome
+// exporter — the simulator half of the unified observability layer (the
+// live half is watsrun -trace; the two files merge into one timeline).
+func writeChromeTrace(path string) error {
+	rec := trace.New()
+	w := workload.GA(7)
+	w.Batches = 6
+	res, err := sim.New(amc.AMC2, sched.MustNew(sched.KindWATS),
+		sim.Config{Seed: 7, Tracer: rec}).Run(w)
+	if err != nil {
+		return err
+	}
+	th := make(map[int]string, amc.AMC2.NumCores())
+	for c := 0; c < amc.AMC2.NumCores(); c++ {
+		th[c] = fmt.Sprintf("core %d (%.1f GHz)", c, amc.AMC2.Speed(c))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, obs.Stream{
+		Name: "watsbench sim: WATS GA on AMC 2", Events: obs.FromRecorder(rec), Threads: th,
+	}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", path)
+	return nil
+}

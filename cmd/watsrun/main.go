@@ -10,18 +10,23 @@
 //	watsrun -policy WATS            # one policy only
 //	watsrun -policy Cilk,PFT,WATS-NP,WATS
 //	watsrun -rounds 4 -fast 2 -slow 4 -scale 2
+//	watsrun -listen :6060           # + curl localhost:6060/metrics
+//	watsrun -policy WATS -trace wats.json -inspect
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"wats/internal/amc"
 	"wats/internal/kernels"
+	"wats/internal/obs"
 	"wats/internal/report"
 	"wats/internal/runtime"
 	"wats/internal/sched"
@@ -36,6 +41,9 @@ func main() {
 		policy    = flag.String("policy", "PFT,WATS", "comma-separated policy kinds to run (Share|Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS|WATS-Mem)")
 		compare   = flag.Bool("compare", false, "compare the selected policies across several emulated machines")
 		calibrate = flag.Bool("calibrate", false, "measure per-kernel task costs across input sizes")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/wats and /debug/pprof/ on this address (e.g. :6060) and keep serving after the runs finish")
+		traceOut  = flag.String("trace", "", "write all scheduler events as Chrome trace_event JSON to this file (load in ui.perfetto.dev)")
+		inspect   = flag.Bool("inspect", false, "print the partition/preference introspection report after each policy run")
 	)
 	flag.Parse()
 
@@ -58,11 +66,23 @@ func main() {
 		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
 	fmt.Printf("running kernels on %s (speed emulation on)\n\n", arch)
 
+	dbg := &debugState{}
+	if *listen != "" {
+		dbg.serve(*listen)
+	}
+	tracing := *traceOut != "" || *listen != ""
+	var streams []obs.Stream
+
 	for _, kind := range kinds {
-		rt, err := runtime.New(runtime.Config{Arch: arch, Policy: kind, Seed: 7})
+		cfg := runtime.Config{Arch: arch, Policy: kind, Seed: 7}
+		if tracing {
+			cfg.Obs = obs.NewTracer(arch.NumCores(), 0)
+		}
+		rt, err := runtime.New(cfg)
 		if err != nil {
 			panic(err)
 		}
+		dbg.set(rt)
 		start := time.Now()
 		for r := 0; r < *rounds; r++ {
 			submit(rt, uint64(r), *scale)
@@ -71,6 +91,17 @@ func main() {
 		elapsed := time.Since(start)
 		rt.Shutdown()
 		fmt.Printf("%-8s makespan %8v\n", kind, elapsed.Round(time.Millisecond))
+		if *inspect {
+			fmt.Println()
+			fmt.Println(rt.Snapshot().String())
+		}
+		if *traceOut != "" {
+			streams = append(streams, obs.Stream{
+				Name:    fmt.Sprintf("watsrun %s", kind),
+				Events:  rt.Tracer().Events(),
+				Threads: workerThreads(arch),
+			})
+		}
 		if kind == kinds[len(kinds)-1] {
 			fmt.Println("\nlearned classes (avg fastest-core ms):")
 			classes := rt.Registry().Snapshot()
@@ -80,6 +111,92 @@ func main() {
 			}
 		}
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, streams); err != nil {
+			fmt.Fprintln(os.Stderr, "watsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *listen != "" {
+		fmt.Printf("\nruns finished; debug server still on %s (Ctrl-C to exit)\n", *listen)
+		select {}
+	}
+}
+
+// debugState points the long-lived debug server at the most recent
+// runtime, so /metrics and /debug/wats follow a sequence of policy runs.
+type debugState struct {
+	mu sync.Mutex
+	rt *runtime.Runtime
+}
+
+func (d *debugState) set(rt *runtime.Runtime) { d.mu.Lock(); d.rt = rt; d.mu.Unlock() }
+func (d *debugState) get() *runtime.Runtime   { d.mu.Lock(); defer d.mu.Unlock(); return d.rt }
+
+func (d *debugState) serve(addr string) {
+	mux := obs.NewMux(
+		func() *obs.Tracer {
+			if rt := d.get(); rt != nil {
+				return rt.Tracer()
+			}
+			return nil
+		},
+		func() any {
+			if rt := d.get(); rt != nil {
+				return rt.Snapshot()
+			}
+			return nil
+		},
+		func() []obs.WorkerCounters {
+			if rt := d.get(); rt != nil {
+				return workerCounters(rt.Stats())
+			}
+			return nil
+		})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "watsrun: debug server:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("debug server on %s (/metrics, /debug/wats, /debug/wats/trace, /debug/pprof/)\n\n", addr)
+}
+
+// workerCounters maps the runtime's per-worker stats onto the
+// engine-agnostic rows the /metrics handler renders.
+func workerCounters(stats []runtime.WorkerStats) []obs.WorkerCounters {
+	out := make([]obs.WorkerCounters, len(stats))
+	for i, ws := range stats {
+		out[i] = obs.WorkerCounters{
+			Worker: ws.Worker, Group: ws.Group, TasksRun: ws.TasksRun,
+			Steals: ws.Steals, StealAttempts: ws.StealAttempts,
+			Snatches: ws.Snatches, BusyNanos: ws.BusyNanos,
+		}
+	}
+	return out
+}
+
+// workerThreads names the trace rows after the emulated cores.
+func workerThreads(arch *amc.Arch) map[int]string {
+	th := make(map[int]string, arch.NumCores())
+	for c := 0; c < arch.NumCores(); c++ {
+		th[c] = fmt.Sprintf("worker %d (%.1f GHz)", c, arch.Speed(c))
+	}
+	return th
+}
+
+func writeTrace(path string, streams []obs.Stream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, streams...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseKinds validates a comma-separated kind list against the strategy

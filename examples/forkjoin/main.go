@@ -6,18 +6,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
 	"wats/internal/amc"
 	"wats/internal/kernels"
+	"wats/internal/obs"
 	"wats/internal/rng"
 	"wats/internal/runtime"
 	"wats/internal/sched"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write the island-GA run's scheduler events as Chrome trace_event JSON to this file (load in ui.perfetto.dev)")
+	flag.Parse()
+
 	arch := amc.MustNew("fj-AMC",
 		amc.CGroup{Freq: 2.0, N: 2}, amc.CGroup{Freq: 0.8, N: 2})
 
@@ -42,7 +48,11 @@ func main() {
 			kind, len(xs), time.Since(start).Round(time.Millisecond), sort.IntsAreSorted(xs))
 	}
 
-	rt, err := runtime.New(runtime.Config{Arch: arch, Policy: sched.KindWATS, Seed: 1})
+	cfg := runtime.Config{Arch: arch, Policy: sched.KindWATS, Seed: 1}
+	if *traceOut != "" {
+		cfg.Obs = obs.NewTracer(arch.NumCores(), 0)
+	}
+	rt, err := runtime.New(cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -73,6 +83,27 @@ func main() {
 	fmt.Println("\nlearned classes:")
 	for _, c := range rt.Registry().Snapshot() {
 		fmt.Printf("  %-10s n=%4d avg %.3fms\n", c.Name, c.Count, 1000*c.AvgWork)
+	}
+
+	if *traceOut != "" {
+		th := make(map[int]string, arch.NumCores())
+		for c := 0; c < arch.NumCores(); c++ {
+			th[c] = fmt.Sprintf("worker %d (%.1f GHz)", c, arch.Speed(c))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			panic(err)
+		}
+		err = obs.WriteChrome(f, obs.Stream{
+			Name: "forkjoin island GA (WATS)", Events: rt.Tracer().Events(), Threads: th,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

@@ -46,6 +46,20 @@ func (m *ClusterMap) Known(f string) bool {
 // K returns the number of clusters.
 func (m *ClusterMap) K() int { return m.k }
 
+// Snapshot returns a copy of the full class → cluster assignment (empty,
+// never nil, for a nil or unbuilt map). Introspection surfaces — the live
+// runtime's Snapshot, repartition trace events — render it directly.
+func (m *ClusterMap) Snapshot() map[string]int {
+	out := map[string]int{}
+	if m == nil {
+		return out
+	}
+	for f, c := range m.cluster {
+		out[f] = c
+	}
+	return out
+}
+
 // Classes returns the class names allocated to cluster c, sorted.
 func (m *ClusterMap) Classes(c int) []string {
 	var out []string

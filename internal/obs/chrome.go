@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"wats/internal/trace"
+)
+
+// Stream is one event stream to export: a named process in the Chrome
+// trace (live runtime and simulator runs merge as separate processes).
+type Stream struct {
+	// Name labels the process row in the trace viewer.
+	Name string
+	// Events are the stream's events (any order; the exporter sorts).
+	Events []Event
+	// Threads optionally names the worker rows (thread index → label);
+	// unnamed workers render as "worker N".
+	Threads map[int]string
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
+// the output loads in about://tracing and https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerNs = 1e-3
+
+// externalTid is the thread id the external/helper events (worker -1)
+// render under.
+const externalTid = 1_000_000
+
+// WriteChrome writes the streams as one Chrome trace_event JSON document.
+// Completes render as duration ("X") slices covering the task's measured
+// execution, everything else as instant events; repartitions carry the
+// new class → cluster map in their args. Stream i becomes pid i.
+func WriteChrome(w io.Writer, streams ...Stream) error {
+	var out []chromeEvent
+	for pid, s := range streams {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": s.Name},
+		})
+		tids := map[int]bool{}
+		evs := append([]Event(nil), s.Events...)
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].TS != evs[j].TS {
+				return evs[i].TS < evs[j].TS
+			}
+			return evs[i].Seq < evs[j].Seq
+		})
+		for _, e := range evs {
+			tid := int(e.Worker)
+			if e.Worker < 0 {
+				tid = externalTid
+			}
+			tids[tid] = true
+			out = append(out, toChrome(e, pid, tid))
+		}
+		for tid := range tids {
+			name := s.Threads[tid]
+			if name == "" {
+				if tid == externalTid {
+					name = "external/helper"
+				} else {
+					name = fmt.Sprintf("worker %d", tid)
+				}
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+	// Metadata first, then by timestamp: a stable order that diffs
+	// cleanly in golden-file tests.
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			if out[i].Pid != out[j].Pid {
+				return out[i].Pid < out[j].Pid
+			}
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func toChrome(e Event, pid, tid int) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Kind.String(), Cat: "sched", Ph: "i", Scope: "t",
+		Pid: pid, Tid: tid, Ts: float64(e.TS) * usPerNs,
+	}
+	switch e.Kind {
+	case EvComplete:
+		// Render the completion as a slice covering the task's measured
+		// execution window ending at the completion timestamp.
+		ce.Ph, ce.Scope, ce.Cat = "X", "", "task"
+		ce.Name = e.Class
+		ce.Ts = float64(e.TS-e.Dur) * usPerNs
+		ce.Dur = float64(e.Dur) * usPerNs
+		ce.Args = map[string]any{"class": e.Class, "cluster": e.Cluster}
+	case EvSpawn:
+		ce.Args = map[string]any{"class": e.Class, "cluster": e.Cluster, "depth": e.N}
+	case EvPop:
+		ce.Args = map[string]any{"class": e.Class, "cluster": e.Cluster}
+	case EvStealTry:
+		ce.Args = map[string]any{"cluster": e.Cluster, "probes": e.N}
+	case EvSteal:
+		ce.Args = map[string]any{
+			"class": e.Class, "cluster": e.Cluster,
+			"victim": e.Victim, "probes": e.N, "latency_ns": e.Dur,
+		}
+	case EvSnatch:
+		ce.Args = map[string]any{"class": e.Class, "victim": e.Victim}
+	case EvRepartition:
+		ce.Scope = "p" // process scope: the map change affects every worker
+		ce.Args = map[string]any{"duration_ns": e.Dur, "partition": e.Part}
+	}
+	return ce
+}
+
+// FromRecorder converts a simulator trace (virtual-time seconds) into the
+// shared event format (virtual nanoseconds), so simulator and live
+// streams merge into one Chrome trace via WriteChrome. Segments become
+// completes covering the segment window; steals, snatches and
+// repartitions map directly.
+func FromRecorder(r *trace.Recorder) []Event {
+	const nsPerSec = 1e9
+	var out []Event
+	for _, s := range r.Segments {
+		out = append(out, Event{
+			TS: int64(s.End * nsPerSec), Kind: EvComplete,
+			Worker: int32(s.Core), Cluster: -1, Victim: -1,
+			Dur: int64((s.End - s.Start) * nsPerSec), Class: s.Class,
+		})
+	}
+	for _, s := range r.Steals {
+		out = append(out, Event{
+			TS: int64(s.At * nsPerSec), Kind: EvSteal,
+			Worker: int32(s.Thief), Cluster: int32(s.Cluster), Victim: int32(s.Victim),
+		})
+	}
+	for _, s := range r.Snatches {
+		out = append(out, Event{
+			TS: int64(s.At * nsPerSec), Kind: EvSnatch,
+			Worker: int32(s.Thief), Cluster: -1, Victim: int32(s.Victim),
+		})
+	}
+	for _, p := range r.Repartitions {
+		out = append(out, Event{
+			TS: int64(p.At * nsPerSec), Kind: EvRepartition,
+			Worker: -1, Cluster: -1, Victim: -1, Part: p.Classes,
+		})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wats/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedEvents is a deterministic event stream covering every kind.
+func fixedEvents() []Event {
+	return []Event{
+		{TS: 1_000, Seq: 0, Kind: EvSpawn, Worker: 0, Cluster: 0, Victim: -1, N: 1, Class: "ga"},
+		{TS: 2_000, Seq: 1, Kind: EvSpawn, Worker: 0, Cluster: 1, Victim: -1, N: 1, Class: "sha1"},
+		{TS: 3_000, Seq: 2, Kind: EvPop, Worker: 0, Cluster: 0, Victim: -1, Class: "ga"},
+		{TS: 4_000, Seq: 0, Kind: EvStealTry, Worker: 1, Cluster: 0, Victim: -1, N: 2},
+		{TS: 5_000, Seq: 1, Kind: EvSteal, Worker: 1, Cluster: 1, Victim: 0, N: 1, Dur: 1_500, Class: "sha1"},
+		{TS: 9_000, Seq: 0, Kind: EvRepartition, Worker: -1, Cluster: -1, Victim: -1, Dur: 700,
+			Part: map[string]int{"ga": 0, "sha1": 1}},
+		{TS: 20_000, Seq: 3, Kind: EvComplete, Worker: 0, Cluster: 0, Victim: -1, Dur: 17_000, Class: "ga"},
+		{TS: 21_000, Seq: 2, Kind: EvComplete, Worker: 1, Cluster: 1, Victim: -1, Dur: 16_000, Class: "sha1"},
+		{TS: 22_000, Seq: 3, Kind: EvSnatch, Worker: 1, Cluster: -1, Victim: 0, Class: "ga"},
+	}
+}
+
+// TestChromeGolden locks the exporter's output format: the golden file is
+// a Chrome trace_event document that loads in about://tracing / Perfetto.
+// Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChrome(&buf,
+		Stream{Name: "wats-live", Events: fixedEvents(), Threads: map[int]string{0: "worker 0 (rel 1.00)"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file (rerun with -update if intended)\n--- got ---\n%s", buf.String())
+	}
+}
+
+// TestChromeWellFormed checks structural invariants independent of the
+// golden bytes: valid JSON, every event has a phase, completes carry
+// durations, metadata names processes and threads.
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, Stream{Name: "a", Events: fixedEvents()}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", e)
+		}
+		phases[ph]++
+		if ph == "X" {
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("X event missing dur: %v", e)
+			}
+		}
+	}
+	// 2 completes as X; 2 spawns + pop + steal-try + steal + snatch +
+	// repartition as instants; process_name + 3 thread_name rows as M.
+	if phases["X"] != 2 || phases["M"] != 4 || phases["i"] != 7 {
+		t.Fatalf("unexpected phase mix %v", phases)
+	}
+}
+
+// TestFromRecorderMerge converts a simulator trace and merges it with a
+// live stream into one document with two processes.
+func TestFromRecorderMerge(t *testing.T) {
+	rec := trace.New()
+	rec.Segment(0, 1, "ga", 0.001, 0.004)
+	rec.Steal(1, 0, 0, 2, 0.002)
+	rec.Snatch(1, 0, 3, 0.003)
+	rec.Repartition(0.0035, map[string]int{"ga": 0})
+	evs := FromRecorder(rec)
+	if len(evs) != 4 {
+		t.Fatalf("FromRecorder returned %d events, want 4", len(evs))
+	}
+	kinds := map[EventKind]bool{}
+	for _, e := range evs {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []EventKind{EvComplete, EvSteal, EvSnatch, EvRepartition} {
+		if !kinds[k] {
+			t.Fatalf("missing kind %v in converted events", k)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := WriteChrome(&buf,
+		Stream{Name: "wats-live", Events: fixedEvents()},
+		Stream{Name: "wats-sim", Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e["pid"].(float64)] = true
+	}
+	if !pids[0] || !pids[1] {
+		t.Fatalf("merged trace should contain pids 0 and 1, got %v", pids)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i counts
+// values v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0 and v == 1
+// lands in bucket 1), covering nanosecond-scale values up to ~2^47 ns
+// (~39 hours) before saturating into the last bucket.
+const histBuckets = 48
+
+// Histogram is a lock-free log₂-scale histogram of non-negative int64
+// samples (typically nanoseconds or queue depths). Observe is one atomic
+// add on a bucket plus two on the totals; snapshots are taken without
+// stopping writers and are therefore only eventually consistent.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^i − 1;
+// bucket 0, which counts non-positive samples, has bound 0).
+func BucketBound(i int) uint64 {
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe folds one sample into the histogram.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	// Buckets[i] counts samples in [2^(i-1), 2^i).
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Mean returns the average observed sample, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// MaxBucket returns the index of the highest non-empty bucket, or -1 when
+// the histogram is empty.
+func (s HistSnapshot) MaxBucket() int {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// WorkerCounters is the engine-agnostic per-worker counter row the
+// /metrics handler renders (the live runtime's Stats() maps onto it; see
+// cmd/watsrun).
+type WorkerCounters struct {
+	Worker        int
+	Group         int
+	TasksRun      int64
+	Steals        int64
+	StealAttempts int64
+	Snatches      int64
+	BusyNanos     int64
+}
+
+// MetricsHandler serves the tracer's counters and histograms in the
+// Prometheus text exposition format. tracer and workers are getters so
+// one long-lived debug server can follow a sequence of runs; either may
+// return nil.
+func MetricsHandler(tracer func() *Tracer, workers func() []WorkerCounters) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		if t := tracer(); t != nil {
+			writeTracerMetrics(&sb, t)
+		}
+		if workers != nil {
+			writeWorkerMetrics(&sb, workers())
+		}
+		_, _ = w.Write([]byte(sb.String()))
+	})
+}
+
+func writeTracerMetrics(sb *strings.Builder, t *Tracer) {
+	c := t.Counters()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("wats_spawns_total", "Tasks pushed to scheduler pools.", c.Spawns)
+	counter("wats_pops_total", "Own-pool task acquisitions.", c.Pops)
+	counter("wats_steal_attempts_total", "Victim-pool steal probes, successful or not.", c.StealAttempts)
+	counter("wats_steals_total", "Successful steals.", c.Steals)
+	counter("wats_snatches_total", "Preemptions of running tasks.", c.Snatches)
+	counter("wats_completes_total", "Completed tasks.", c.Completes)
+	counter("wats_repartitions_total", "Helper-thread cluster-map rebuilds (Algorithm 1).", c.Repartitions)
+	counter("wats_trace_events_total", "Scheduler events recorded to ring buffers.", c.Events)
+	counter("wats_trace_events_dropped_total", "Ring-buffer events overwritten before reading.", c.Dropped)
+
+	histogram(sb, "wats_steal_latency_nanos", "Acquisition-walk latency of successful steals.", "", t.StealLatency())
+	histogram(sb, "wats_repartition_duration_nanos", "Algorithm 1 rebuild duration.", "", t.RepartitionDuration())
+	histogram(sb, "wats_queue_depth", "Pool depth observed after each push.", "", t.QueueDepth())
+
+	classes := t.ClassWork()
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(sb, "# HELP wats_class_work_nanos Eq.2-normalized execution time per task class.\n# TYPE wats_class_work_nanos histogram\n")
+	for _, name := range names {
+		histogram(sb, "wats_class_work_nanos", "", fmt.Sprintf("class=%q", name), classes[name])
+	}
+}
+
+// histogram writes one Prometheus histogram. Buckets above the highest
+// non-empty one collapse into +Inf to keep the exposition small; the
+// cumulative counts stay exact.
+func histogram(sb *strings.Builder, name, help, labels string, s HistSnapshot) {
+	if help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	top := s.MaxBucket()
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, BucketBound(i), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		fmt.Fprintf(sb, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+	} else {
+		fmt.Fprintf(sb, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, labels, s.Sum, name, labels, s.Count)
+	}
+}
+
+func writeWorkerMetrics(sb *strings.Builder, ws []WorkerCounters) {
+	if len(ws) == 0 {
+		return
+	}
+	gauge := func(name, help string, get func(WorkerCounters) int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, w := range ws {
+			fmt.Fprintf(sb, "%s{worker=\"%d\",group=\"%d\"} %d\n", name, w.Worker, w.Group, get(w))
+		}
+	}
+	gauge("wats_worker_tasks_total", "Tasks executed per worker.", func(w WorkerCounters) int64 { return w.TasksRun })
+	gauge("wats_worker_steals_total", "Successful steals per worker.", func(w WorkerCounters) int64 { return w.Steals })
+	gauge("wats_worker_steal_attempts_total", "Victim-pool probes per worker.", func(w WorkerCounters) int64 { return w.StealAttempts })
+	gauge("wats_worker_snatches_total", "Preemptions per worker.", func(w WorkerCounters) int64 { return w.Snatches })
+	gauge("wats_worker_busy_nanos_total", "Busy time per worker (stalls included).", func(w WorkerCounters) int64 { return w.BusyNanos })
+}
+
+// expvarOnce guards the process-wide expvar name, which panics on
+// duplicate registration (tests construct many tracers).
+var (
+	expvarOnce   sync.Once
+	expvarTracer func() *Tracer
+	expvarMu     sync.Mutex
+)
+
+// PublishExpvar exposes the tracer's counters under the expvar name
+// "wats" (served by expvar's /debug/vars). Later calls rebind the getter,
+// so a long-lived debug server follows the most recent run.
+func PublishExpvar(tracer func() *Tracer) {
+	expvarMu.Lock()
+	expvarTracer = tracer
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("wats", expvar.Func(func() any {
+			expvarMu.Lock()
+			get := expvarTracer
+			expvarMu.Unlock()
+			if get == nil {
+				return nil
+			}
+			t := get()
+			if t == nil {
+				return nil
+			}
+			return t.Counters()
+		}))
+	})
+}
+
+// NewMux builds the debug server: Prometheus /metrics, pprof under
+// /debug/pprof/, expvar under /debug/vars, the scheduler snapshot as JSON
+// at /debug/wats, and the buffered events as a Chrome trace at
+// /debug/wats/trace (save it and load in Perfetto). All three getters may
+// return nil while no run is active.
+func NewMux(tracer func() *Tracer, snapshot func() any, workers func() []WorkerCounters) *http.ServeMux {
+	PublishExpvar(tracer)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(tracer, workers))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/wats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var s any
+		if snapshot != nil {
+			s = snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(s)
+	})
+	mux.HandleFunc("/debug/wats/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := tracer()
+		if t == nil {
+			http.Error(w, "no active tracer", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChrome(w, Stream{Name: "wats-live", Events: t.Events()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `wats debug server
+  /metrics          Prometheus text metrics
+  /debug/wats       scheduler snapshot (JSON)
+  /debug/wats/trace Chrome trace of buffered events (load in Perfetto)
+  /debug/vars       expvar
+  /debug/pprof/     pprof
+`)
+	})
+	return mux
+}

@@ -1,0 +1,60 @@
+package obs
+
+import "sync/atomic"
+
+// ring is a fixed-size drop-oldest event buffer. Writers reserve a slot
+// with one atomic fetch-add and publish the event through an atomic
+// pointer store, so the structure is safe for any number of concurrent
+// writers plus concurrent readers without locks; when the buffer wraps,
+// the oldest events are overwritten. Readers take a best-effort snapshot:
+// under concurrent writes a snapshot may miss an event that is mid-publish
+// or see slots from different laps, which snapshot() resolves by sequence
+// number.
+//
+// The sequence counter sits alone on its cache line (pads on both sides)
+// so that workers hammering their own rings do not false-share it with a
+// neighbouring ring's counter or the slot slice header.
+type ring struct {
+	_     [64]byte
+	seq   atomic.Uint64 // next sequence number; slot = seq & mask
+	_     [56]byte
+	slots []atomic.Pointer[Event]
+	mask  uint64
+}
+
+// newRing returns a ring with the given power-of-two capacity.
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Event], size), mask: uint64(size - 1)}
+}
+
+// put records one event. The caller passes a fresh *Event that the ring
+// takes ownership of; its Seq field is assigned here.
+func (r *ring) put(e *Event) {
+	i := r.seq.Add(1) - 1
+	e.Seq = i
+	r.slots[i&r.mask].Store(e)
+}
+
+// written returns the total number of events ever put.
+func (r *ring) written() uint64 { return r.seq.Load() }
+
+// dropped returns how many events have been overwritten by wrapping.
+func (r *ring) dropped() uint64 {
+	n := r.seq.Load()
+	if size := uint64(len(r.slots)); n > size {
+		return n - size
+	}
+	return 0
+}
+
+// snapshot appends a copy of the currently buffered events to dst. Events
+// from a torn lap (sequence ahead of the snapshot's view) are kept — they
+// are simply newer; nil slots (never written) are skipped.
+func (r *ring) snapshot(dst []Event) []Event {
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			dst = append(dst, *p)
+		}
+	}
+	return dst
+}

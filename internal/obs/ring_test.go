@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingConcurrent hammers one tracer from many writer goroutines while
+// a reader snapshots continuously — the CI race pass runs this under
+// -race, which is the point: the rings must be race-clean, not just
+// "probably fine".
+func TestRingConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		events  = 2000
+	)
+	tr := NewTracer(writers, 256)
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := tr.Events()
+			for _, e := range evs {
+				if e.Kind >= numEventKinds {
+					t.Errorf("snapshot returned corrupt event kind %d", e.Kind)
+					return
+				}
+			}
+			_ = tr.Counters()
+			_ = tr.ClassWork()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				switch i % 4 {
+				case 0:
+					tr.Spawn(w, 0, "c", i%7)
+				case 1:
+					tr.Pop(w, 0, "c")
+				case 2:
+					tr.Steal(w, (w+1)%writers, 0, "c", 2, time.Microsecond)
+				default:
+					tr.Complete(w, 0, "c", time.Millisecond)
+				}
+			}
+			// The shared external ring takes concurrent writers from every
+			// goroutine (helper repartitions, external spawns).
+			tr.Repartition(time.Microsecond, map[string]int{"c": 0})
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+
+	c := tr.Counters()
+	if got := c.Spawns + c.Pops + c.Steals + c.Completes + c.Repartitions; got != writers*events+writers {
+		t.Fatalf("counter total = %d, want %d", got, writers*events+writers)
+	}
+	if c.Events != writers*events+writers {
+		t.Fatalf("events recorded = %d, want %d", c.Events, writers*events+writers)
+	}
+	// Each per-worker ring holds 256 events and saw 2000: most were
+	// dropped (drop-oldest), and the quiescent snapshot holds exactly the
+	// buffered remainder.
+	if c.Dropped == 0 {
+		t.Fatalf("expected drop-oldest wrapping, got Dropped=0")
+	}
+	evs := tr.Events()
+	if len(evs) != int(c.Events-c.Dropped) {
+		t.Fatalf("quiescent snapshot has %d events, want %d", len(evs), c.Events-c.Dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot not time-sorted at %d", i)
+		}
+	}
+}
+
+// TestRingDropOldest checks the wrap bookkeeping single-threaded.
+func TestRingDropOldest(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 10; i++ {
+		r.put(&Event{TS: int64(i)})
+	}
+	if got := r.written(); got != 10 {
+		t.Fatalf("written = %d, want 10", got)
+	}
+	if got := r.dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := r.snapshot(nil)
+	if len(evs) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(evs))
+	}
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		seen[e.TS] = true
+	}
+	for ts := int64(6); ts < 10; ts++ {
+		if !seen[ts] {
+			t.Fatalf("newest events should survive wrap; missing TS %d in %v", ts, evs)
+		}
+	}
+}
+
+func TestTracerRingSizeRounding(t *testing.T) {
+	tr := NewTracer(2, 100) // rounds up to 128
+	if got := len(tr.rings[0].slots); got != 128 {
+		t.Fatalf("ring size = %d, want 128", got)
+	}
+	if tr.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", tr.Workers())
+	}
+	// Worker -1 and out-of-range workers land in the shared last ring.
+	tr.Repartition(time.Microsecond, nil)
+	tr.Spawn(-1, -1, "x", 0)
+	if got := tr.rings[len(tr.rings)-1].written(); got != 2 {
+		t.Fatalf("external ring has %d events, want 2", got)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"wats/internal/amc"
 	"wats/internal/deque"
 	"wats/internal/history"
+	"wats/internal/obs"
 	"wats/internal/rng"
 	"wats/internal/sched"
 	"wats/internal/task"
@@ -68,6 +69,12 @@ type Config struct {
 	// synchronization; external Spawn calls are routed through a small
 	// locked inbox (Chase-Lev requires owner-only pushes).
 	LockFree bool
+	// Obs, when non-nil, receives scheduler events (spawn, pop, steal
+	// attempt/success, complete, repartition) and feeds the metrics
+	// endpoints. Every emission site is guarded by one nil-check, so a
+	// nil Obs costs a single predictable branch (see BenchmarkObsHook).
+	// Build it with obs.NewTracer(cfg.Arch.NumCores(), 0).
+	Obs *obs.Tracer
 }
 
 // Task is one unit of work submitted to the runtime.
@@ -153,6 +160,9 @@ type taskPool interface {
 	stealTop() *liveTask
 	// empty reports (racily, in lock-free mode) whether the pool is empty.
 	empty() bool
+	// size reports (racily, in lock-free mode) the current depth; used by
+	// tracing and introspection only.
+	size() int
 }
 
 // pool is a mutex-guarded deque (the paper's task pools lock only for
@@ -195,6 +205,13 @@ func (p *pool) empty() bool {
 	return e
 }
 
+func (p *pool) size() int {
+	p.mu.Lock()
+	n := p.d.Len()
+	p.mu.Unlock()
+	return n
+}
+
 // clPool adapts the lock-free Chase-Lev deque to the taskPool interface.
 type clPool struct {
 	d *deque.ChaseLevPtr[liveTask]
@@ -222,24 +239,36 @@ func (p *clPool) stealTop() *liveTask {
 
 func (p *clPool) empty() bool { return p.d.Empty() }
 
+func (p *clPool) size() int { return p.d.Len() }
+
 // WorkerStats reports one worker's counters.
 type WorkerStats struct {
-	Worker    int
-	Group     int
-	Rel       float64
-	TasksRun  int64
-	Steals    int64
+	Worker   int
+	Group    int
+	Rel      float64
+	TasksRun int64
+	// Steals counts successful steals; StealAttempts counts every
+	// victim-pool probe of the acquisition walk, successful or not —
+	// attempts minus steals is the failed-probe traffic that reveals
+	// contention a success-only count hides.
+	Steals        int64
+	StealAttempts int64
+	// Snatches counts preemptions of other workers' running tasks. The
+	// live runtime cannot preempt goroutines (see the package comment),
+	// so this stays 0 here; the field keeps live and simulated stats
+	// rows aligned.
+	Snatches  int64
 	BusyNanos int64
 }
 
 // Runtime is the live scheduler instance.
 type Runtime struct {
-	cfg   Config
-	arch  *amc.Arch
-	strat sched.Strategy
-	k     int  // pool columns per worker (strat.Clusters())
-	central bool // strat.Central(): all work flows through the inbox
-	pools [][]taskPool // [worker][cluster]
+	cfg     Config
+	arch    *amc.Arch
+	strat   sched.Strategy
+	k       int          // pool columns per worker (strat.Clusters())
+	central bool         // strat.Central(): all work flows through the inbox
+	pools   [][]taskPool // [worker][cluster]
 	// inbox receives external (non-worker) spawns in lock-free mode, where
 	// workers own their deques' push ends exclusively, and every spawn for
 	// central-queue policies (Share).
@@ -256,9 +285,14 @@ type Runtime struct {
 	// policy has no reorganization step (no helper started).
 	helperDone chan struct{}
 
-	tasksRun []atomic.Int64
-	steals   []atomic.Int64
-	busy     []atomic.Int64
+	tasksRun      []atomic.Int64
+	steals        []atomic.Int64
+	stealAttempts []atomic.Int64
+	snatches      []atomic.Int64
+	busy          []atomic.Int64
+	// obs, when non-nil, receives scheduler events; every emission is
+	// behind one nil-check so disabled tracing costs a single branch.
+	obs *obs.Tracer
 	// helpRngs are per-worker victim-selection streams for Group.Wait's
 	// helping path (the worker loop has its own stream).
 	helpRngs []*rng.Source
@@ -289,14 +323,17 @@ func New(cfg Config) (*Runtime, error) {
 	strat.Bind(cfg.Arch)
 	n := cfg.Arch.NumCores()
 	rt := &Runtime{
-		cfg:      cfg,
-		arch:     cfg.Arch,
-		strat:    strat,
-		k:        strat.Clusters(),
-		central:  strat.Central(),
-		tasksRun: make([]atomic.Int64, n),
-		steals:   make([]atomic.Int64, n),
-		busy:     make([]atomic.Int64, n),
+		cfg:           cfg,
+		arch:          cfg.Arch,
+		strat:         strat,
+		k:             strat.Clusters(),
+		central:       strat.Central(),
+		tasksRun:      make([]atomic.Int64, n),
+		steals:        make([]atomic.Int64, n),
+		stealAttempts: make([]atomic.Int64, n),
+		snatches:      make([]atomic.Int64, n),
+		busy:          make([]atomic.Int64, n),
+		obs:           cfg.Obs,
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	f1 := cfg.Arch.FastestFreq()
@@ -353,6 +390,9 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
 	if rt.cfg.LockFree && !rt.central {
 		rt.outstanding.Add(1)
 		rt.inbox.push(&liveTask{class: class, fn: fn})
+		if rt.obs != nil {
+			rt.obs.Spawn(-1, -1, class, rt.inbox.size())
+		}
 		rt.wake()
 		return
 	}
@@ -376,8 +416,16 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	rt.outstanding.Add(1)
 	if rt.central {
 		rt.inbox.push(t)
+		if rt.obs != nil {
+			rt.obs.Spawn(worker, 0, t.class, rt.inbox.size())
+		}
 	} else {
-		rt.pools[worker][rt.clusterOf(t.class)].push(t)
+		cl := rt.clusterOf(t.class)
+		p := rt.pools[worker][cl]
+		p.push(t)
+		if rt.obs != nil {
+			rt.obs.Spawn(worker, cl, t.class, p.size())
+		}
 	}
 	rt.wake()
 }
@@ -395,7 +443,14 @@ func (rt *Runtime) wake() {
 // mode is inert here: a running goroutine cannot be preempted (see the
 // package comment).
 func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
+	var t0 time.Time
+	if rt.obs != nil {
+		t0 = time.Now()
+	}
 	if t := rt.inbox.stealTop(); t != nil {
+		if rt.obs != nil {
+			rt.obs.Pop(w, -1, t.class)
+		}
 		return t
 	}
 	if rt.central {
@@ -403,20 +458,33 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 	}
 	for _, cl := range rt.strat.AcquireOrder(rt.grps[w]) {
 		if t := rt.pools[w][cl].popBottom(); t != nil {
+			if rt.obs != nil {
+				rt.obs.Pop(w, cl, t.class)
+			}
 			return t
 		}
 		// Random victims within the cluster.
 		n := len(rt.pools)
 		start := r.Intn(n)
+		probes := int64(0)
 		for i := 0; i < n; i++ {
 			v := (start + i) % n
 			if v == w {
 				continue
 			}
+			probes++
 			if t := rt.pools[v][cl].stealTop(); t != nil {
 				rt.steals[w].Add(1)
+				rt.stealAttempts[w].Add(probes)
+				if rt.obs != nil {
+					rt.obs.Steal(w, v, cl, t.class, int(probes), time.Since(t0))
+				}
 				return t
 			}
+		}
+		rt.stealAttempts[w].Add(probes)
+		if rt.obs != nil && probes > 0 {
+			rt.obs.StealTry(w, cl, int(probes))
 		}
 	}
 	return nil
@@ -464,6 +532,9 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	// workload is exactly d.
 	rt.strat.Observe(t.class, d.Seconds(), 0)
 	rt.tasksRun[w].Add(1)
+	if rt.obs != nil {
+		rt.obs.Complete(w, rt.clusterOf(t.class), t.class, d)
+	}
 	if t.group != nil && t.group.pending.Add(-1) == 0 {
 		// The group drained: wake workers parked in Group.Wait.
 		rt.wake()
@@ -540,7 +611,14 @@ func (rt *Runtime) helper() {
 			if rt.shutdown.Load() {
 				return
 			}
-			rt.strat.Reorganize()
+			if rt.obs != nil {
+				t0 := time.Now()
+				if rt.strat.Reorganize() {
+					rt.obs.Repartition(time.Since(t0), rt.strat.Allocator().Map().Snapshot())
+				}
+			} else {
+				rt.strat.Reorganize()
+			}
 		case <-rt.helperDone:
 			return
 		}
@@ -575,6 +653,10 @@ func (rt *Runtime) Shutdown() {
 // Strategy exposes the scheduling strategy driving this runtime.
 func (rt *Runtime) Strategy() sched.Strategy { return rt.strat }
 
+// Tracer returns the attached observability tracer, or nil when tracing
+// is disabled.
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.obs }
+
 // Registry exposes the learned task-class statistics.
 func (rt *Runtime) Registry() *task.Registry { return rt.strat.Registry() }
 
@@ -587,12 +669,14 @@ func (rt *Runtime) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(rt.pools))
 	for w := range out {
 		out[w] = WorkerStats{
-			Worker:    w,
-			Group:     rt.grps[w],
-			Rel:       rt.rels[w],
-			TasksRun:  rt.tasksRun[w].Load(),
-			Steals:    rt.steals[w].Load(),
-			BusyNanos: rt.busy[w].Load(),
+			Worker:        w,
+			Group:         rt.grps[w],
+			Rel:           rt.rels[w],
+			TasksRun:      rt.tasksRun[w].Load(),
+			Steals:        rt.steals[w].Load(),
+			StealAttempts: rt.stealAttempts[w].Load(),
+			Snatches:      rt.snatches[w].Load(),
+			BusyNanos:     rt.busy[w].Load(),
 		}
 	}
 	return out

@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"wats/internal/task"
+)
+
+// Snapshot is a point-in-time view of the scheduler's observable state:
+// the learned task classes TC(f, n, w), the current class → cluster
+// partition and how often it was rebuilt, the per-c-group preference
+// tables the acquisition walk follows, live deque depths and the
+// per-worker counters. It is what `watsrun -inspect` renders and what the
+// debug server serves at /debug/wats. Depths and counters are racy
+// point-reads while workers run; everything else is a consistent copy.
+type Snapshot struct {
+	Policy  string `json:"policy"`
+	Arch    string `json:"arch"`
+	Workers int    `json:"workers"`
+	CGroups int    `json:"cgroups"`
+	// Classes are the learned task-class records, sorted by descending
+	// average workload (the order Algorithm 1 consumes).
+	Classes []task.Class `json:"classes"`
+	// Partition is the current class → cluster assignment of the
+	// history-based allocator (empty until the first reorganization).
+	Partition map[string]int `json:"partition"`
+	// Reorganizations counts Algorithm 1 rebuilds so far.
+	Reorganizations int `json:"reorganizations"`
+	// PreferenceTables[g] is the cluster walk an idle worker of c-group g
+	// performs (Algorithm 3's "rob the weaker first" lists for WATS).
+	PreferenceTables [][]int `json:"preference_tables"`
+	// DequeDepths[w][c] is worker w's current pool depth for cluster c.
+	DequeDepths [][]int `json:"deque_depths"`
+	// InboxDepth is the external-spawn / central-queue depth.
+	InboxDepth int `json:"inbox_depth"`
+	// Outstanding is the number of spawned-but-uncompleted tasks.
+	Outstanding int64 `json:"outstanding"`
+	// Stats are the per-worker counters (see WorkerStats).
+	Stats []WorkerStats `json:"stats"`
+}
+
+// Snapshot captures the current scheduler state. It is safe to call at
+// any time, including while workers run.
+func (rt *Runtime) Snapshot() Snapshot {
+	s := Snapshot{
+		Policy:          string(rt.strat.Kind()),
+		Arch:            rt.arch.Name,
+		Workers:         len(rt.pools),
+		CGroups:         rt.arch.K(),
+		Classes:         rt.Registry().Snapshot(),
+		Partition:       rt.strat.Allocator().Map().Snapshot(),
+		Reorganizations: rt.strat.Allocator().Reorganizations(),
+		InboxDepth:      rt.inbox.size(),
+		Outstanding:     rt.outstanding.Load(),
+		Stats:           rt.Stats(),
+	}
+	for g := 0; g < rt.arch.K(); g++ {
+		order := rt.strat.AcquireOrder(g)
+		s.PreferenceTables = append(s.PreferenceTables, append([]int(nil), order...))
+	}
+	for _, ps := range rt.pools {
+		depths := make([]int, len(ps))
+		for c, p := range ps {
+			depths[c] = p.size()
+		}
+		s.DequeDepths = append(s.DequeDepths, depths)
+	}
+	return s
+}
+
+// String renders the snapshot as the compact text report of
+// `watsrun -inspect`.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "policy %s on %s: %d workers in %d c-groups, %d reorganizations, %d outstanding\n",
+		s.Policy, s.Arch, s.Workers, s.CGroups, s.Reorganizations, s.Outstanding)
+	if len(s.Classes) > 0 {
+		fmt.Fprintf(&sb, "classes (TC(f,n,w), avg fastest-core ms -> cluster):\n")
+		for _, c := range s.Classes {
+			cl, ok := s.Partition[c.Name]
+			at := "-"
+			if ok {
+				at = fmt.Sprintf("%d", cl)
+			}
+			fmt.Fprintf(&sb, "  %-12s n=%-5d w=%8.3fms -> %s\n", c.Name, c.Count, 1000*c.AvgWork, at)
+		}
+	}
+	fmt.Fprintf(&sb, "preference tables (c-group: cluster walk):\n")
+	for g, order := range s.PreferenceTables {
+		fmt.Fprintf(&sb, "  C%d: %v\n", g+1, order)
+	}
+	fmt.Fprintf(&sb, "deque depths (worker x cluster, inbox %d):\n", s.InboxDepth)
+	for w, depths := range s.DequeDepths {
+		fmt.Fprintf(&sb, "  w%-2d %v\n", w, depths)
+	}
+	fmt.Fprintf(&sb, "workers (tasks / steals / attempts / busy):\n")
+	for _, st := range s.Stats {
+		fmt.Fprintf(&sb, "  w%-2d g%d rel %.2f  %6d / %5d / %6d / %.1fms\n",
+			st.Worker, st.Group, st.Rel, st.TasksRun, st.Steals, st.StealAttempts,
+			float64(st.BusyNanos)/1e6)
+	}
+	return sb.String()
+}

@@ -129,9 +129,21 @@ func (a *simAdapter) onComplete(t *task.Task) {
 	a.s.Observe(t.Class, t.Measured, t.CMPI)
 }
 
+// repartitionTracer is the optional sim.Tracer extension that receives
+// helper-tick cluster-map rebuilds (trace.Recorder implements it).
+type repartitionTracer interface {
+	Repartition(at float64, classes map[string]int)
+}
+
 func (a *simAdapter) onHelperTick() {
-	if a.s.Reorganizes() {
-		a.s.Reorganize()
+	if !a.s.Reorganizes() {
+		return
+	}
+	if !a.s.Reorganize() {
+		return
+	}
+	if rt, ok := a.e.Cfg.Tracer.(repartitionTracer); ok {
+		rt.Repartition(a.e.Now(), a.s.Allocator().Map().Snapshot())
 	}
 }
 
@@ -144,11 +156,11 @@ type simPolicy struct {
 // newSimPolicy wraps an unbound strategy into a sim.Policy.
 func newSimPolicy(s Strategy) *simPolicy { return &simPolicy{simAdapter{s: s}} }
 
-func (p *simPolicy) Name() string                                 { return string(p.s.Kind()) }
-func (p *simPolicy) ChildFirst() bool                             { return p.s.ChildFirst() }
-func (p *simPolicy) Init(e *sim.Engine)                           { p.init(e) }
-func (p *simPolicy) Inject(origin *sim.Core, t *task.Task)        { p.inject(origin, t) }
-func (p *simPolicy) Enqueue(c *sim.Core, t *task.Task)            { p.enqueue(c, t) }
-func (p *simPolicy) Acquire(c *sim.Core) (*task.Task, float64)    { return p.acquire(c) }
-func (p *simPolicy) OnComplete(c *sim.Core, t *task.Task)         { p.onComplete(t) }
-func (p *simPolicy) OnHelperTick(e *sim.Engine)                   { p.onHelperTick() }
+func (p *simPolicy) Name() string                              { return string(p.s.Kind()) }
+func (p *simPolicy) ChildFirst() bool                          { return p.s.ChildFirst() }
+func (p *simPolicy) Init(e *sim.Engine)                        { p.init(e) }
+func (p *simPolicy) Inject(origin *sim.Core, t *task.Task)     { p.inject(origin, t) }
+func (p *simPolicy) Enqueue(c *sim.Core, t *task.Task)         { p.enqueue(c, t) }
+func (p *simPolicy) Acquire(c *sim.Core) (*task.Task, float64) { return p.acquire(c) }
+func (p *simPolicy) OnComplete(c *sim.Core, t *task.Task)      { p.onComplete(t) }
+func (p *simPolicy) OnHelperTick(e *sim.Engine)                { p.onHelperTick() }

@@ -185,18 +185,18 @@ func (b *base) Bind(arch *amc.Arch) {
 	b.order = [][]int{{0}}
 }
 
-func (b *base) ChildFirst() bool                  { return b.childFirst }
-func (b *base) Clusters() int                     { return 1 }
-func (b *base) Central() bool                     { return b.central }
-func (b *base) ClusterOf(class string) int        { return 0 }
-func (b *base) AcquireOrder(group int) []int      { return b.order[0] }
-func (b *base) SnatchMode() SnatchMode            { return b.snatch }
-func (b *base) NoteSpawn(parent, child string)    {}
+func (b *base) ChildFirst() bool                   { return b.childFirst }
+func (b *base) Clusters() int                      { return 1 }
+func (b *base) Central() bool                      { return b.central }
+func (b *base) ClusterOf(class string) int         { return 0 }
+func (b *base) AcquireOrder(group int) []int       { return b.order[0] }
+func (b *base) SnatchMode() SnatchMode             { return b.snatch }
+func (b *base) NoteSpawn(parent, child string)     {}
 func (b *base) Observe(class string, m, c float64) { b.reg.ObserveFull(class, m, c) }
-func (b *base) Reorganizes() bool                 { return false }
-func (b *base) Reorganize() bool                  { return false }
-func (b *base) Registry() *task.Registry          { return b.reg }
-func (b *base) Allocator() *history.Allocator     { return b.alloc }
+func (b *base) Reorganizes() bool                  { return false }
+func (b *base) Reorganize() bool                   { return false }
+func (b *base) Registry() *task.Registry           { return b.reg }
+func (b *base) Allocator() *history.Allocator      { return b.alloc }
 
 // EstimateWork reports the class average even for history-less kinds: RTS
 // snatches randomly and never consults it, but a uniform answer keeps the

@@ -37,12 +37,23 @@ type CompleteEvent struct {
 	At           float64
 }
 
-// Recorder implements sim.Tracer by accumulating all events.
+// RepartitionEvent is one helper-tick rebuild of the class-to-cluster map
+// (Algorithm 1): the virtual time it happened and the new assignment.
+type RepartitionEvent struct {
+	At      float64
+	Classes map[string]int
+}
+
+// Recorder implements sim.Tracer by accumulating all events. It also
+// implements the optional repartition-tracing extension the strategy
+// layer probes for, so helper-tick rebuilds land in the trace alongside
+// steals and completions.
 type Recorder struct {
-	Segments  []Segment
-	Steals    []StealEvent
-	Snatches  []SnatchEvent
-	Completes []CompleteEvent
+	Segments     []Segment
+	Steals       []StealEvent
+	Snatches     []SnatchEvent
+	Completes    []CompleteEvent
+	Repartitions []RepartitionEvent
 }
 
 // New returns an empty Recorder.
@@ -66,6 +77,12 @@ func (r *Recorder) Steal(thief, victim, cluster, taskID int, at float64) {
 // Snatch implements sim.Tracer.
 func (r *Recorder) Snatch(thief, victim, taskID int, at float64) {
 	r.Snatches = append(r.Snatches, SnatchEvent{thief, victim, taskID, at})
+}
+
+// Repartition records one cluster-map rebuild (the optional extension of
+// sim.Tracer the sched adapter emits through).
+func (r *Recorder) Repartition(at float64, classes map[string]int) {
+	r.Repartitions = append(r.Repartitions, RepartitionEvent{at, classes})
 }
 
 // Makespan returns the last recorded segment end.

@@ -29,7 +29,10 @@
 package wats
 
 import (
+	"io"
+
 	"wats/internal/amc"
+	"wats/internal/obs"
 	liveruntime "wats/internal/runtime"
 	"wats/internal/sched"
 	"wats/internal/sim"
@@ -80,6 +83,18 @@ type (
 	Group = liveruntime.Group
 	// WorkerStats reports one live worker's counters.
 	WorkerStats = liveruntime.WorkerStats
+	// Tracer records scheduler events and metrics for one engine run;
+	// attach one through RuntimeConfig.Obs to turn tracing on.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded scheduler event (spawn, pop, steal,
+	// snatch, complete, repartition).
+	TraceEvent = obs.Event
+	// TraceStream is one engine run's events for the Chrome exporter.
+	TraceStream = obs.Stream
+	// RuntimeSnapshot is a point-in-time introspection view of a live
+	// Runtime: task classes, the c-group partition, preference tables
+	// and deque depths.
+	RuntimeSnapshot = liveruntime.Snapshot
 )
 
 // The built-in scheduling policies.
@@ -132,6 +147,17 @@ func NewStrategy(kind Kind) (Strategy, error) { return sched.NewStrategy(kind) }
 //	rt.Spawn("work", func(ctx *wats.Ctx) { ... })
 //	rt.Wait()
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return liveruntime.New(cfg) }
+
+// NewTracer returns a scheduler-event tracer for the given worker count.
+// ringSize is the per-worker event capacity (0 = default). Pass the
+// tracer as RuntimeConfig.Obs; a nil Obs keeps every tracing hook down
+// to a single predictable branch.
+func NewTracer(workers, ringSize int) *Tracer { return obs.NewTracer(workers, ringSize) }
+
+// WriteChrome writes one or more event streams as a Chrome trace_event
+// JSON document (load it in about://tracing or ui.perfetto.dev). Merge a
+// live run with a simulated one by passing both streams.
+func WriteChrome(w io.Writer, streams ...TraceStream) error { return obs.WriteChrome(w, streams...) }
 
 // Simulate runs one workload under one policy on one architecture and
 // returns the run's result. It is deterministic in cfg.Seed.
