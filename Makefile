@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench figures trace-demo vulncheck
+.PHONY: check vet build test race bench bench-sched figures trace-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,10 +16,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-sched measures the scheduler hot path (DESIGN.md §7's table):
+# spawn→execute throughput and per-worker class-statistics recording.
+# 5 counts so a median survives machine noise.
+bench-sched:
+	$(GO) test -run xxx -bench 'BenchmarkSpawnParallel' -benchmem -count=5 ./internal/runtime/
+	$(GO) test -run xxx -bench 'BenchmarkObserveParallel' -benchmem -count=5 ./internal/task/
 
 figures:
 	$(GO) run ./cmd/watsbench -experiment all -seeds 5

@@ -18,15 +18,20 @@ package deque
 // Deque is a growable ring-buffer double-ended queue. The zero value is
 // ready to use. It is not safe for concurrent use; the simulator's event
 // loop serializes access, and the live runtime wraps it in a mutex.
+//
+// The buffer capacity is kept a power of two so ring indices are computed
+// with a mask instead of an integer division (the push/pop pair sits on
+// the runtime's per-task path).
 type Deque[T any] struct {
 	buf  []T
+	mask int // len(buf) - 1; len(buf) is always a power of two
 	head int // index of the top (steal end)
 	n    int // number of elements
 }
 
 // New returns an empty deque with a small initial capacity.
 func New[T any]() *Deque[T] {
-	return &Deque[T]{buf: make([]T, 8)}
+	return &Deque[T]{buf: make([]T, 8), mask: 7}
 }
 
 // Len returns the number of queued elements.
@@ -42,9 +47,10 @@ func (d *Deque[T]) grow() {
 	}
 	nb := make([]T, ncap)
 	for i := 0; i < d.n; i++ {
-		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+		nb[i] = d.buf[(d.head+i)&d.mask]
 	}
 	d.buf = nb
+	d.mask = ncap - 1
 	d.head = 0
 }
 
@@ -53,7 +59,7 @@ func (d *Deque[T]) PushBottom(v T) {
 	if d.n == len(d.buf) {
 		d.grow()
 	}
-	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.buf[(d.head+d.n)&d.mask] = v
 	d.n++
 }
 
@@ -64,7 +70,7 @@ func (d *Deque[T]) PopBottom() (T, bool) {
 		return zero, false
 	}
 	d.n--
-	i := (d.head + d.n) % len(d.buf)
+	i := (d.head + d.n) & d.mask
 	v := d.buf[i]
 	d.buf[i] = zero
 	return v, true
@@ -78,7 +84,7 @@ func (d *Deque[T]) PopTop() (T, bool) {
 	}
 	v := d.buf[d.head]
 	d.buf[d.head] = zero
-	d.head = (d.head + 1) % len(d.buf)
+	d.head = (d.head + 1) & d.mask
 	d.n--
 	return v, true
 }
@@ -98,14 +104,14 @@ func (d *Deque[T]) PeekBottom() (T, bool) {
 	if d.n == 0 {
 		return zero, false
 	}
-	return d.buf[(d.head+d.n-1)%len(d.buf)], true
+	return d.buf[(d.head+d.n-1)&d.mask], true
 }
 
 // Clear removes all elements, keeping capacity.
 func (d *Deque[T]) Clear() {
 	var zero T
 	for i := 0; i < d.n; i++ {
-		d.buf[(d.head+i)%len(d.buf)] = zero
+		d.buf[(d.head+i)&d.mask] = zero
 	}
 	d.head, d.n = 0, 0
 }
@@ -125,6 +131,6 @@ func (d *Deque[T]) Drain() []T {
 // Each calls fn on every element from top to bottom without removing them.
 func (d *Deque[T]) Each(fn func(v T)) {
 	for i := 0; i < d.n; i++ {
-		fn(d.buf[(d.head+i)%len(d.buf)])
+		fn(d.buf[(d.head+i)&d.mask])
 	}
 }

@@ -3,6 +3,7 @@ package history
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wats/internal/amc"
 	"wats/internal/task"
@@ -93,15 +94,23 @@ func BuildClusterMap(reg *task.Registry, arch *amc.Arch) *ClusterMap {
 
 // Allocator ties a class Registry to a periodically rebuilt ClusterMap,
 // playing the role of the paper's helper thread state. It is safe for
-// concurrent use.
+// concurrent use; the spawn-path read (Map/ClusterOf) is a single atomic
+// load — ClusterMap values are immutable once built, so the helper
+// publishes each rebuild RCU-style through an atomic pointer swap and
+// readers never take a lock.
 type Allocator struct {
 	reg  *task.Registry
 	arch *amc.Arch
 
-	mu        sync.RWMutex
-	current   *ClusterMap
+	// current is the published cluster map (never nil).
+	current atomic.Pointer[ClusterMap]
+
+	// reorgMu serializes rebuilds (cold path: the helper thread, plus the
+	// reorganize-per-completion ablation); builtAt and partition are
+	// guarded by it.
+	reorgMu   sync.Mutex
 	builtAt   uint64 // registry epoch when current was built
-	reorgs    int
+	reorgs    atomic.Int64
 	partition func([]float64, *amc.Arch) []int
 }
 
@@ -115,20 +124,21 @@ type Allocator struct {
 // Partition and PartitionAnchored doc comments and DESIGN.md for the
 // distinction, and UseLiteralPartition for the verbatim rule.
 func NewAllocator(reg *task.Registry, arch *amc.Arch) *Allocator {
-	return &Allocator{
+	a := &Allocator{
 		reg:       reg,
 		arch:      arch,
-		current:   &ClusterMap{cluster: map[string]int{}, k: arch.K()},
 		partition: PartitionAnchored,
 	}
+	a.current.Store(&ClusterMap{cluster: map[string]int{}, k: arch.K()})
+	return a
 }
 
 // UseLiteralPartition switches the allocator to the verbatim Algorithm 1
 // greedy (each group cut at ≤ its share; all under-fill accumulates on the
-// slowest group). Used by the partition-rule ablation.
+// slowest group). Used by the partition-rule ablation; call before the run.
 func (a *Allocator) UseLiteralPartition() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.reorgMu.Lock()
+	defer a.reorgMu.Unlock()
 	a.partition = Partition
 }
 
@@ -138,11 +148,10 @@ func (a *Allocator) Registry() *task.Registry { return a.reg }
 // Arch returns the architecture the allocator partitions for.
 func (a *Allocator) Arch() *amc.Arch { return a.arch }
 
-// Map returns the current cluster map (never nil).
+// Map returns the current cluster map (never nil). It is the spawn-path
+// read: one atomic load, no lock.
 func (a *Allocator) Map() *ClusterMap {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.current
+	return a.current.Load()
 }
 
 // ClusterOf is shorthand for Map().ClusterOf(f).
@@ -153,12 +162,14 @@ func (a *Allocator) ClusterOf(f string) int { return a.Map().ClusterOf(f) }
 // happened. The simulator calls it from helper-thread tick events; the
 // live runtime calls it from a real helper goroutine.
 func (a *Allocator) Reorganize() bool {
+	a.reorgMu.Lock()
+	defer a.reorgMu.Unlock()
 	epoch := a.reg.Epoch()
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if epoch == a.builtAt {
 		return false
 	}
+	// Snapshot merges pending shard observations into the canonical class
+	// table — the fold-on-repartition step of the helper thread.
 	classes := a.reg.Snapshot()
 	weights := make([]float64, len(classes))
 	for i, c := range classes {
@@ -170,17 +181,15 @@ func (a *Allocator) Reorganize() bool {
 	for i, c := range classes {
 		m.cluster[c.Name] = assign[i]
 	}
-	a.current = m
+	a.current.Store(m)
 	a.builtAt = epoch
-	a.reorgs++
+	a.reorgs.Add(1)
 	return true
 }
 
 // Reorganizations returns how many times the cluster map was rebuilt.
 func (a *Allocator) Reorganizations() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.reorgs
+	return int(a.reorgs.Load())
 }
 
 // PreferenceList returns the preference list of a core in c-group i out of

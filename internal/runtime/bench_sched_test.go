@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/sched"
+)
+
+var spawnClasses = [...]string{"ga_evolve", "ga_eval", "lzw_chunk", "md5_block"}
+
+// benchArch builds a w-core architecture (two c-groups once there are
+// enough cores for one of each) so the WATS spawn path exercises the real
+// cluster routing.
+func benchArch(w int) *amc.Arch {
+	if w < 2 {
+		return amc.MustNew("bench1", amc.CGroup{Freq: 2.0, N: w})
+	}
+	fast := (w + 1) / 2
+	return amc.MustNew(fmt.Sprintf("bench%d", w),
+		amc.CGroup{Freq: 2.0, N: fast}, amc.CGroup{Freq: 1.0, N: w - fast})
+}
+
+// BenchmarkSpawnParallel measures spawn-to-complete throughput of the live
+// runtime under worker parallelism: one spawner goroutine per worker drives
+// the per-worker spawn path (cluster routing, pool push, wakeup) while the
+// workers drain the no-op tasks concurrently. The before/after numbers for
+// the lock-free hot-path refactor are recorded in DESIGN.md §7.
+func BenchmarkSpawnParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rt, err := New(Config{
+				Arch:                  benchArch(workers),
+				Policy:                sched.KindWATS,
+				DisableSpeedEmulation: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nop := func(ctx *Ctx) {}
+			per := b.N/workers + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						rt.spawnTask(w, "", &liveTask{class: spawnClasses[(i+w)%len(spawnClasses)], fn: nop})
+					}
+				}(w)
+			}
+			wg.Wait()
+			rt.Wait()
+			b.StopTimer()
+			rt.Shutdown()
+		})
+	}
+}

@@ -88,8 +88,13 @@ func TestStatsStealAttempts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Sleeping tasks deschedule the running worker, so the queued backlog
+	// (external spawns all land in worker 0's pools) is drained by several
+	// workers stealing — a busy-spin task could let one worker consume the
+	// whole backlog on a single-CPU host, and the acquisition walk's
+	// cluster gate means workers arriving after the drain record no probes.
 	for i := 0; i < 200; i++ {
-		rt.Spawn("w", func(ctx *Ctx) { spin(50 * time.Microsecond) })
+		rt.Spawn("w", func(ctx *Ctx) { time.Sleep(200 * time.Microsecond) })
 	}
 	rt.Wait()
 	rt.Shutdown()

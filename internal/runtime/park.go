@@ -1,0 +1,109 @@
+package runtime
+
+import "sync/atomic"
+
+// Per-worker parking replaces the old global mutex + condvar broadcast:
+// an idle worker announces itself in its own parking slot and blocks on
+// its own channel; a spawner whose task needs a worker wakes exactly one
+// eligible sleeper with one CAS and one channel send. The common case —
+// every worker busy — makes the spawn-side wakeup a single atomic load
+// (nparked == 0), so the per-task path stays lock-free end to end.
+//
+// Protocol (a Dekker-style store/load handshake; all accesses are
+// sync/atomic, i.e. sequentially consistent under the Go memory model):
+//
+//	worker (park):                      spawner (wake):
+//	  nparked++                           push task to pool
+//	  state = parked                      if nparked == 0: done
+//	  if work visible: unpark, retry      scan eligible workers:
+//	  block on channel                      if CAS(state, parked→awake):
+//	                                          nparked--; send token; done
+//
+// If the worker's visibility check misses the new task, its state store
+// precedes the pool read, which precedes the spawner's push, which
+// precedes the spawner's nparked read — so the spawner must observe the
+// parked state and wake it. Tokens are conflated (capacity-1 channel) and
+// only ever sent after a successful parked→awake CAS, so at most one
+// token is in flight per park cycle and sends never block. Spurious
+// wakeups are benign: every park sits in a loop that rechecks its
+// condition.
+const (
+	parkAwake  = 0
+	parkParked = 1
+)
+
+// parker is one worker's parking slot.
+type parker struct {
+	state atomic.Int32
+	ch    chan struct{}
+	_     [52]byte // keep neighboring slots' hot word off one cache line
+}
+
+// park blocks worker w until a waker targets it or ready() holds. ready
+// is re-evaluated after the parked state is announced, closing the
+// check-then-block window. It reports whether the runtime is shut down.
+func (rt *Runtime) park(w int, ready func() bool) bool {
+	p := &rt.parkers[w]
+	select { // drop a stale token from an earlier spurious cycle
+	case <-p.ch:
+	default:
+	}
+	rt.nparked.Add(1)
+	p.state.Store(parkParked)
+	if rt.shutdown.Load() || ready() {
+		if p.state.CompareAndSwap(parkParked, parkAwake) {
+			rt.nparked.Add(-1)
+		} else {
+			// A waker claimed this slot between the announcement and
+			// now; its token is (or is about to be) in the channel.
+			<-p.ch
+		}
+		return rt.shutdown.Load()
+	}
+	<-p.ch
+	return rt.shutdown.Load()
+}
+
+// tryWake unparks worker w if it is parked, reporting success.
+func (rt *Runtime) tryWake(w int) bool {
+	p := &rt.parkers[w]
+	if p.state.CompareAndSwap(parkParked, parkAwake) {
+		rt.nparked.Add(-1)
+		p.ch <- struct{}{} // never blocks: ≤1 token in flight per cycle
+		return true
+	}
+	return false
+}
+
+// wakeOne wakes one parked worker able to acquire from cluster cl; cl < 0
+// means any worker (inbox and central-queue work is visible to all). The
+// common case — nobody parked — is a single atomic load.
+func (rt *Runtime) wakeOne(cl int) {
+	if rt.nparked.Load() == 0 {
+		return
+	}
+	if cl >= 0 && cl < len(rt.eligible) {
+		for _, w := range rt.eligible[cl] {
+			if rt.tryWake(w) {
+				return
+			}
+		}
+		return
+	}
+	for w := range rt.parkers {
+		if rt.tryWake(w) {
+			return
+		}
+	}
+}
+
+// wakeAll unparks every parked worker — the slow-path sweep used for
+// events whose waiters are not cluster-indexed: group drains, shutdown.
+func (rt *Runtime) wakeAll() {
+	if rt.nparked.Load() == 0 {
+		return
+	}
+	for w := range rt.parkers {
+		rt.tryWake(w)
+	}
+}

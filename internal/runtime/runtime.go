@@ -18,6 +18,21 @@
 // as fastest-core seconds (Eq. 2: elapsed-on-worker × rel), exactly what
 // the paper's performance counters report after normalization.
 //
+// Concurrency: the per-task path is lock-free end to end (see DESIGN.md
+// §7). Workers record completed-task statistics into per-worker shard
+// recorders (owner-only writes; the helper merges them into the canonical
+// class table at reorganization time), the spawn path reads the published
+// cluster map with one atomic load, and idle workers park on per-worker
+// slots woken by targeted CAS+send instead of a global mutex broadcast.
+//
+// Shutdown semantics: Runtime.Spawn returns ErrShutdown once Shutdown has
+// begun and the task is dropped. Ctx.Spawn (and Group.Spawn) report
+// nothing: a task already running when Shutdown is called races with it,
+// and children it spawns after the shutdown flag is set are silently
+// dropped — the runtime only guarantees that such drops keep group and
+// outstanding accounting consistent, so Wait and Group.Wait still return.
+// Call Wait before Shutdown for a clean drain.
+//
 // One divergence from the simulator: goroutines cannot be preempted from
 // the outside, so the snatch modes of RTS and WATS-TS are inert here —
 // an idle worker has already drained every reachable queue when snatching
@@ -30,7 +45,9 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,7 +102,11 @@ type liveTask struct {
 }
 
 // Ctx is passed to every task function; it identifies the executing
-// worker and allows parent-first child spawning.
+// worker and allows parent-first child spawning. It is owned by the
+// executing worker and valid only for the duration of the task function —
+// do not retain it past the function's return or hand it to other
+// goroutines (the worker reuses one Ctx across tasks to keep the per-task
+// path allocation-free).
 type Ctx struct {
 	rt     *Runtime
 	class  string // class of the task being executed (spawn-edge tracking)
@@ -124,27 +145,90 @@ func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 // executing queued tasks (its own first, then stolen ones) until the
 // group drains — the standard help-first join of work-stealing runtimes,
 // which keeps the machine busy and avoids deadlock when all workers sync.
-// When nothing is runnable anywhere, the worker parks on the runtime's
-// condvar (like the worker loop) until new work arrives or the group's
-// stragglers, running on other workers, drain it. Wait returns early on
-// Shutdown, since abandoned group tasks would otherwise never drain.
+// When nothing is runnable anywhere, the worker parks on its per-worker
+// slot (like the worker loop) until new work arrives or the group's
+// stragglers, running on other workers, drain it (group drains sweep all
+// parked workers). Wait returns early on Shutdown, since abandoned group
+// tasks would otherwise never drain.
 func (g *Group) Wait(ctx *Ctx) {
 	rt := g.rt
 	w := ctx.Worker
 	r := rt.helpRngs[w]
+	ready := func() bool { return g.pending.Load() <= 0 || rt.haveWork(w) }
+	spins := 0
 	for g.pending.Load() > 0 {
 		if t := rt.acquire(w, r); t != nil {
 			rt.execute(w, rt.rels[w], t)
+			spins = 0
 			continue
 		}
-		rt.mu.Lock()
-		for g.pending.Load() > 0 && !rt.haveWork(w) && !rt.shutdown.Load() {
-			rt.cond.Wait()
+		rt.compl[w].timeValid = false
+		rt.flush(w)
+		if spins < parkSpins {
+			spins++
+			stdruntime.Gosched()
+			continue
 		}
-		rt.mu.Unlock()
-		if rt.shutdown.Load() {
+		if rt.park(w, ready) {
 			return
 		}
+		spins = 0
+	}
+}
+
+// paddedCount is an atomic counter on its own cache line (the per-cluster
+// counters are written by every worker; without padding they would false-
+// share one line).
+type paddedCount struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// complBatch is one worker's completion accounting between idle points:
+// plain owner-only fields, folded into the shared atomics (outstanding,
+// tasksRun, busy) by flush when the worker next runs out of work. Batching
+// keeps three atomic read-modify-writes off the per-task path; the only
+// reader who needs exact values — Wait(), at the outstanding==0 crossing —
+// is by construction only satisfied once every worker has gone idle and
+// flushed. Stats() reads may lag by one batch while a worker stays busy
+// (they are documented racy point-reads).
+type complBatch struct {
+	done  int64 // completed tasks not yet folded into outstanding
+	tasks int64 // pending tasksRun delta
+	busy  int64 // pending busy-nanos delta
+	// lastEnd caches the monotonic end-of-task reading while timeValid:
+	// when tasks run back to back, the next task starts its measurement
+	// from the previous task's end instead of reading the clock again
+	// (clock reads are a measurable share of a short task). The cache is
+	// invalidated at every voluntary blocking point — idle acquisition,
+	// parking, the speed-emulation stall — so only the acquisition walk
+	// (tens of ns, identical for every class) is ever attributed to the
+	// next task's workload. Asynchronous preemption between two tasks
+	// lands in the next task's measurement, the same error class that
+	// wall-clock timing already admits for preemption inside a task.
+	lastEnd   time.Duration
+	timeValid bool
+	_         [24]byte
+}
+
+// flush folds worker w's batched completion accounting into the shared
+// counters, broadcasting the outstanding==0 crossing for Wait(). Owner-only
+// (worker w's goroutine); called whenever acquisition comes up empty, so a
+// worker never parks — and the runtime never quiesces — with unflushed
+// completions.
+func (rt *Runtime) flush(w int) {
+	b := &rt.compl[w]
+	if b.done == 0 && b.tasks == 0 {
+		return
+	}
+	rt.tasksRun[w].Add(b.tasks)
+	rt.busy[w].Add(b.busy)
+	done := b.done
+	b.done, b.tasks, b.busy = 0, 0, 0
+	if done != 0 && rt.outstanding.Add(-done) == 0 {
+		rt.mu.Lock()
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
 	}
 }
 
@@ -167,20 +251,31 @@ type taskPool interface {
 
 // pool is a mutex-guarded deque (the paper's task pools lock only for
 // steals; a single mutex keeps this implementation obviously correct).
+// depth mirrors the deque length so take-side probes — the acquisition
+// walk visits every victim pool, nearly all of them empty — gate on one
+// atomic load instead of the mutex.
 type pool struct {
-	mu sync.Mutex
-	d  deque.Deque[*liveTask]
+	depth atomic.Int64
+	mu    sync.Mutex
+	d     deque.Deque[*liveTask]
 }
 
 func (p *pool) push(t *liveTask) {
 	p.mu.Lock()
 	p.d.PushBottom(t)
+	p.depth.Add(1)
 	p.mu.Unlock()
 }
 
 func (p *pool) popBottom() *liveTask {
+	if p.depth.Load() == 0 {
+		return nil
+	}
 	p.mu.Lock()
 	t, ok := p.d.PopBottom()
+	if ok {
+		p.depth.Add(-1)
+	}
 	p.mu.Unlock()
 	if !ok {
 		return nil
@@ -189,8 +284,14 @@ func (p *pool) popBottom() *liveTask {
 }
 
 func (p *pool) stealTop() *liveTask {
+	if p.depth.Load() == 0 {
+		return nil
+	}
 	p.mu.Lock()
 	t, ok := p.d.PopTop()
+	if ok {
+		p.depth.Add(-1)
+	}
 	p.mu.Unlock()
 	if !ok {
 		return nil
@@ -198,19 +299,9 @@ func (p *pool) stealTop() *liveTask {
 	return t
 }
 
-func (p *pool) empty() bool {
-	p.mu.Lock()
-	e := p.d.Empty()
-	p.mu.Unlock()
-	return e
-}
+func (p *pool) empty() bool { return p.depth.Load() == 0 }
 
-func (p *pool) size() int {
-	p.mu.Lock()
-	n := p.d.Len()
-	p.mu.Unlock()
-	return n
-}
+func (p *pool) size() int { return int(p.depth.Load()) }
 
 // clPool adapts the lock-free Chase-Lev deque to the taskPool interface.
 type clPool struct {
@@ -271,15 +362,46 @@ type Runtime struct {
 	pools   [][]taskPool // [worker][cluster]
 	// inbox receives external (non-worker) spawns in lock-free mode, where
 	// workers own their deques' push ends exclusively, and every spawn for
-	// central-queue policies (Share).
+	// central-queue policies (Share). Its depth gate keeps the acquisition
+	// walk off the inbox lock while it is empty.
 	inbox *pool
 	rels  []float64
 	grps  []int
+	// orders[w] is worker w's acquisition walk (strat.AcquireOrder of its
+	// c-group), cached so the walk costs no interface call per acquire.
+	orders [][]int
+	// clusterWork[cl] counts tasks queued in cluster cl across all worker
+	// pools (never the inbox). The acquisition walk and the park-readiness
+	// check gate on it, so scanning an empty cluster costs one atomic load
+	// instead of a probe of every victim pool. Pushes increment before the
+	// wake; takes decrement only on success — the counter may transiently
+	// exceed the truth (spurious walk) or trail a just-pushed task (the
+	// wake that follows the increment closes that window).
+	clusterWork []paddedCount
+	// ctxs[w] is worker w's reusable task context: execute saves and
+	// restores the class field around each task so nested execution
+	// (Group.Wait helping) stays correct without a per-task allocation.
+	ctxs []*Ctx
+	// compl[w] batches worker w's completion accounting (see complBatch).
+	compl []complBatch
+
+	// parkers are the per-worker parking slots (see park.go); nparked
+	// counts currently parked workers so the spawn-side wake check is one
+	// atomic load. eligible[c] lists the workers whose acquisition walk
+	// includes cluster c — the targets a cluster-c spawn may need to wake.
+	parkers  []parker
+	nparked  atomic.Int64
+	eligible [][]int
+	// recorders[w] is worker w's owner-only statistics sink (the
+	// lock-free record step of Algorithm 2).
+	recorders []sched.Recorder
 
 	outstanding atomic.Int64
-	mu          sync.Mutex
-	cond        *sync.Cond
-	shutdown    atomic.Bool
+	// mu/cond serve only the external Wait(): completions touch them just
+	// at the outstanding==0 crossing, never on the per-task path.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	shutdown atomic.Bool
 	// helperDone stops the helper goroutine promptly on Shutdown instead
 	// of letting it linger until the next HelperPeriod tick. Nil when the
 	// policy has no reorganization step (no helper started).
@@ -296,6 +418,10 @@ type Runtime struct {
 	// helpRngs are per-worker victim-selection streams for Group.Wait's
 	// helping path (the worker loop has its own stream).
 	helpRngs []*rng.Source
+	// base anchors task timing: measuring with two monotonic-only
+	// time.Since(base) reads instead of time.Now()+time.Since skips the
+	// wall-clock read, which is a measurable share of a no-op task.
+	base time.Time
 
 	wg sync.WaitGroup
 }
@@ -334,10 +460,13 @@ func New(cfg Config) (*Runtime, error) {
 		snatches:      make([]atomic.Int64, n),
 		busy:          make([]atomic.Int64, n),
 		obs:           cfg.Obs,
+		base:          time.Now(),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	f1 := cfg.Arch.FastestFreq()
 	rt.inbox = &pool{}
+	rt.clusterWork = make([]paddedCount, rt.k)
+	rt.compl = make([]complBatch, n)
 	for w := 0; w < n; w++ {
 		ps := make([]taskPool, rt.k)
 		for c := range ps {
@@ -350,9 +479,29 @@ func New(cfg Config) (*Runtime, error) {
 		rt.pools = append(rt.pools, ps)
 		rt.rels = append(rt.rels, cfg.Arch.Speed(w)/f1)
 		rt.grps = append(rt.grps, cfg.Arch.GroupOf(w))
+		rt.orders = append(rt.orders, append([]int(nil), strat.AcquireOrder(rt.grps[w])...))
 	}
 	for w := 0; w < n; w++ {
 		rt.helpRngs = append(rt.helpRngs, rng.New(cfg.Seed^0xABCD+uint64(w)*7919+3))
+		rt.ctxs = append(rt.ctxs, &Ctx{rt: rt, Worker: w, Rel: rt.rels[w]})
+	}
+	rt.parkers = make([]parker, n)
+	for w := range rt.parkers {
+		rt.parkers[w].ch = make(chan struct{}, 1)
+	}
+	// eligible[c]: the workers whose acquisition walk visits cluster c —
+	// the only ones a cluster-c spawn can make runnable.
+	rt.eligible = make([][]int, rt.k)
+	for w := 0; w < n; w++ {
+		for _, cl := range strat.AcquireOrder(rt.grps[w]) {
+			if cl >= 0 && cl < rt.k {
+				rt.eligible[cl] = append(rt.eligible[cl], w)
+			}
+		}
+	}
+	rt.recorders = make([]sched.Recorder, n)
+	for w := 0; w < n; w++ {
+		rt.recorders[w] = strat.Recorder(w)
 	}
 	for w := 0; w < n; w++ {
 		rt.wg.Add(1)
@@ -379,13 +528,18 @@ func (rt *Runtime) clusterOf(class string) int {
 	return c
 }
 
+// ErrShutdown is returned by Spawn once Shutdown has begun: the task was
+// not accepted and will never run.
+var ErrShutdown = errors.New("runtime: Spawn after Shutdown")
+
 // Spawn submits a root task; it is routed to the fastest core's pools
 // (the paper schedules the main task's work on the fastest core, §IV-E).
 // In lock-free mode external spawns go through the inbox, since only a
-// worker may push to its own Chase-Lev deques.
-func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
+// worker may push to its own Chase-Lev deques. After Shutdown it drops
+// the task and returns ErrShutdown.
+func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
 	if rt.shutdown.Load() {
-		return
+		return ErrShutdown
 	}
 	if rt.cfg.LockFree && !rt.central {
 		rt.outstanding.Add(1)
@@ -393,10 +547,11 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
 		if rt.obs != nil {
 			rt.obs.Spawn(-1, -1, class, rt.inbox.size())
 		}
-		rt.wake()
-		return
+		rt.wakeOne(-1)
+		return nil
 	}
 	rt.spawnTask(0, "", &liveTask{class: class, fn: fn})
+	return nil
 }
 
 // spawnTask routes one task: the spawn edge is reported to the strategy
@@ -406,7 +561,7 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) {
 func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	if rt.shutdown.Load() {
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
-			rt.wake()
+			rt.wakeAll()
 		}
 		return
 	}
@@ -419,22 +574,29 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 		if rt.obs != nil {
 			rt.obs.Spawn(worker, 0, t.class, rt.inbox.size())
 		}
+		rt.wakeOne(-1)
 	} else {
 		cl := rt.clusterOf(t.class)
 		p := rt.pools[worker][cl]
 		p.push(t)
+		queued := rt.clusterWork[cl].v.Add(1)
 		if rt.obs != nil {
 			rt.obs.Spawn(worker, cl, t.class, p.size())
 		}
+		rt.wakeOne(cl)
+		if queued >= spawnBackpressure {
+			// The spawner is far ahead of the consumers: yield instead of
+			// ballooning the queue (deep queues cost GC scan time and
+			// memory; on a loaded machine the producing goroutine would
+			// otherwise burn its whole quantum enqueueing).
+			stdruntime.Gosched()
+		}
 	}
-	rt.wake()
 }
 
-func (rt *Runtime) wake() {
-	rt.mu.Lock()
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
-}
+// spawnBackpressure is the per-pool depth beyond which a spawner yields
+// its quantum to let consumers catch up.
+const spawnBackpressure = 1 << 12
 
 // acquire implements the acquisition axis for a worker: drain the inbox,
 // then walk the strategy's cluster order — own pool pop, then steal from
@@ -447,6 +609,8 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 	if rt.obs != nil {
 		t0 = time.Now()
 	}
+	// stealTop's depth gate keeps the common case (empty inbox) off the
+	// shared inbox lock.
 	if t := rt.inbox.stealTop(); t != nil {
 		if rt.obs != nil {
 			rt.obs.Pop(w, -1, t.class)
@@ -456,17 +620,22 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 	if rt.central {
 		return nil
 	}
-	for _, cl := range rt.strat.AcquireOrder(rt.grps[w]) {
+	for _, cl := range rt.orders[w] {
+		// One load skips the whole cluster when nothing is queued in it —
+		// the common case for most clusters of the walk.
+		if rt.clusterWork[cl].v.Load() == 0 {
+			continue
+		}
 		if t := rt.pools[w][cl].popBottom(); t != nil {
+			rt.clusterWork[cl].v.Add(-1)
 			if rt.obs != nil {
 				rt.obs.Pop(w, cl, t.class)
 			}
 			return t
 		}
-		// Random victims within the cluster.
+		probes := int64(0)
 		n := len(rt.pools)
 		start := r.Intn(n)
-		probes := int64(0)
 		for i := 0; i < n; i++ {
 			v := (start + i) % n
 			if v == w {
@@ -474,6 +643,7 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 			}
 			probes++
 			if t := rt.pools[v][cl].stealTop(); t != nil {
+				rt.clusterWork[cl].v.Add(-1)
 				rt.steals[w].Add(1)
 				rt.stealAttempts[w].Add(probes)
 				if rt.obs != nil {
@@ -490,26 +660,35 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 	return nil
 }
 
+// parkSpins is how many times an idle worker yields the processor and
+// retries acquisition before truly parking. A park/wake cycle costs a
+// channel sleep and a scheduler wakeup; a yield is far cheaper and gives
+// the producers a chance to publish more work. Kept small so an idle
+// runtime still quiesces to parked workers almost immediately.
+const parkSpins = 2
+
 func (rt *Runtime) worker(w int, r *rng.Source) {
 	defer rt.wg.Done()
 	rel := rt.rels[w]
+	ready := func() bool { return rt.haveWork(w) }
+	spins := 0
 	for {
 		t := rt.acquire(w, r)
 		if t == nil {
-			rt.mu.Lock()
-			for {
-				if rt.shutdown.Load() {
-					rt.mu.Unlock()
-					return
-				}
-				if rt.haveWork(w) {
-					break
-				}
-				rt.cond.Wait()
+			rt.compl[w].timeValid = false
+			rt.flush(w)
+			if spins < parkSpins {
+				spins++
+				stdruntime.Gosched()
+				continue
 			}
-			rt.mu.Unlock()
+			if rt.park(w, ready) {
+				return
+			}
+			spins = 0
 			continue
 		}
+		spins = 0
 		rt.execute(w, rel, t)
 	}
 }
@@ -518,32 +697,52 @@ func (rt *Runtime) worker(w int, r *rng.Source) {
 // Eq. 2 workload observation and completion accounting. It is shared by
 // the worker loop and by Group.Wait's helping path.
 func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
-	start := time.Now()
-	t.fn(&Ctx{rt: rt, Worker: w, Rel: rel, class: t.class})
-	d := time.Since(start)
-	rt.busy[w].Add(int64(d))
+	// Reuse the worker's Ctx, saving the class around the call: execution
+	// nests when a task helps inside Group.Wait.
+	ctx := rt.ctxs[w]
+	prev := ctx.class
+	ctx.class = t.class
+	b := &rt.compl[w]
+	var start time.Duration
+	if b.timeValid {
+		start = b.lastEnd
+	} else {
+		start = time.Since(rt.base)
+	}
+	// Invalidate while the task runs: a nested execute (Group.Wait
+	// helping) must not start its measurement from a reading taken before
+	// this task began.
+	b.timeValid = false
+	t.fn(ctx)
+	end := time.Since(rt.base)
+	d := end - start
+	b.lastEnd, b.timeValid = end, true
+	ctx.class = prev
+	b.busy += int64(d)
 	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
 		stall := time.Duration(float64(d) * (1/rel - 1))
 		rt.sleepUnlessShutdown(stall)
-		rt.busy[w].Add(int64(stall))
+		b.busy += int64(stall)
+		b.timeValid = false
 	}
 	// Eq. 2: elapsed-on-core × rel = fastest-core seconds. With the
 	// emulation stall the elapsed time is d/rel, so the normalized
-	// workload is exactly d.
-	rt.strat.Observe(t.class, d.Seconds(), 0)
-	rt.tasksRun[w].Add(1)
+	// workload is exactly d. The observation goes to the worker's own
+	// shard recorder — owner-only, no lock — and is merged into the class
+	// table at the next reorganization (or cold-path registry read).
+	rt.recorders[w].Observe(t.class, d.Seconds(), 0)
+	b.tasks++
 	if rt.obs != nil {
 		rt.obs.Complete(w, rt.clusterOf(t.class), t.class, d)
 	}
 	if t.group != nil && t.group.pending.Add(-1) == 0 {
-		// The group drained: wake workers parked in Group.Wait.
-		rt.wake()
+		// The group drained: wake workers parked in Group.Wait (sweep —
+		// group waiters are not cluster-indexed).
+		rt.wakeAll()
 	}
-	if rt.outstanding.Add(-1) == 0 {
-		rt.mu.Lock()
-		rt.cond.Broadcast()
-		rt.mu.Unlock()
-	}
+	// Completion is batched: flush folds it into outstanding when the
+	// worker next runs dry (the only moment Wait() could be satisfied).
+	b.done++
 }
 
 // sleepUnlessShutdown sleeps in small slices so Shutdown stays prompt.
@@ -562,7 +761,8 @@ func (rt *Runtime) sleepUnlessShutdown(d time.Duration) {
 // haveWork reports whether any pool the worker may take from is
 // non-empty — only the clusters in the worker's acquire order count, or a
 // WATS-NP worker would spin on work it is never allowed to steal. Called
-// with rt.mu held.
+// from the parking slow path; the reads are racy point-checks, which the
+// park protocol makes safe (see park.go).
 func (rt *Runtime) haveWork(w int) bool {
 	if !rt.inbox.empty() {
 		return true
@@ -570,11 +770,9 @@ func (rt *Runtime) haveWork(w int) bool {
 	if rt.central {
 		return false
 	}
-	for _, cl := range rt.strat.AcquireOrder(rt.grps[w]) {
-		for v := range rt.pools {
-			if !rt.pools[v][cl].empty() {
-				return true
-			}
+	for _, cl := range rt.orders[w] {
+		if rt.clusterWork[cl].v.Load() > 0 {
+			return true
 		}
 	}
 	return false
@@ -644,6 +842,7 @@ func (rt *Runtime) Shutdown() {
 	if rt.helperDone != nil {
 		close(rt.helperDone)
 	}
+	rt.wakeAll()
 	rt.mu.Lock()
 	rt.cond.Broadcast()
 	rt.mu.Unlock()

@@ -177,8 +177,10 @@ func TestRuntimeShutdownIdempotent(t *testing.T) {
 	}
 	rt.Shutdown()
 	rt.Shutdown() // must not hang or panic
-	rt.Spawn("after", func(ctx *Ctx) {})
-	// Spawn after shutdown is a no-op; Wait must not hang.
+	if err := rt.Spawn("after", func(ctx *Ctx) {}); err != ErrShutdown {
+		t.Fatalf("Spawn after Shutdown: got %v, want ErrShutdown", err)
+	}
+	// Spawn after shutdown is rejected; Wait must not hang.
 	rt.Wait()
 }
 

@@ -14,6 +14,10 @@ import (
 // per-worker counters. It is what `watsrun -inspect` renders and what the
 // debug server serves at /debug/wats. Depths and counters are racy
 // point-reads while workers run; everything else is a consistent copy.
+// Classes are the merged view: taking a snapshot folds any per-worker
+// shard observations not yet consumed by the helper into the canonical
+// class table (the registry does this internally; no scheduler lock is
+// involved).
 type Snapshot struct {
 	Policy  string `json:"policy"`
 	Arch    string `json:"arch"`

@@ -14,12 +14,18 @@ type simAdapter struct {
 	s     Strategy
 	e     *sim.Engine
 	pools *sim.PoolSet
+	// rec is the strategy's shard-0 recorder: the simulator's
+	// single-threaded event loop plays the role of worker 0 on the
+	// statistics hot path, so both engines share one record-then-merge
+	// code path.
+	rec Recorder
 }
 
 func (a *simAdapter) init(e *sim.Engine) {
 	a.e = e
 	a.s.Bind(e.Arch)
 	a.pools = sim.NewPoolSet(e, a.s.Clusters())
+	a.rec = a.s.Recorder(0)
 }
 
 // inject routes an externally created task: the central queue for the
@@ -126,7 +132,7 @@ func (a *simAdapter) snatchLargest(thief *sim.Core) *task.Task {
 }
 
 func (a *simAdapter) onComplete(t *task.Task) {
-	a.s.Observe(t.Class, t.Measured, t.CMPI)
+	a.rec.Observe(t.Class, t.Measured, t.CMPI)
 }
 
 // repartitionTracer is the optional sim.Tracer extension that receives

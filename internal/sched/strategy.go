@@ -8,6 +8,17 @@ import (
 	"wats/internal/task"
 )
 
+// Recorder is an owner-only completion sink: one worker's handle for
+// recording completed-task statistics without synchronization. The
+// *task.Recorder shard satisfies it directly; strategies with
+// per-completion hooks (WATS's reorganize-every-completion ablation) wrap
+// it.
+type Recorder interface {
+	// Observe folds one completed task's Eq.2-normalized workload and
+	// CMPI into the owner's shard of the class history.
+	Observe(class string, measured, cmpi float64)
+}
+
 // SnatchMode selects the snatch discipline of the acquisition axis: what an
 // idle core does when every steal attempt has failed.
 type SnatchMode int
@@ -90,8 +101,17 @@ type Strategy interface {
 	// feeding the divide-and-conquer recursion detector (§IV-E).
 	NoteSpawn(parentClass, childClass string)
 	// Observe folds one completed task's Eq.2-normalized workload and CMPI
-	// into the class history (Algorithm 2).
+	// into the class history (Algorithm 2). It is the single-threaded
+	// convenience form of Recorder(0).Observe; concurrent engines must use
+	// one Recorder per worker instead.
 	Observe(class string, measured, cmpi float64)
+	// Recorder returns worker w's owner-only completion sink — the
+	// lock-free record half of Algorithm 2. Exactly one goroutine may use
+	// a given recorder; recorded observations are merged into the class
+	// history at reorganization time (or on any cold-path registry read).
+	// The live runtime holds one per worker; the sim adapter maps its
+	// single-threaded loop onto Recorder(0). Valid after Bind.
+	Recorder(worker int) Recorder
 	// Reorganizes reports whether the policy has a periodic reorganization
 	// step at all; engines skip the helper thread/tick when false.
 	Reorganizes() bool
@@ -180,7 +200,7 @@ func (b *base) Bind(arch *amc.Arch) {
 		panic("sched: Strategy is single-use; Bind called twice")
 	}
 	b.arch = arch
-	b.reg = task.NewRegistry()
+	b.reg = task.NewSharded(arch.NumCores())
 	b.alloc = history.NewAllocator(b.reg, arch)
 	b.order = [][]int{{0}}
 }
@@ -192,7 +212,8 @@ func (b *base) ClusterOf(class string) int         { return 0 }
 func (b *base) AcquireOrder(group int) []int       { return b.order[0] }
 func (b *base) SnatchMode() SnatchMode             { return b.snatch }
 func (b *base) NoteSpawn(parent, child string)     {}
-func (b *base) Observe(class string, m, c float64) { b.reg.ObserveFull(class, m, c) }
+func (b *base) Observe(class string, m, c float64) { b.reg.Recorder(0).Observe(class, m, c) }
+func (b *base) Recorder(w int) Recorder            { return b.reg.Recorder(w) }
 func (b *base) Reorganizes() bool                  { return false }
 func (b *base) Reorganize() bool                   { return false }
 func (b *base) Registry() *task.Registry           { return b.reg }

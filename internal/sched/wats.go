@@ -80,8 +80,25 @@ type WATS struct {
 	reg   *task.Registry
 	alloc *history.Allocator
 	prefs [][]int
+	// recs are the per-worker completion sinks handed out by Recorder
+	// (plain shard recorders, or reorgRecorder wrappers under the
+	// reorganize-every-completion ablation).
+	recs []Recorder
 
 	sim simAdapter
+}
+
+// reorgRecorder decorates a shard recorder with the ReorgEveryCompletion
+// ablation: every completion additionally re-runs Algorithm 1 (the
+// allocator serializes concurrent rebuilds).
+type reorgRecorder struct {
+	rec *task.Recorder
+	p   *WATS
+}
+
+func (r *reorgRecorder) Observe(class string, measured, cmpi float64) {
+	r.rec.Observe(class, measured, cmpi)
+	r.p.alloc.Reorganize()
 }
 
 // NewWATS returns the full WATS policy.
@@ -124,7 +141,7 @@ func (p *WATS) Bind(arch *amc.Arch) {
 		panic("sched: WATS strategy is single-use; Bind called twice")
 	}
 	p.arch = arch
-	p.reg = task.NewRegistry()
+	p.reg = task.NewSharded(arch.NumCores())
 	if p.EWMAAlpha > 0 {
 		p.reg.SetEWMA(p.EWMAAlpha)
 	}
@@ -133,6 +150,14 @@ func (p *WATS) Bind(arch *amc.Arch) {
 		p.alloc.UseLiteralPartition()
 	}
 	p.prefs = history.PreferenceTable(arch.K())
+	p.recs = make([]Recorder, arch.NumCores())
+	for w := range p.recs {
+		if p.ReorgEveryCompletion {
+			p.recs[w] = &reorgRecorder{rec: p.reg.Recorder(w), p: p}
+		} else {
+			p.recs[w] = p.reg.Recorder(w)
+		}
+	}
 }
 
 // Clusters implements Strategy: one task cluster per c-group (§III-A).
@@ -209,13 +234,14 @@ func (p *WATS) NoteSpawn(parentClass, childClass string) {
 }
 
 // Observe folds the measured, Eq.2-normalized workload into the task's
-// class (Algorithm 2).
+// class (Algorithm 2) through shard 0 — the single-threaded convenience
+// form of Recorder(0).Observe.
 func (p *WATS) Observe(class string, measured, cmpi float64) {
-	p.reg.ObserveFull(class, measured, cmpi)
-	if p.ReorgEveryCompletion {
-		p.alloc.Reorganize()
-	}
+	p.recs[0].Observe(class, measured, cmpi)
 }
+
+// Recorder returns worker w's owner-only completion sink.
+func (p *WATS) Recorder(w int) Recorder { return p.recs[w] }
 
 // Reorganizes implements Strategy: WATS has a helper-thread step.
 func (p *WATS) Reorganizes() bool { return true }

@@ -1,0 +1,41 @@
+package task
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchClasses is a realistic class mix (the Table III benchmarks spawn a
+// handful of distinct classes, not thousands).
+var benchClasses = [...]string{
+	"ga_evolve", "ga_eval", "lzw_chunk", "md5_block",
+	"bwt_rotate", "dmc_node", "dedup_stage", "ferret_rank",
+}
+
+// BenchmarkObserveParallel measures the per-completion statistics path
+// (Algorithm 2) under worker parallelism: w goroutines concurrently fold
+// completed-task observations, exactly as w live-runtime workers do. The
+// before/after numbers for the sharded-registry refactor are recorded in
+// DESIGN.md §7.
+func BenchmarkObserveParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			reg := NewSharded(workers)
+			per := b.N/workers + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rec := reg.Recorder(w)
+					for i := 0; i < per; i++ {
+						rec.Observe(benchClasses[(i+w)%len(benchClasses)], float64(i%100)*0.001, 0)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -2,8 +2,10 @@ package task
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Class is the task-class record TC(f, n, w) of the paper: f is the
@@ -28,31 +30,90 @@ type Class struct {
 // task clusters.
 func (c Class) TotalWork() float64 { return float64(c.Count) * c.AvgWork }
 
-// Registry is the concurrency-safe collection of task classes maintained
-// by the helper thread (Algorithm 2). The simulator uses it
-// single-threaded; the live runtime updates it from many workers.
+// Registry is the collection of task classes of Algorithm 2, split along
+// the paper's hot/cold boundary (§III-C):
+//
+//   - the hot path records completed tasks through per-worker shard
+//     Recorders — plain owner-only writes, no locks, no shared cache
+//     lines (see shard.go);
+//   - the cold path (the helper thread's reorganization, plus any
+//     Lookup/Snapshot reader) merges the shard deltas into the canonical
+//     class table under Registry.mu.
+//
+// Merging only delays when statistics become visible — never what they
+// converge to: with the cumulative mean, folding a batch (Δn, Δsum) gives
+// exactly the same class average as folding its observations one at a
+// time. Direct Observe/ObserveFull calls (the simulator's single-threaded
+// loop, tests) still update the canonical table in place under the lock.
 type Registry struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex
 	classes map[string]*Class
-	// epoch increments on every update; the allocator uses it to skip
-	// reorganizations when nothing changed since the last one.
-	epoch uint64
 	// ewma, when nonzero, switches the workload average from the paper's
 	// cumulative mean to an exponential moving average with this weight
 	// for the newest observation — an extension that adapts faster to
 	// phase changes (§III-A discusses timely updates; a cumulative mean
 	// over a long history adapts at rate n_new/n_total).
 	ewma float64
+
+	// epoch increments on every direct observation and structural change;
+	// Epoch() adds the shard totals so the allocator can detect staleness
+	// without locking.
+	epoch atomic.Uint64
+
+	// shards are the per-worker lock-free recorders; consumed[i] tracks
+	// how much of shard i has been folded into classes (guarded by mu).
+	// consumedTotal mirrors the folded observation count so the pending
+	// check stays a handful of atomic loads.
+	shards        []*shard
+	recorders     []Recorder
+	consumed      []map[string]cursor
+	consumedTotal atomic.Int64
 }
 
-// NewRegistry returns an empty class registry.
-func NewRegistry() *Registry {
-	return &Registry{classes: make(map[string]*Class)}
+// NewRegistry returns an empty class registry with a single shard
+// (sufficient for single-threaded use; the engines size their registries
+// with NewSharded).
+func NewRegistry() *Registry { return NewSharded(1) }
+
+// NewSharded returns an empty registry with n per-worker shard recorders
+// (min 1). Recorder(w) hands worker w its owner-only sink.
+func NewSharded(n int) *Registry {
+	if n < 1 {
+		n = 1
+	}
+	r := &Registry{classes: make(map[string]*Class)}
+	r.shards = make([]*shard, n)
+	r.recorders = make([]Recorder, n)
+	r.consumed = make([]map[string]cursor, n)
+	for i := range r.shards {
+		r.shards[i] = &shard{}
+		r.recorders[i] = Recorder{sh: r.shards[i]}
+		r.consumed[i] = make(map[string]cursor)
+	}
+	return r
 }
+
+// Recorder returns shard w's owner-only sink. Exactly one goroutine may
+// use a given recorder; the returned pointer is stable across calls.
+func (r *Registry) Recorder(w int) *Recorder {
+	return &r.recorders[w]
+}
+
+// Shards returns the number of shard recorders.
+func (r *Registry) Shards() int { return len(r.shards) }
 
 // SetEWMA switches the registry to exponential moving averages with the
 // given weight in (0,1] for the newest observation; 0 restores the
-// paper's cumulative mean. Call before observations for clean semantics.
+// paper's cumulative mean.
+//
+// Ordering contract under sharding: the mode applies at merge time, not
+// at record time. Observations already recorded to shard recorders but
+// not yet merged are folded with whatever mode is in effect when the
+// merge happens — SetEWMA therefore affects subsequent merges only.
+// Call it before observations begin for clean semantics. Note also that
+// the sharded EWMA is batch-granular: one merge folds a shard's pending
+// observations as a single batch with their mean (see foldBatch), which
+// equals the per-observation EWMA when the batch is one observation.
 func (r *Registry) SetEWMA(alpha float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -66,6 +127,9 @@ func (r *Registry) SetEWMA(alpha float64) {
 //
 // creating the class on first observation. workload must already be
 // normalized per Eq. 2. It reports whether a new class was created.
+//
+// Observe updates the canonical table directly under the registry lock;
+// concurrent hot paths should use a per-worker Recorder instead.
 func (r *Registry) Observe(function string, workload float64) bool {
 	return r.ObserveFull(function, workload, 0)
 }
@@ -75,7 +139,7 @@ func (r *Registry) Observe(function string, workload float64) bool {
 func (r *Registry) ObserveFull(function string, workload, cmpi float64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.epoch++
+	r.epoch.Add(1)
 	c, ok := r.classes[function]
 	if !ok {
 		r.classes[function] = &Class{Name: function, Count: 1, AvgWork: workload, AvgCMPI: cmpi}
@@ -93,11 +157,76 @@ func (r *Registry) ObserveFull(function string, workload, cmpi float64) bool {
 	return false
 }
 
+// pendingLocked reports whether any shard holds observations not yet
+// folded into the canonical table. Called with mu held (or from Epoch,
+// where staleness is harmless).
+func (r *Registry) pendingLocked() bool {
+	var t int64
+	for _, sh := range r.shards {
+		t += sh.count()
+	}
+	return t > r.consumedTotal.Load()
+}
+
+// foldLocked merges every shard's unconsumed deltas into the canonical
+// table — the merge step the helper thread performs at reorganization
+// time. Called with mu held.
+func (r *Registry) foldLocked() {
+	for i, sh := range r.shards {
+		mp := sh.slots.Load()
+		if mp == nil {
+			continue
+		}
+		for name, sl := range *mp {
+			n, sw, sc := sl.read()
+			cur := r.consumed[i][name]
+			dn := n - cur.n
+			if dn == 0 {
+				continue
+			}
+			dw, dc := sw-cur.sumWork, sc-cur.sumCMPI
+			r.consumed[i][name] = cursor{n: n, sumWork: sw, sumCMPI: sc}
+			r.consumedTotal.Add(dn)
+			r.foldBatch(name, dn, dw, dc)
+		}
+	}
+}
+
+// foldBatch folds a batch of dn observations with sums (dw, dc) into the
+// class. With the cumulative mean this is exact: (n*w + Δsum)/(n+Δn)
+// equals folding the observations one at a time (up to float rounding).
+// With EWMA the batch is applied at its mean — new = (1-α)^Δn·old +
+// (1-(1-α)^Δn)·(Δsum/Δn) — which matches the per-observation EWMA when
+// Δn=1 and weighs the batch as a whole otherwise (batch-granular EWMA;
+// see SetEWMA).
+func (r *Registry) foldBatch(name string, dn int64, dw, dc float64) {
+	fdn := float64(dn)
+	c, ok := r.classes[name]
+	if !ok {
+		r.classes[name] = &Class{Name: name, Count: int(dn), AvgWork: dw / fdn, AvgCMPI: dc / fdn}
+		return
+	}
+	if a := r.ewma; a > 0 {
+		keep := math.Pow(1-a, fdn)
+		c.AvgWork = keep*c.AvgWork + (1-keep)*(dw/fdn)
+		c.AvgCMPI = keep*c.AvgCMPI + (1-keep)*(dc/fdn)
+	} else {
+		n := float64(c.Count)
+		c.AvgWork = (n*c.AvgWork + dw) / (n + fdn)
+		c.AvgCMPI = (n*c.AvgCMPI + dc) / (n + fdn)
+	}
+	c.Count += int(dn)
+}
+
 // Lookup returns the class record for a function name and whether it
-// exists. The returned struct is a copy.
+// exists, merging any pending shard observations first. The returned
+// struct is a copy.
 func (r *Registry) Lookup(function string) (Class, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pendingLocked() {
+		r.foldLocked()
+	}
 	c, ok := r.classes[function]
 	if !ok {
 		return Class{}, false
@@ -105,31 +234,43 @@ func (r *Registry) Lookup(function string) (Class, bool) {
 	return *c, true
 }
 
-// Len returns the number of known classes.
+// Len returns the number of known classes (pending shard observations
+// merged first).
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pendingLocked() {
+		r.foldLocked()
+	}
 	return len(r.classes)
 }
 
-// Epoch returns a counter that increments on every Observe, letting
-// callers detect staleness cheaply.
+// Epoch returns a counter that advances on every observation — direct or
+// shard-recorded — letting callers detect staleness cheaply. It is
+// lock-free: atomic loads over the shards' published slot counts (one per
+// shard × class), never the registry mutex.
 func (r *Registry) Epoch() uint64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.epoch
+	e := r.epoch.Load()
+	for _, sh := range r.shards {
+		e += uint64(sh.count())
+	}
+	return e
 }
 
 // Snapshot returns all classes sorted in descending order of average
 // workload (the order Algorithm 1 consumes), ties broken by name for
-// determinism.
+// determinism. Pending shard observations are merged first — this is the
+// merge-on-repartition entry point of the helper thread.
 func (r *Registry) Snapshot() []Class {
-	r.mu.RLock()
+	r.mu.Lock()
+	if r.pendingLocked() {
+		r.foldLocked()
+	}
 	out := make([]Class, 0, len(r.classes))
 	for _, c := range r.classes {
 		out = append(out, *c)
 	}
-	r.mu.RUnlock()
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].AvgWork != out[j].AvgWork {
 			return out[i].AvgWork > out[j].AvgWork
@@ -139,13 +280,28 @@ func (r *Registry) Snapshot() []Class {
 	return out
 }
 
-// Reset discards all collected statistics. The phase-change tests use it
-// to model an application whose workload pattern shifts abruptly.
+// Reset discards all collected statistics, including shard observations
+// not yet merged. The phase-change tests use it to model an application
+// whose workload pattern shifts abruptly. Observations racing with Reset
+// may land on either side of it.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.classes = make(map[string]*Class)
-	r.epoch++
+	for i, sh := range r.shards {
+		mp := sh.slots.Load()
+		if mp == nil {
+			continue
+		}
+		for name, sl := range *mp {
+			n, sw, sc := sl.read()
+			if d := n - r.consumed[i][name].n; d > 0 {
+				r.consumedTotal.Add(d)
+			}
+			r.consumed[i][name] = cursor{n: n, sumWork: sw, sumCMPI: sc}
+		}
+	}
+	r.epoch.Add(1)
 }
 
 // String renders the registry contents for debugging.

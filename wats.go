@@ -121,6 +121,9 @@ var (
 // TableII lists the presets in paper order.
 var TableII = amc.TableII
 
+// ErrShutdown is returned by Runtime.Spawn once Shutdown has begun.
+var ErrShutdown = liveruntime.ErrShutdown
+
 // NewArch builds a validated architecture from c-groups (any order;
 // equal-speed groups are merged, order is normalized fastest-first).
 func NewArch(name string, groups ...CGroup) (*Arch, error) {
