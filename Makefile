@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched figures trace-demo vulncheck
+.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,6 +35,21 @@ figures:
 # island-GA run — load trace-demo.json in ui.perfetto.dev.
 trace-demo:
 	$(GO) run ./examples/forkjoin -trace trace-demo.json
+
+# serve-demo is the service-layer smoke test: build watsd + watsload with
+# build info stamped in, start the daemon, throw a 2s open-loop burst at
+# it (watsload exits 1 if nothing completes), check the job histograms
+# landed on /metrics, then SIGTERM and require a clean drain.
+serve-demo:
+	$(GO) build -ldflags "-X wats/internal/server.version=$$(git describe --tags --always --dirty 2>/dev/null || echo dev) -X wats/internal/server.commit=$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" -o /tmp/watsd ./cmd/watsd
+	$(GO) build -o /tmp/watsload ./cmd/watsload
+	/tmp/watsd -listen 127.0.0.1:18080 & echo $$! > /tmp/watsd.pid; \
+	  trap 'kill $$(cat /tmp/watsd.pid) 2>/dev/null || true' EXIT; \
+	  for i in $$(seq 50); do curl -sf http://127.0.0.1:18080/v1/healthz >/dev/null && break; sleep 0.1; done; \
+	  curl -sf http://127.0.0.1:18080/v1/version; echo; \
+	  /tmp/watsload -addr http://127.0.0.1:18080 -rate 200 -duration 2s && \
+	  curl -sf http://127.0.0.1:18080/metrics | grep -E '^wats_jobs_total' && \
+	  kill -TERM $$(cat /tmp/watsd.pid) && wait $$(cat /tmp/watsd.pid)
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

@@ -1,0 +1,116 @@
+// Command watsd is the network-facing job daemon over the live WATS
+// runtime: kernel workloads as invocable HTTP job types, per-job
+// deadlines, admission control with load shedding, the full debug mux
+// (Prometheus metrics with per-job latency histograms, pprof, scheduler
+// snapshot, Chrome trace) on the same listener, and graceful drain on
+// SIGTERM — stop admitting, finish in-flight jobs, quiesce the runtime,
+// then shut down.
+//
+// Usage:
+//
+//	watsd -listen :8080
+//	watsd -listen :8080 -fast 2 -slow 2 -policy WATS -max-inflight 64
+//	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"bzip2"}'
+//	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"ga","deadline_ms":5,"async":true}'
+//	curl localhost:8080/v1/version
+//
+// Drive it with cmd/watsload for an open-loop service benchmark.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/obs"
+	"wats/internal/runtime"
+	"wats/internal/sched"
+	"wats/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "address to serve the job API and debug mux on")
+		fast         = flag.Int("fast", 2, "number of fast workers")
+		slow         = flag.Int("slow", 2, "number of slow workers (0.4x speed)")
+		policy       = flag.String("policy", "WATS", "scheduling policy kind (Share|Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS|WATS-Mem)")
+		noEmu        = flag.Bool("no-speed-emulation", false, "disable the asymmetry emulation stalls (serve at raw core speed)")
+		maxInflight  = flag.Int("max-inflight", 64, "admitted in-flight job bound; beyond it submissions get 429")
+		maxQueued    = flag.Int("max-queued", 0, "runtime spawn-backpressure depth, reused as the shed threshold (0 = 4096)")
+		deadline     = flag.Duration("default-deadline", 0, "deadline applied to jobs that set none (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before giving up")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "watsd ", log.LstdFlags|log.Lmsgprefix)
+
+	kind := sched.Kind(*policy)
+	if _, err := sched.NewStrategy(kind); err != nil {
+		logger.Fatalf("bad -policy: %v", err)
+	}
+	arch := amc.MustNew("watsd",
+		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
+	rt, err := runtime.New(runtime.Config{
+		Arch:                  arch,
+		Policy:                kind,
+		Seed:                  7,
+		LockFree:              true,
+		DisableSpeedEmulation: *noEmu,
+		MaxQueuedTasks:        *maxQueued,
+		Obs:                   obs.NewTracer(arch.NumCores(), 0),
+	})
+	if err != nil {
+		logger.Fatalf("runtime: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Runtime:         rt,
+		MaxInflight:     *maxInflight,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		logger.Fatalf("server: %v", err)
+	}
+
+	b := server.Build()
+	logger.Printf("version %s commit %s (%s)", b.Version, b.Commit, b.GoVersion)
+	logger.Printf("serving on %s: %s under policy %s, max-inflight %d, shed depth %d",
+		*listen, arch, kind, *maxInflight, rt.MaxQueuedTasks())
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (in-flight %d)", sig, srv.Inflight())
+	case err := <-errc:
+		rt.Shutdown()
+		logger.Fatalf("listener: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("drain incomplete: %v (in-flight %d)", err, srv.Inflight())
+	} else {
+		logger.Printf("drained: all in-flight jobs finished")
+	}
+	// Stop the listener after the drain so late pollers of async jobs
+	// still get answers while jobs finish; then stop the workers.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutCtx)
+	rt.Shutdown()
+	c := srv.Metrics().Counters()
+	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d shed, %d tasks cancelled",
+		c.Submitted, c.Completed, c.Expired, c.Failed, c.Shed, rt.Cancelled())
+	fmt.Println("watsd: bye")
+}

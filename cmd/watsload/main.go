@@ -1,0 +1,200 @@
+// Command watsload is an open-loop load generator for watsd: arrivals are
+// a Poisson process at a configured rate, fired regardless of how fast
+// the service responds — the arrival process never slows down to match
+// the server, which is exactly the regime where admission control matters
+// (a closed-loop client would self-throttle and hide the collapse).
+//
+// Each arrival POSTs one synchronous job drawn from a weighted workload
+// mix and records its outcome and latency; at the end it prints
+// throughput, shed/expired rates and the p50/p95/p99 of completed-job
+// latencies. Exit status is 1 when nothing completed, so CI can use a
+// short burst as a smoke test (see `make serve-demo`).
+//
+// Usage:
+//
+//	watsload -addr http://localhost:8080 -rate 100 -duration 5s
+//	watsload -rate 2000 -duration 10s -mix sha1=6,lzw=3,bzip2=1 -deadline-ms 500
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wats/internal/rng"
+)
+
+type result struct {
+	status  int // HTTP status; 0 = transport error
+	latency time.Duration
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "watsd base URL")
+		rate     = flag.Float64("rate", 100, "mean arrival rate in jobs/sec (Poisson)")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate arrivals")
+		mix      = flag.String("mix", "sha1=6,md5=2,lzw=3,dmc=2,bzip2=1", "weighted workload mix name=weight,...")
+		deadline = flag.Int64("deadline-ms", 0, "per-job deadline_ms (0 = none)")
+		size     = flag.Int("size", 0, "params.size override for every job (0 = workload default)")
+		seed     = flag.Uint64("seed", 1, "arrival-process and input seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "HTTP client timeout per request")
+	)
+	flag.Parse()
+
+	names, weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watsload:", err)
+		os.Exit(2)
+	}
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+
+	fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms\n",
+		*addr, *duration, *rate, *mix, *deadline)
+
+	r := rng.New(*seed)
+	results := make(chan result, 1<<16)
+	var wg sync.WaitGroup
+	sent := 0
+	start := time.Now()
+	next := start
+	for {
+		// Poisson process: exponential inter-arrival times at mean 1/rate.
+		next = next.Add(time.Duration(r.ExpFloat64() / *rate * float64(time.Second)))
+		if next.Sub(start) > *duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		wl := names[pickWeighted(r, weights)]
+		body, _ := json.Marshal(map[string]any{
+			"workload":    wl,
+			"deadline_ms": *deadline,
+			"params":      map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size},
+		})
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{status: 0, latency: time.Since(t0)}
+				return
+			}
+			_, _ = drain(resp)
+			results <- result{status: resp.StatusCode, latency: time.Since(t0)}
+		}()
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	close(results)
+
+	var completed, shed, expired, failed int
+	var lat []time.Duration
+	for res := range results {
+		switch res.status {
+		case http.StatusOK:
+			completed++
+			lat = append(lat, res.latency)
+		case http.StatusTooManyRequests:
+			shed++
+		case http.StatusGatewayTimeout:
+			expired++
+		default:
+			failed++
+		}
+	}
+
+	fmt.Printf("\nsent %d in %v (offered %.0f/s)\n", sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("  completed %6d  (%.0f/s goodput)\n", completed, float64(completed)/elapsed.Seconds())
+	fmt.Printf("  shed 429  %6d  (%.1f%%)\n", shed, pct(shed, sent))
+	fmt.Printf("  expired   %6d  (%.1f%%)\n", expired, pct(expired, sent))
+	fmt.Printf("  failed    %6d\n", failed)
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("  latency   p50 %v  p95 %v  p99 %v  max %v\n",
+			quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99), lat[len(lat)-1])
+	}
+	if completed == 0 {
+		fmt.Fprintln(os.Stderr, "watsload: zero completed jobs")
+		os.Exit(1)
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}
+
+func drain(resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		m, err := resp.Body.Read(buf)
+		n += int64(m)
+		if err != nil {
+			return n, nil
+		}
+	}
+}
+
+// parseMix parses "sha1=6,lzw=3,bzip2=1" into parallel name/weight lists.
+func parseMix(s string) (names []string, weights []float64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, "=")
+		w := 1.0
+		if found {
+			w, err = strconv.ParseFloat(wstr, 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		names = append(names, name)
+		weights = append(weights, w)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("empty -mix")
+	}
+	return names, weights, nil
+}
+
+func pickWeighted(r *rng.Source, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -30,6 +30,7 @@ import (
 	"wats/internal/report"
 	"wats/internal/runtime"
 	"wats/internal/sched"
+	"wats/internal/server"
 )
 
 func main() {
@@ -136,25 +137,7 @@ func (d *debugState) set(rt *runtime.Runtime) { d.mu.Lock(); d.rt = rt; d.mu.Unl
 func (d *debugState) get() *runtime.Runtime   { d.mu.Lock(); defer d.mu.Unlock(); return d.rt }
 
 func (d *debugState) serve(addr string) {
-	mux := obs.NewMux(
-		func() *obs.Tracer {
-			if rt := d.get(); rt != nil {
-				return rt.Tracer()
-			}
-			return nil
-		},
-		func() any {
-			if rt := d.get(); rt != nil {
-				return rt.Snapshot()
-			}
-			return nil
-		},
-		func() []obs.WorkerCounters {
-			if rt := d.get(); rt != nil {
-				return workerCounters(rt.Stats())
-			}
-			return nil
-		})
+	mux := server.NewDebugMux(d.get, nil)
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "watsrun: debug server:", err)
@@ -162,20 +145,6 @@ func (d *debugState) serve(addr string) {
 		}
 	}()
 	fmt.Printf("debug server on %s (/metrics, /debug/wats, /debug/wats/trace, /debug/pprof/)\n\n", addr)
-}
-
-// workerCounters maps the runtime's per-worker stats onto the
-// engine-agnostic rows the /metrics handler renders.
-func workerCounters(stats []runtime.WorkerStats) []obs.WorkerCounters {
-	out := make([]obs.WorkerCounters, len(stats))
-	for i, ws := range stats {
-		out[i] = obs.WorkerCounters{
-			Worker: ws.Worker, Group: ws.Group, TasksRun: ws.TasksRun,
-			Steals: ws.Steals, StealAttempts: ws.StealAttempts,
-			Snatches: ws.Snatches, BusyNanos: ws.BusyNanos,
-		}
-	}
-	return out
 }
 
 // workerThreads names the trace rows after the emulated cores.

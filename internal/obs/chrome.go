@@ -137,6 +137,8 @@ func toChrome(e Event, pid, tid int) chromeEvent {
 		}
 	case EvSnatch:
 		ce.Args = map[string]any{"class": e.Class, "victim": e.Victim}
+	case EvCancel:
+		ce.Args = map[string]any{"class": e.Class}
 	case EvRepartition:
 		ce.Scope = "p" // process scope: the map change affects every worker
 		ce.Args = map[string]any{"duration_ns": e.Dur, "partition": e.Part}

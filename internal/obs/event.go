@@ -44,6 +44,10 @@ const (
 	// map (Algorithm 1): Dur is the rebuild duration and Part the new
 	// class → cluster assignment.
 	EvRepartition
+	// EvCancel is a dropped task: Worker acquired (or was spawning) a task
+	// of Class whose job context was already done and discarded it without
+	// running it.
+	EvCancel
 
 	numEventKinds
 )
@@ -65,6 +69,8 @@ func (k EventKind) String() string {
 		return "complete"
 	case EvRepartition:
 		return "repartition"
+	case EvCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobMetrics collects service-level (per-job, not per-task) metrics for a
+// job server built over the runtime: how long jobs waited for a worker
+// versus how long they executed, per workload class, plus outcome
+// counters. It is the /metrics companion to the scheduler-level Tracer —
+// the tracer sees tasks, JobMetrics sees whole network jobs. All methods
+// are safe for concurrent use (histogram observes are atomic adds).
+type JobMetrics struct {
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	expired   atomic.Uint64
+	shed      atomic.Uint64
+
+	// perClass maps workload class → *jobClassHist.
+	perClass sync.Map
+}
+
+type jobClassHist struct {
+	queueWait Histogram
+	exec      Histogram
+}
+
+func (m *JobMetrics) class(name string) *jobClassHist {
+	if h, ok := m.perClass.Load(name); ok {
+		return h.(*jobClassHist)
+	}
+	h, _ := m.perClass.LoadOrStore(name, &jobClassHist{})
+	return h.(*jobClassHist)
+}
+
+// Submitted records one admitted job.
+func (m *JobMetrics) Submitted() { m.submitted.Add(1) }
+
+// Shed records one job rejected by admission control (HTTP 429).
+func (m *JobMetrics) Shed() { m.shed.Add(1) }
+
+// Expired records one job that missed its deadline (HTTP 504), with the
+// time it spent queued before the deadline fired.
+func (m *JobMetrics) Expired(class string, queueWait time.Duration) {
+	m.expired.Add(1)
+	m.class(class).queueWait.Observe(queueWait.Nanoseconds())
+}
+
+// Failed records one job whose workload function returned an error.
+func (m *JobMetrics) Failed() { m.failed.Add(1) }
+
+// Completed records one successfully finished job: how long it waited in
+// the queue before its root task started, and how long it executed.
+func (m *JobMetrics) Completed(class string, queueWait, exec time.Duration) {
+	m.completed.Add(1)
+	h := m.class(class)
+	h.queueWait.Observe(queueWait.Nanoseconds())
+	h.exec.Observe(exec.Nanoseconds())
+}
+
+// JobCounters is a point-in-time copy of the outcome counters.
+type JobCounters struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+	Shed      uint64 `json:"shed"`
+}
+
+// Counters snapshots the outcome counters.
+func (m *JobMetrics) Counters() JobCounters {
+	return JobCounters{
+		Submitted: m.submitted.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Expired:   m.expired.Load(),
+		Shed:      m.shed.Load(),
+	}
+}
+
+// ClassLatencies returns the per-class queue-wait and execution histogram
+// snapshots, keyed by class name.
+func (m *JobMetrics) ClassLatencies() (queueWait, exec map[string]HistSnapshot) {
+	queueWait = map[string]HistSnapshot{}
+	exec = map[string]HistSnapshot{}
+	m.perClass.Range(func(k, v any) bool {
+		h := v.(*jobClassHist)
+		queueWait[k.(string)] = h.queueWait.Snapshot()
+		exec[k.(string)] = h.exec.Snapshot()
+		return true
+	})
+	return queueWait, exec
+}
+
+// writeJobMetrics renders the job-level metrics in the Prometheus text
+// format, next to the scheduler-level series of writeTracerMetrics.
+func writeJobMetrics(sb *strings.Builder, m *JobMetrics) {
+	c := m.Counters()
+	fmt.Fprintf(sb, "# HELP wats_jobs_total Jobs by final outcome.\n# TYPE wats_jobs_total counter\n")
+	for _, kv := range []struct {
+		status string
+		v      uint64
+	}{
+		{"submitted", c.Submitted}, {"completed", c.Completed},
+		{"failed", c.Failed}, {"expired", c.Expired}, {"shed", c.Shed},
+	} {
+		fmt.Fprintf(sb, "wats_jobs_total{status=%q} %d\n", kv.status, kv.v)
+	}
+	queueWait, exec := m.ClassLatencies()
+	writeClassHists(sb, "wats_job_queue_wait_nanos", "Time jobs waited for their root task to start.", queueWait)
+	writeClassHists(sb, "wats_job_exec_nanos", "Wall-clock execution time of completed jobs.", exec)
+}
+
+func writeClassHists(sb *strings.Builder, name, help string, byClass map[string]HistSnapshot) {
+	names := make([]string, 0, len(byClass))
+	for n := range byClass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, n := range names {
+		histogram(sb, name, "", fmt.Sprintf("class=%q", n), byClass[n])
+	}
+}

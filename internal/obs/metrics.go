@@ -21,14 +21,16 @@ type WorkerCounters struct {
 	Steals        int64
 	StealAttempts int64
 	Snatches      int64
+	Cancelled     int64
 	BusyNanos     int64
 }
 
 // MetricsHandler serves the tracer's counters and histograms in the
-// Prometheus text exposition format. tracer and workers are getters so
-// one long-lived debug server can follow a sequence of runs; either may
-// return nil.
-func MetricsHandler(tracer func() *Tracer, workers func() []WorkerCounters) http.Handler {
+// Prometheus text exposition format. tracer, workers and jobs are getters
+// so one long-lived debug server can follow a sequence of runs; any of
+// them may be nil or return nil. jobs adds the service-level job metrics
+// of a job server (see JobMetrics).
+func MetricsHandler(tracer func() *Tracer, workers func() []WorkerCounters, jobs func() *JobMetrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var sb strings.Builder
@@ -37,6 +39,11 @@ func MetricsHandler(tracer func() *Tracer, workers func() []WorkerCounters) http
 		}
 		if workers != nil {
 			writeWorkerMetrics(&sb, workers())
+		}
+		if jobs != nil {
+			if m := jobs(); m != nil {
+				writeJobMetrics(&sb, m)
+			}
 		}
 		_, _ = w.Write([]byte(sb.String()))
 	})
@@ -53,6 +60,7 @@ func writeTracerMetrics(sb *strings.Builder, t *Tracer) {
 	counter("wats_steals_total", "Successful steals.", c.Steals)
 	counter("wats_snatches_total", "Preemptions of running tasks.", c.Snatches)
 	counter("wats_completes_total", "Completed tasks.", c.Completes)
+	counter("wats_cancels_total", "Tasks dropped unrun because their job context was done.", c.Cancels)
 	counter("wats_repartitions_total", "Helper-thread cluster-map rebuilds (Algorithm 1).", c.Repartitions)
 	counter("wats_trace_events_total", "Scheduler events recorded to ring buffers.", c.Events)
 	counter("wats_trace_events_dropped_total", "Ring-buffer events overwritten before reading.", c.Dropped)
@@ -112,6 +120,7 @@ func writeWorkerMetrics(sb *strings.Builder, ws []WorkerCounters) {
 	gauge("wats_worker_steals_total", "Successful steals per worker.", func(w WorkerCounters) int64 { return w.Steals })
 	gauge("wats_worker_steal_attempts_total", "Victim-pool probes per worker.", func(w WorkerCounters) int64 { return w.StealAttempts })
 	gauge("wats_worker_snatches_total", "Preemptions per worker.", func(w WorkerCounters) int64 { return w.Snatches })
+	gauge("wats_worker_cancelled_total", "Tasks dropped unrun per worker (job context done).", func(w WorkerCounters) int64 { return w.Cancelled })
 	gauge("wats_worker_busy_nanos_total", "Busy time per worker (stalls included).", func(w WorkerCounters) int64 { return w.BusyNanos })
 }
 
@@ -150,12 +159,13 @@ func PublishExpvar(tracer func() *Tracer) {
 // NewMux builds the debug server: Prometheus /metrics, pprof under
 // /debug/pprof/, expvar under /debug/vars, the scheduler snapshot as JSON
 // at /debug/wats, and the buffered events as a Chrome trace at
-// /debug/wats/trace (save it and load in Perfetto). All three getters may
-// return nil while no run is active.
-func NewMux(tracer func() *Tracer, snapshot func() any, workers func() []WorkerCounters) *http.ServeMux {
+// /debug/wats/trace (save it and load in Perfetto). All getters may be
+// nil or return nil while no run is active; jobs, when non-nil, folds a
+// job server's per-job metrics into /metrics.
+func NewMux(tracer func() *Tracer, snapshot func() any, workers func() []WorkerCounters, jobs func() *JobMetrics) *http.ServeMux {
 	PublishExpvar(tracer)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(tracer, workers))
+	mux.Handle("/metrics", MetricsHandler(tracer, workers, jobs))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

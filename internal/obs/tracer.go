@@ -32,6 +32,7 @@ type Tracer struct {
 	snatches  atomic.Uint64
 	completes atomic.Uint64
 	reparts   atomic.Uint64
+	cancels   atomic.Uint64
 
 	stealLatency *Histogram
 	repartDur    *Histogram
@@ -162,6 +163,16 @@ func (t *Tracer) Repartition(dur time.Duration, part map[string]int) {
 	})
 }
 
+// Cancel records a task dropped without running because its job context
+// was already done (deadline exceeded or caller cancellation).
+func (t *Tracer) Cancel(worker int, class string) {
+	t.cancels.Add(1)
+	t.ringFor(worker).put(&Event{
+		TS: t.now(), Kind: EvCancel, Worker: int32(worker),
+		Cluster: -1, Victim: -1, Class: class,
+	})
+}
+
 func (t *Tracer) classHist(class string) *Histogram {
 	if h, ok := t.classWork.Load(class); ok {
 		return h.(*Histogram)
@@ -179,6 +190,7 @@ type Counters struct {
 	Snatches      uint64 `json:"snatches"`
 	Completes     uint64 `json:"completes"`
 	Repartitions  uint64 `json:"repartitions"`
+	Cancels       uint64 `json:"cancels"`
 	// Events / Dropped report ring pressure: total events recorded and
 	// how many were overwritten before being read.
 	Events  uint64 `json:"events"`
@@ -195,6 +207,7 @@ func (t *Tracer) Counters() Counters {
 		Snatches:      t.snatches.Load(),
 		Completes:     t.completes.Load(),
 		Repartitions:  t.reparts.Load(),
+		Cancels:       t.cancels.Load(),
 	}
 	for _, r := range t.rings {
 		c.Events += r.written()

@@ -51,12 +51,20 @@ func TestMetricsHandler(t *testing.T) {
 	tr.Complete(1, 0, "ga", 5*time.Millisecond)
 	tr.Complete(1, 0, "sha1", time.Millisecond)
 	tr.Repartition(200*time.Microsecond, map[string]int{"ga": 0, "sha1": 1})
+	tr.Cancel(1, "ga")
+
+	jobs := &JobMetrics{}
+	jobs.Submitted()
+	jobs.Completed("ga", 2*time.Millisecond, 10*time.Millisecond)
+	jobs.Expired("sha1", time.Millisecond)
+	jobs.Shed()
 
 	h := MetricsHandler(
 		func() *Tracer { return tr },
 		func() []WorkerCounters {
-			return []WorkerCounters{{Worker: 0, Group: 0, TasksRun: 2, Steals: 1, StealAttempts: 5}}
-		})
+			return []WorkerCounters{{Worker: 0, Group: 0, TasksRun: 2, Steals: 1, StealAttempts: 5, Cancelled: 1}}
+		},
+		func() *JobMetrics { return jobs })
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	body := rec.Body.String()
@@ -72,6 +80,13 @@ func TestMetricsHandler(t *testing.T) {
 		"wats_steal_latency_nanos_count 1",
 		"wats_repartition_duration_nanos_count 1",
 		`wats_worker_steal_attempts_total{worker="0",group="0"} 5`,
+		"wats_cancels_total 1",
+		`wats_worker_cancelled_total{worker="0",group="0"} 1`,
+		`wats_jobs_total{status="completed"} 1`,
+		`wats_jobs_total{status="shed"} 1`,
+		`wats_job_queue_wait_nanos_count{class="ga"} 1`,
+		`wats_job_queue_wait_nanos_count{class="sha1"} 1`,
+		`wats_job_exec_nanos_count{class="ga"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q\n--- body ---\n%s", want, body)
@@ -88,7 +103,7 @@ func TestNewMuxEndpoints(t *testing.T) {
 	mux := NewMux(
 		func() *Tracer { return tr },
 		func() any { return map[string]int{"workers": 1} },
-		nil)
+		nil, nil)
 	for path, wantIn := range map[string]string{
 		"/metrics":          "wats_spawns_total 1",
 		"/debug/wats":       `"workers": 1`,
@@ -112,7 +127,7 @@ func TestEventKindString(t *testing.T) {
 	want := map[EventKind]string{
 		EvSpawn: "spawn", EvPop: "pop", EvStealTry: "steal-try",
 		EvSteal: "steal", EvSnatch: "snatch", EvComplete: "complete",
-		EvRepartition: "repartition",
+		EvRepartition: "repartition", EvCancel: "cancel",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -1,0 +1,217 @@
+package runtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wats/internal/amc"
+)
+
+func cancelArch(t *testing.T, n int) *amc.Arch {
+	t.Helper()
+	return amc.MustNew("cancel-test", amc.CGroup{Freq: 2.0, N: n})
+}
+
+// A job context cancelled while its tasks sit queued must drop them at
+// the acquire-time cancellation point: the functions never run, the drops
+// are visible in Stats, and Wait still returns.
+func TestSpawnContextCancelDropsQueuedTasks(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 1), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	// Occupy the only worker so everything spawned after stays queued.
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := rt.Spawn("blocker", func(ctx *Ctx) { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := rt.SpawnContext(ctx, "doomed", func(ctx *Ctx) { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	close(gate)
+	rt.Wait()
+
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d cancelled tasks ran, want 0", got)
+	}
+	if got := rt.Cancelled(); got != n {
+		t.Errorf("Cancelled() = %d, want %d", got, n)
+	}
+	var statTotal int64
+	for _, ws := range rt.Stats() {
+		statTotal += ws.Cancelled
+	}
+	if statTotal != n {
+		t.Errorf("sum of WorkerStats.Cancelled = %d, want %d", statTotal, n)
+	}
+}
+
+// Children inherit the parent task's job context, Ctx.Err observes its
+// cancellation mid-task, and spawns after cancellation are dropped at the
+// spawn-time cancellation point — an expired job stops fanning out.
+func TestCtxErrAndChildInheritance(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 2), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var errBefore, errAfter error
+	var childRan atomic.Int64
+	done := make(chan struct{})
+	if err := rt.SpawnContext(ctx, "parent", func(c *Ctx) {
+		defer close(done)
+		errBefore = c.Err()
+		cancel()
+		errAfter = c.Err()
+		// Spawned after cancellation: must be dropped without running.
+		c.Spawn("child", func(*Ctx) { childRan.Add(1) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	rt.Wait()
+
+	if errBefore != nil {
+		t.Errorf("Ctx.Err() before cancel = %v, want nil", errBefore)
+	}
+	if errAfter == nil {
+		t.Error("Ctx.Err() after cancel = nil, want context.Canceled")
+	}
+	if childRan.Load() != 0 {
+		t.Errorf("child of cancelled job ran")
+	}
+	if rt.Cancelled() == 0 {
+		t.Error("spawn-time drop not counted in Cancelled()")
+	}
+}
+
+// Tasks without a context must see a nil Err and a Background Context.
+func TestCtxErrNilWithoutContext(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 1), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	done := make(chan struct{})
+	var gotErr error
+	var gotCtx context.Context
+	if err := rt.Spawn("plain", func(c *Ctx) {
+		gotErr, gotCtx = c.Err(), c.Context()
+		close(done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	rt.Wait()
+	if gotErr != nil {
+		t.Errorf("Err() = %v, want nil", gotErr)
+	}
+	if gotCtx == nil || gotCtx.Err() != nil {
+		t.Errorf("Context() = %v", gotCtx)
+	}
+}
+
+// A deadline that fires mid-tree abandons the queued remainder of a
+// group: Group.Wait still returns and the job observes its own expiry.
+func TestGroupCancellationDrainsWait(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 2), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	var ran atomic.Int64
+	done := make(chan struct{})
+	if err := rt.SpawnContext(ctx, "root", func(c *Ctx) {
+		defer close(done)
+		g := c.Group()
+		for i := 0; i < 64; i++ {
+			g.Spawn(c, "leaf", func(*Ctx) {
+				ran.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			})
+		}
+		g.Wait(c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Group.Wait did not return after cancellation")
+	}
+	rt.Wait()
+	if rt.Cancelled() == 0 {
+		t.Error("no leaves were dropped; deadline cancellation had no effect")
+	}
+	if ran.Load() >= 64 {
+		t.Errorf("all %d leaves ran despite the 2ms deadline", ran.Load())
+	}
+}
+
+func TestMaxQueuedTasksConfig(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 1), MaxQueuedTasks: 8, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.MaxQueuedTasks(); got != 8 {
+		t.Errorf("MaxQueuedTasks() = %d, want 8", got)
+	}
+	rt.Shutdown()
+
+	rt2, err := New(Config{Arch: cancelArch(t, 1), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Shutdown()
+	if got := rt2.MaxQueuedTasks(); got != DefaultMaxQueuedTasks {
+		t.Errorf("default MaxQueuedTasks() = %d, want %d", got, DefaultMaxQueuedTasks)
+	}
+}
+
+// QueuedTasks must reflect spawned-but-unacquired work — the admission
+// signal the server's load shedding reads.
+func TestQueuedTasksCountsBacklog(t *testing.T) {
+	rt, err := New(Config{Arch: cancelArch(t, 1), DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := rt.Spawn("blocker", func(*Ctx) { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := rt.Spawn("queued", func(*Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.QueuedTasks(); got < n {
+		t.Errorf("QueuedTasks() = %d, want >= %d", got, n)
+	}
+	close(gate)
+	rt.Wait()
+	if got := rt.QueuedTasks(); got != 0 {
+		t.Errorf("QueuedTasks() after drain = %d, want 0", got)
+	}
+}

@@ -45,6 +45,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	stdruntime "runtime"
@@ -92,13 +93,28 @@ type Config struct {
 	// nil Obs costs a single predictable branch (see BenchmarkObsHook).
 	// Build it with obs.NewTracer(cfg.Arch.NumCores(), 0).
 	Obs *obs.Tracer
+	// MaxQueuedTasks is the per-cluster queue depth beyond which a spawner
+	// yields its quantum to let consumers catch up (0 = the default 4096).
+	// Servers built over the runtime reuse it as their load-shedding
+	// threshold, so one knob bounds both queue memory and admitted work.
+	MaxQueuedTasks int
 }
+
+// DefaultMaxQueuedTasks is the spawn-backpressure depth used when
+// Config.MaxQueuedTasks is 0.
+const DefaultMaxQueuedTasks = 1 << 12
 
 // Task is one unit of work submitted to the runtime.
 type liveTask struct {
 	class string
 	fn    func(ctx *Ctx)
 	group *Group // non-nil for tasks spawned into a fork-join group
+	// cancel, when non-nil, is the job context the task belongs to. A task
+	// whose context is done by the time a worker acquires it is dropped
+	// instead of run (counted in WorkerStats.Cancelled), and children it
+	// would have spawned inherit the same context — so one expired
+	// deadline abandons a whole job tree at its queue boundaries.
+	cancel context.Context
 }
 
 // Ctx is passed to every task function; it identifies the executing
@@ -109,16 +125,40 @@ type liveTask struct {
 // path allocation-free).
 type Ctx struct {
 	rt     *Runtime
-	class  string // class of the task being executed (spawn-edge tracking)
+	class  string          // class of the task being executed (spawn-edge tracking)
+	cancel context.Context // job context of the running task (nil = not cancellable)
 	Worker int
 	// Rel is the executing worker's emulated relative speed.
 	Rel float64
 }
 
 // Spawn submits a child task from inside a running task (parent-first:
-// the child is queued and the parent continues).
+// the child is queued and the parent continues). The child inherits the
+// running task's job context, so cancelling the job stops the whole tree.
 func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
-	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn})
+	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel})
+}
+
+// Err reports whether the running task's job context has been cancelled
+// (deadline exceeded or caller cancellation); nil for tasks submitted
+// without a context. Long-running task functions should poll it at
+// natural checkpoints and return early when non-nil — between-task
+// cancellation is automatic, within-task cancellation is cooperative.
+func (c *Ctx) Err() error {
+	if c.cancel == nil {
+		return nil
+	}
+	return c.cancel.Err()
+}
+
+// Context returns the running task's job context (context.Background()
+// for tasks submitted without one), for task functions that call
+// context-aware code.
+func (c *Ctx) Context() context.Context {
+	if c.cancel == nil {
+		return context.Background()
+	}
+	return c.cancel
 }
 
 // Group returns a new fork-join scope: Spawn children into it and Wait
@@ -134,10 +174,11 @@ type Group struct {
 	pending atomic.Int64
 }
 
-// Spawn submits a child task into the group (parent-first).
+// Spawn submits a child task into the group (parent-first). Like
+// Ctx.Spawn, the child inherits the spawning task's job context.
 func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 	g.pending.Add(1)
-	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g})
+	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel})
 }
 
 // Wait blocks until every task spawned into the group has completed.
@@ -348,7 +389,11 @@ type WorkerStats struct {
 	// live runtime cannot preempt goroutines (see the package comment),
 	// so this stays 0 here; the field keeps live and simulated stats
 	// rows aligned.
-	Snatches  int64
+	Snatches int64
+	// Cancelled counts tasks this worker dropped without running because
+	// their job context was already done when acquired (deadline exceeded
+	// or caller cancellation).
+	Cancelled int64
 	BusyNanos int64
 }
 
@@ -411,7 +456,10 @@ type Runtime struct {
 	steals        []atomic.Int64
 	stealAttempts []atomic.Int64
 	snatches      []atomic.Int64
+	cancelled     []atomic.Int64
 	busy          []atomic.Int64
+	// maxQueued is the spawn-backpressure depth (Config.MaxQueuedTasks).
+	maxQueued int64
 	// obs, when non-nil, receives scheduler events; every emission is
 	// behind one nil-check so disabled tracing costs a single branch.
 	obs *obs.Tracer
@@ -458,9 +506,14 @@ func New(cfg Config) (*Runtime, error) {
 		steals:        make([]atomic.Int64, n),
 		stealAttempts: make([]atomic.Int64, n),
 		snatches:      make([]atomic.Int64, n),
+		cancelled:     make([]atomic.Int64, n),
 		busy:          make([]atomic.Int64, n),
+		maxQueued:     int64(cfg.MaxQueuedTasks),
 		obs:           cfg.Obs,
 		base:          time.Now(),
+	}
+	if rt.maxQueued <= 0 {
+		rt.maxQueued = DefaultMaxQueuedTasks
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	f1 := cfg.Arch.FastestFreq()
@@ -538,19 +591,34 @@ var ErrShutdown = errors.New("runtime: Spawn after Shutdown")
 // worker may push to its own Chase-Lev deques. After Shutdown it drops
 // the task and returns ErrShutdown.
 func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
+	return rt.spawnRoot(&liveTask{class: class, fn: fn})
+}
+
+// SpawnContext submits a root task bound to a job context: if ctx is done
+// before a worker gets to the task (deadline exceeded or cancellation),
+// the task is dropped instead of run, and every child it spawns inherits
+// the same context. It is the submission path for network jobs with
+// deadlines (see internal/server). A ctx that is already done still
+// enqueues: the drop is accounted on a worker, visible in Stats, and
+// Wait's bookkeeping stays uniform.
+func (rt *Runtime) SpawnContext(ctx context.Context, class string, fn func(ctx *Ctx)) error {
+	return rt.spawnRoot(&liveTask{class: class, fn: fn, cancel: ctx})
+}
+
+func (rt *Runtime) spawnRoot(t *liveTask) error {
 	if rt.shutdown.Load() {
 		return ErrShutdown
 	}
 	if rt.cfg.LockFree && !rt.central {
 		rt.outstanding.Add(1)
-		rt.inbox.push(&liveTask{class: class, fn: fn})
+		rt.inbox.push(t)
 		if rt.obs != nil {
-			rt.obs.Spawn(-1, -1, class, rt.inbox.size())
+			rt.obs.Spawn(-1, -1, t.class, rt.inbox.size())
 		}
 		rt.wakeOne(-1)
 		return nil
 	}
-	rt.spawnTask(0, "", &liveTask{class: class, fn: fn})
+	rt.spawnTask(0, "", t)
 	return nil
 }
 
@@ -560,6 +628,19 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
 // central-queue policies.
 func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	if rt.shutdown.Load() {
+		if t.group != nil && t.group.pending.Add(-1) == 0 {
+			rt.wakeAll()
+		}
+		return
+	}
+	if t.cancel != nil && t.cancel.Err() != nil {
+		// The job is already dead: don't let an expired task tree keep
+		// fanning out. The drop is accounted exactly like an acquire-time
+		// drop so cancellations stay visible in Stats.
+		rt.cancelled[worker].Add(1)
+		if rt.obs != nil {
+			rt.obs.Cancel(worker, t.class)
+		}
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
 		}
@@ -584,7 +665,7 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 			rt.obs.Spawn(worker, cl, t.class, p.size())
 		}
 		rt.wakeOne(cl)
-		if queued >= spawnBackpressure {
+		if queued >= rt.maxQueued {
 			// The spawner is far ahead of the consumers: yield instead of
 			// ballooning the queue (deep queues cost GC scan time and
 			// memory; on a loaded machine the producing goroutine would
@@ -594,9 +675,20 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	}
 }
 
-// spawnBackpressure is the per-pool depth beyond which a spawner yields
-// its quantum to let consumers catch up.
-const spawnBackpressure = 1 << 12
+// QueuedTasks returns the current number of queued (spawned but not yet
+// acquired) tasks across every cluster and the inbox — a racy point-read,
+// cheap enough for per-request admission checks. MaxQueuedTasks returns
+// the configured backpressure depth the count should be compared against.
+func (rt *Runtime) QueuedTasks() int {
+	n := int64(rt.inbox.size())
+	for cl := range rt.clusterWork {
+		n += rt.clusterWork[cl].v.Load()
+	}
+	return int(n)
+}
+
+// MaxQueuedTasks returns the effective Config.MaxQueuedTasks.
+func (rt *Runtime) MaxQueuedTasks() int { return int(rt.maxQueued) }
 
 // acquire implements the acquisition axis for a worker: drain the inbox,
 // then walk the strategy's cluster order — own pool pop, then steal from
@@ -697,11 +789,29 @@ func (rt *Runtime) worker(w int, r *rng.Source) {
 // Eq. 2 workload observation and completion accounting. It is shared by
 // the worker loop and by Group.Wait's helping path.
 func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
-	// Reuse the worker's Ctx, saving the class around the call: execution
-	// nests when a task helps inside Group.Wait.
+	if t.cancel != nil && t.cancel.Err() != nil {
+		// The job's deadline passed (or it was cancelled) while this task
+		// sat queued: drop it without running. Group and outstanding
+		// accounting still happen so Wait and Group.Wait stay correct —
+		// a cancelled task "completes" instantly, it just never executes
+		// or contributes a workload observation.
+		rt.cancelled[w].Add(1)
+		if rt.obs != nil {
+			rt.obs.Cancel(w, t.class)
+		}
+		if t.group != nil && t.group.pending.Add(-1) == 0 {
+			rt.wakeAll()
+		}
+		rt.compl[w].done++
+		return
+	}
+	// Reuse the worker's Ctx, saving the class and job context around the
+	// call: execution nests when a task helps inside Group.Wait.
 	ctx := rt.ctxs[w]
 	prev := ctx.class
+	prevCancel := ctx.cancel
 	ctx.class = t.class
+	ctx.cancel = t.cancel
 	b := &rt.compl[w]
 	var start time.Duration
 	if b.timeValid {
@@ -718,6 +828,7 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	d := end - start
 	b.lastEnd, b.timeValid = end, true
 	ctx.class = prev
+	ctx.cancel = prevCancel
 	b.busy += int64(d)
 	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
 		stall := time.Duration(float64(d) * (1/rel - 1))
@@ -863,6 +974,16 @@ func (rt *Runtime) Registry() *task.Registry { return rt.strat.Registry() }
 // kind; history-less kinds simply never reorganize it).
 func (rt *Runtime) Allocator() *history.Allocator { return rt.strat.Allocator() }
 
+// Cancelled returns the total number of tasks dropped because their job
+// context was done before they ran (summed over workers; racy point-read).
+func (rt *Runtime) Cancelled() int64 {
+	var n int64
+	for w := range rt.cancelled {
+		n += rt.cancelled[w].Load()
+	}
+	return n
+}
+
 // Stats returns a snapshot of per-worker counters.
 func (rt *Runtime) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(rt.pools))
@@ -875,6 +996,7 @@ func (rt *Runtime) Stats() []WorkerStats {
 			Steals:        rt.steals[w].Load(),
 			StealAttempts: rt.stealAttempts[w].Load(),
 			Snatches:      rt.snatches[w].Load(),
+			Cancelled:     rt.cancelled[w].Load(),
 			BusyNanos:     rt.busy[w].Load(),
 		}
 	}

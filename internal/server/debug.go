@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http"
+
+	"wats/internal/obs"
+	"wats/internal/runtime"
+)
+
+// NewDebugMux builds the standard debug server over a live runtime:
+// Prometheus /metrics (scheduler counters, per-worker rows and — when
+// jobs is non-nil — per-job latency histograms), the JSON scheduler
+// snapshot at /debug/wats, the buffered Chrome trace at
+// /debug/wats/trace, expvar and pprof. The runtime getter may return nil
+// while no run is active, so one long-lived server can follow a sequence
+// of runtimes (cmd/watsrun) or wrap a single daemon-owned one (watsd).
+// This is the one place the runtime's introspection surface is wired to
+// HTTP; both binaries mount it.
+func NewDebugMux(rt func() *runtime.Runtime, jobs func() *obs.JobMetrics) *http.ServeMux {
+	return obs.NewMux(
+		func() *obs.Tracer {
+			if r := rt(); r != nil {
+				return r.Tracer()
+			}
+			return nil
+		},
+		func() any {
+			if r := rt(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		},
+		func() []obs.WorkerCounters {
+			if r := rt(); r != nil {
+				return ToWorkerCounters(r.Stats())
+			}
+			return nil
+		},
+		jobs)
+}
+
+// ToWorkerCounters maps the runtime's per-worker stats onto the
+// engine-agnostic rows the /metrics handler renders.
+func ToWorkerCounters(stats []runtime.WorkerStats) []obs.WorkerCounters {
+	out := make([]obs.WorkerCounters, len(stats))
+	for i, ws := range stats {
+		out[i] = obs.WorkerCounters{
+			Worker: ws.Worker, Group: ws.Group, TasksRun: ws.TasksRun,
+			Steals: ws.Steals, StealAttempts: ws.StealAttempts,
+			Snatches: ws.Snatches, Cancelled: ws.Cancelled, BusyNanos: ws.BusyNanos,
+		}
+	}
+	return out
+}

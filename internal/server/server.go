@@ -1,0 +1,491 @@
+// Package server is the network-facing job service over the live runtime:
+// named kernel workloads become invocable job types submitted over
+// HTTP/JSON, with per-job deadlines carried via context.Context into the
+// runtime's cancellation points, admission control that sheds load before
+// queues collapse, and graceful drain for zero-drop shutdowns. It is the
+// serving layer the ROADMAP's "heavy traffic" north star needs: the WATS
+// history/partition machinery learns each endpoint's cost profile through
+// the task classes the workloads are bound to.
+//
+// Lifecycle of one job:
+//
+//	POST /v1/jobs ── admission (draining? 503; inflight/queue full? 429)
+//	   └─ SpawnContext(jobCtx) ── queued in the class's cluster pool
+//	        └─ root task runs the workload (may fan out child tasks)
+//	              └─ job finalized: completed | failed | expired
+//
+// A job whose deadline fires while queued is dropped at the runtime's
+// next cancellation point (visible as WorkerStats.Cancelled and the
+// wats_cancels_total metric) and reported as 504; children of an expired
+// job are abandoned at their queue boundaries. Admission rejections are
+// 429 with Retry-After, so a well-behaved open-loop client backs off
+// instead of collapsing p99 (see cmd/watsload).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/obs"
+	"wats/internal/runtime"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runtime executes the jobs. Required.
+	Runtime *runtime.Runtime
+	// Workloads is the job-type registry (nil = Builtins()).
+	Workloads map[string]Workload
+	// MaxInflight bounds concurrently admitted jobs; submissions beyond
+	// it are shed with 429 (0 = 64).
+	MaxInflight int
+	// ShedQueueDepth sheds submissions while the runtime's queued-task
+	// count is at or above it (0 = the runtime's MaxQueuedTasks, so one
+	// knob bounds both queue memory and admitted work).
+	ShedQueueDepth int
+	// DefaultDeadline applies to jobs that set no deadline_ms (0 = none).
+	DefaultDeadline time.Duration
+	// RetryAfter is the backoff hint on 429 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Metrics receives per-job latency histograms and outcome counters
+	// (nil = a fresh collector; reachable via Server.Metrics).
+	Metrics *obs.JobMetrics
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+	StatusExpired   = "expired"
+)
+
+// JobView is the wire representation of one job.
+type JobView struct {
+	ID       string  `json:"id"`
+	Workload string  `json:"workload"`
+	Status   string  `json:"status"`
+	// QueueWaitMS is the time from admission to the root task starting
+	// (for expired-while-queued jobs: to the deadline firing).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// ExecMS is the root task's wall-clock execution time.
+	ExecMS float64 `json:"exec_ms,omitempty"`
+	Result any     `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// job is the server-side record; fields are guarded by Server.mu except
+// the channels and the submission-time constants.
+type job struct {
+	id        string
+	workload  string
+	class     string
+	status    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    any
+	err       string
+	finalized bool
+	done      chan struct{} // closed when the root task function returns
+}
+
+// Server is the HTTP job service. Create with New, mount Handler, and on
+// shutdown call Drain before Runtime.Shutdown.
+type Server struct {
+	cfg      Config
+	rt       *runtime.Runtime
+	metrics  *obs.JobMetrics
+	inflight atomic.Int64
+	draining atomic.Bool
+	idSeq    atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finalized job ids, oldest first (eviction order)
+}
+
+// keepFinished bounds the finalized-job table; the oldest records are
+// evicted beyond it so an async-heavy client cannot grow memory without
+// bound. In-flight jobs are never evicted.
+const keepFinished = 4096
+
+// New builds a Server over cfg.Runtime.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("server: Config.Runtime is required")
+	}
+	if cfg.Workloads == nil {
+		cfg.Workloads = Builtins()
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.ShedQueueDepth <= 0 {
+		cfg.ShedQueueDepth = cfg.Runtime.MaxQueuedTasks()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &obs.JobMetrics{}
+	}
+	return &Server{
+		cfg:     cfg,
+		rt:      cfg.Runtime,
+		metrics: cfg.Metrics,
+		jobs:    map[string]*job{},
+	}, nil
+}
+
+// Metrics returns the server's job-metrics collector (for mounting on a
+// debug mux).
+func (s *Server) Metrics() *obs.JobMetrics { return s.metrics }
+
+// Inflight returns the number of currently admitted, unfinalized jobs.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Draining reports whether admission has been closed by Drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service mux: the /v1 job API plus the full debug
+// mux (/metrics with job histograms, /debug/wats, /debug/pprof/, ...).
+func (s *Server) Handler() *http.ServeMux {
+	dbg := NewDebugMux(func() *runtime.Runtime { return s.rt }, func() *obs.JobMetrics { return s.metrics })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/v1/version", s.handleVersion)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.Handle("/metrics", dbg)
+	mux.Handle("/debug/", dbg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `watsd job service
+  POST /v1/jobs      submit a job {"workload":..,"params":{..},"deadline_ms":..,"async":bool}
+  GET  /v1/jobs/{id} poll an async job
+  GET  /v1/workloads list invocable workloads
+  GET  /v1/version   build info
+  GET  /v1/healthz   admission state
+  GET  /metrics      Prometheus metrics (scheduler + per-job histograms)
+  GET  /debug/wats   scheduler snapshot; /debug/pprof/, /debug/vars, /debug/wats/trace
+`)
+	})
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Workload string `json:"workload"`
+	Params   Params `json:"params"`
+	// DeadlineMS is the job deadline in milliseconds from admission; the
+	// job is cancelled at the runtime's next cancellation point once it
+	// fires and reported 504 (sync) / "expired" (async).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Async switches to submit-and-poll: respond 202 immediately and
+	// expose the job at GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	wl, ok := s.cfg.Workloads[req.Workload]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown workload %q (see /v1/workloads)", req.Workload)
+		return
+	}
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		return
+	}
+	// Admission: a bounded in-flight count plus queue-depth load shedding
+	// on the runtime's own depth counters. Shedding here returns a cheap
+	// 429 instead of letting queues balloon and every admitted job's p99
+	// collapse.
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.shed(w, "at max in-flight jobs (%d)", s.cfg.MaxInflight)
+		return
+	}
+	if q := s.rt.QueuedTasks(); q >= s.cfg.ShedQueueDepth {
+		s.inflight.Add(-1)
+		s.shed(w, "runtime queue depth %d at shed threshold %d", q, s.cfg.ShedQueueDepth)
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	jobCtx, cancel := context.Background(), context.CancelFunc(func() {})
+	if deadline > 0 {
+		jobCtx, cancel = context.WithTimeout(context.Background(), deadline)
+	}
+
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.idSeq.Add(1)),
+		workload:  wl.Name,
+		class:     wl.Class,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.metrics.Submitted()
+
+	spawnErr := s.rt.SpawnContext(jobCtx, wl.Class, func(ctx *runtime.Ctx) {
+		defer close(j.done)
+		start := time.Now()
+		s.mu.Lock()
+		if !j.finalized {
+			j.status, j.started = StatusRunning, start
+		}
+		s.mu.Unlock()
+		res, err := wl.Run(ctx, req.Params)
+		s.finalize(j, res, err, start, time.Now())
+	})
+	if spawnErr != nil {
+		s.mu.Lock()
+		j.finalized, j.status, j.err = true, StatusFailed, spawnErr.Error()
+		s.evictLocked(j.id)
+		s.mu.Unlock()
+		s.inflight.Add(-1)
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, "runtime shut down")
+		return
+	}
+	// The watcher finalizes jobs whose root task the runtime dropped
+	// (deadline fired while queued: the task function never runs, so the
+	// done channel would never close without it).
+	go s.watch(j, jobCtx, cancel)
+
+	if req.Async {
+		writeJSONStatus(w, http.StatusAccepted, s.view(j))
+		return
+	}
+	select {
+	case <-j.done:
+		writeJSON(w, s.view(j))
+	case <-jobCtx.Done():
+		s.expire(j)
+		writeJSONStatus(w, http.StatusGatewayTimeout, s.view(j))
+	}
+}
+
+// watch finalizes j when its context fires before the root task function
+// completed (dropped while queued, or still running past its deadline —
+// in the latter case the function's own result is discarded: the client
+// was already told 504).
+func (s *Server) watch(j *job, ctx context.Context, cancel context.CancelFunc) {
+	select {
+	case <-j.done:
+		cancel()
+	case <-ctx.Done():
+		s.expire(j)
+	}
+}
+
+// finalize records the root task's outcome; first finalization wins (the
+// deadline watcher may have expired the job already).
+func (s *Server) finalize(j *job, res any, err error, start, end time.Time) {
+	s.mu.Lock()
+	if j.finalized {
+		s.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	j.started, j.finished, j.result = start, end, res
+	switch {
+	case err == nil:
+		j.status = StatusCompleted
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		j.status, j.err = StatusExpired, err.Error()
+	default:
+		j.status, j.err = StatusFailed, err.Error()
+	}
+	status := j.status
+	queueWait, exec := start.Sub(j.submitted), end.Sub(start)
+	s.evictLocked(j.id)
+	s.mu.Unlock()
+	s.inflight.Add(-1)
+	switch status {
+	case StatusCompleted:
+		s.metrics.Completed(j.class, queueWait, exec)
+	case StatusExpired:
+		s.metrics.Expired(j.class, queueWait)
+	default:
+		s.metrics.Failed()
+	}
+}
+
+// expire finalizes a job whose deadline fired before its root task
+// function finished; idempotent against finalize.
+func (s *Server) expire(j *job) {
+	now := time.Now()
+	s.mu.Lock()
+	if j.finalized {
+		s.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	queueWait := now.Sub(j.submitted)
+	if !j.started.IsZero() {
+		queueWait = j.started.Sub(j.submitted)
+	}
+	j.status, j.err, j.finished = StatusExpired, context.DeadlineExceeded.Error(), now
+	s.evictLocked(j.id)
+	s.mu.Unlock()
+	s.inflight.Add(-1)
+	s.metrics.Expired(j.class, queueWait)
+}
+
+// evictLocked appends id to the finished list and drops the oldest
+// finalized jobs beyond keepFinished. Caller holds s.mu.
+func (s *Server) evictLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > keepFinished {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// view snapshots a job for the wire.
+func (s *Server) view(j *job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID: j.id, Workload: j.workload, Status: j.status,
+		Result: j.result, Error: j.err,
+	}
+	switch {
+	case !j.started.IsZero():
+		v.QueueWaitMS = ms(j.started.Sub(j.submitted))
+	case !j.finished.IsZero():
+		v.QueueWaitMS = ms(j.finished.Sub(j.submitted))
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		v.ExecMS = ms(j.finished.Sub(j.started))
+	}
+	return v
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, s.view(j))
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.cfg.Workloads))
+	for n := range s.cfg.Workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.cfg.Workloads[n])
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Build())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	writeJSON(w, map[string]any{
+		"status":     state,
+		"inflight":   s.Inflight(),
+		"queued":     s.rt.QueuedTasks(),
+		"max_queued": s.rt.MaxQueuedTasks(),
+	})
+}
+
+// Drain closes admission (new submissions get 503), waits for every
+// admitted job to finalize, then drains the runtime's remaining tasks
+// (stragglers of expired jobs included) so a following Runtime.Shutdown
+// drops nothing. It returns ctx.Err() if the context fires first; drain
+// state persists either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	// Every job is finalized; let the runtime quiesce (cancelled-but-
+	// queued tasks drain instantly when a worker acquires them).
+	done := make(chan struct{})
+	go func() { s.rt.Wait(); close(done) }()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+// shed rejects a submission with 429 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
+	s.metrics.Shed()
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+	httpError(w, http.StatusTooManyRequests, format, args...)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
