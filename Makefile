@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo vulncheck
+.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -50,6 +50,23 @@ serve-demo:
 	  /tmp/watsload -addr http://127.0.0.1:18080 -rate 200 -duration 2s && \
 	  curl -sf http://127.0.0.1:18080/metrics | grep -E '^wats_jobs_total' && \
 	  kill -TERM $$(cat /tmp/watsd.pid) && wait $$(cat /tmp/watsd.pid)
+
+# chaos-demo is the fault-tolerance acceptance run: watsd with 1%%
+# injected task panics plus delays, overloaded by a retrying chaos
+# client. The daemon must survive the whole burst (panicked jobs are
+# structured 500s, not crashes), watsload must still complete jobs
+# through the retry path, the exact injected-panic count must land on
+# /metrics, and SIGTERM must still drain cleanly.
+chaos-demo:
+	$(GO) build -o /tmp/watsd ./cmd/watsd
+	$(GO) build -o /tmp/watsload ./cmd/watsload
+	/tmp/watsd -listen 127.0.0.1:18081 -fault panic=0.01,delay=0.02:2ms -stall-threshold 5s & echo $$! > /tmp/watsd-chaos.pid; \
+	  trap 'kill $$(cat /tmp/watsd-chaos.pid) 2>/dev/null || true' EXIT; \
+	  for i in $$(seq 50); do curl -sf http://127.0.0.1:18081/v1/readyz >/dev/null && break; sleep 0.1; done; \
+	  /tmp/watsload -addr http://127.0.0.1:18081 -rate 400 -duration 2s -chaos -retries 3 && \
+	  curl -sf http://127.0.0.1:18081/v1/healthz && echo && \
+	  curl -sf http://127.0.0.1:18081/metrics | grep -E '^wats_(panics_total|jobs_total\{status="panicked"\})' && \
+	  kill -TERM $$(cat /tmp/watsd-chaos.pid) && wait $$(cat /tmp/watsd-chaos.pid)
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

@@ -10,6 +10,7 @@
 //
 //	watsd -listen :8080
 //	watsd -listen :8080 -fast 2 -slow 2 -policy WATS -max-inflight 64
+//	watsd -listen :8080 -fault panic=0.01,delay=0.02:2ms -stall-threshold 5s
 //	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"bzip2"}'
 //	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"ga","deadline_ms":5,"async":true}'
 //	curl localhost:8080/v1/version
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"wats/internal/amc"
+	"wats/internal/fault"
 	"wats/internal/obs"
 	"wats/internal/runtime"
 	"wats/internal/sched"
@@ -46,6 +48,9 @@ func main() {
 		maxQueued    = flag.Int("max-queued", 0, "runtime spawn-backpressure depth, reused as the shed threshold (0 = 4096)")
 		deadline     = flag.Duration("default-deadline", 0, "deadline applied to jobs that set none (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before giving up")
+		faultSpec    = flag.String("fault", "", `deterministic fault injection spec, e.g. "panic=0.01,delay=0.05:2ms,cancel=0.01" (empty = off)`)
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+		stallThresh  = flag.Duration("stall-threshold", 10*time.Second, "watchdog stall threshold for in-flight tasks (0 = watchdog off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "watsd ", log.LstdFlags|log.Lmsgprefix)
@@ -54,8 +59,23 @@ func main() {
 	if _, err := sched.NewStrategy(kind); err != nil {
 		logger.Fatalf("bad -policy: %v", err)
 	}
-	arch := amc.MustNew("watsd",
+	// amc.New, not MustNew: -fast/-slow are operator input, and a bad
+	// value ("-fast 0 -slow 0") should be a clean usage error, not a
+	// panic with a stack trace.
+	arch, err := amc.New("watsd",
 		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
+	if err != nil {
+		logger.Fatalf("bad -fast/-slow: %v", err)
+	}
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			logger.Fatalf("bad -fault: %v", err)
+		}
+		injector = fault.New(spec)
+		logger.Printf("fault injection armed: %s", spec)
+	}
 	rt, err := runtime.New(runtime.Config{
 		Arch:                  arch,
 		Policy:                kind,
@@ -64,6 +84,8 @@ func main() {
 		DisableSpeedEmulation: *noEmu,
 		MaxQueuedTasks:        *maxQueued,
 		Obs:                   obs.NewTracer(arch.NumCores(), 0),
+		Fault:                 injector,
+		StallThreshold:        *stallThresh,
 	})
 	if err != nil {
 		logger.Fatalf("runtime: %v", err)
@@ -110,7 +132,11 @@ func main() {
 	_ = httpSrv.Shutdown(shutCtx)
 	rt.Shutdown()
 	c := srv.Metrics().Counters()
-	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d shed, %d tasks cancelled",
-		c.Submitted, c.Completed, c.Expired, c.Failed, c.Shed, rt.Cancelled())
+	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d panicked, %d shed, %d tasks cancelled, %d panics recovered",
+		c.Submitted, c.Completed, c.Expired, c.Failed, c.Panicked, c.Shed, rt.Cancelled(), rt.Panics())
+	if injector != nil {
+		fc := injector.Counts()
+		logger.Printf("faults injected: %d panics, %d delays, %d cancels", fc.Panics, fc.Delays, fc.Cancels)
+	}
 	fmt.Println("watsd: bye")
 }

@@ -5,19 +5,25 @@
 // (a closed-loop client would self-throttle and hide the collapse).
 //
 // Each arrival POSTs one synchronous job drawn from a weighted workload
-// mix and records its outcome and latency; at the end it prints
-// throughput, shed/expired rates and the p50/p95/p99 of completed-job
-// latencies. Exit status is 1 when nothing completed, so CI can use a
-// short burst as a smoke test (see `make serve-demo`).
+// mix through the resilient internal/client — per-request timeouts,
+// exponential backoff honoring the server's Retry-After hint, and a
+// circuit breaker — and records its outcome and latency; at the end it
+// prints throughput, shed/expired/panicked rates, the p50/p95/p99 of
+// completed-job latencies (with a separate line for jobs that were shed
+// and then retried to completion), and the client's retry/breaker
+// counters. Exit status is 1 when nothing completed, so CI can use a
+// short burst as a smoke test (see `make serve-demo` and
+// `make chaos-demo`).
 //
 // Usage:
 //
 //	watsload -addr http://localhost:8080 -rate 100 -duration 5s
 //	watsload -rate 2000 -duration 10s -mix sha1=6,lzw=3,bzip2=1 -deadline-ms 500
+//	watsload -rate 2000 -duration 5s -chaos -retries 3
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,11 +35,14 @@ import (
 	"sync"
 	"time"
 
+	"wats/internal/client"
 	"wats/internal/rng"
 )
 
 type result struct {
-	status  int // HTTP status; 0 = transport error
+	status  int // HTTP status; 0 = transport error or breaker reject
+	panicjb bool
+	retried bool
 	latency time.Duration
 }
 
@@ -46,7 +55,9 @@ func main() {
 		deadline = flag.Int64("deadline-ms", 0, "per-job deadline_ms (0 = none)")
 		size     = flag.Int("size", 0, "params.size override for every job (0 = workload default)")
 		seed     = flag.Uint64("seed", 1, "arrival-process and input seed")
-		timeout  = flag.Duration("timeout", 30*time.Second, "HTTP client timeout per request")
+		timeout  = flag.Duration("timeout", 30*time.Second, "HTTP timeout per attempt")
+		retries  = flag.Int("retries", 0, "retry budget per job for shed (429) and unavailable (503) responses")
+		chaos    = flag.Bool("chaos", false, "chaos mode: expect injected faults; defaults -retries to 3 and tightens backoff")
 	)
 	flag.Parse()
 
@@ -55,16 +66,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "watsload:", err)
 		os.Exit(2)
 	}
-	client := &http.Client{
-		Timeout: *timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        512,
-			MaxIdleConnsPerHost: 512,
-		},
+	ccfg := client.Config{
+		BaseURL:        *addr,
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		Seed:           *seed,
+	}
+	if *chaos {
+		if ccfg.MaxRetries == 0 {
+			ccfg.MaxRetries = 3
+		}
+		// A short chaos burst needs the retry schedule to resolve inside
+		// the run, not after it.
+		ccfg.BaseBackoff = 25 * time.Millisecond
+		ccfg.MaxBackoff = 500 * time.Millisecond
+		ccfg.Breaker.Cooldown = 250 * time.Millisecond
+	}
+	cl, err := client.New(ccfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watsload:", err)
+		os.Exit(2)
 	}
 
-	fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms\n",
-		*addr, *duration, *rate, *mix, *deadline)
+	fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms, retries %d\n",
+		*addr, *duration, *rate, *mix, *deadline, ccfg.MaxRetries)
+	if *chaos {
+		fmt.Println("chaos mode: counting panicked jobs separately; breaker armed")
+	}
 
 	r := rng.New(*seed)
 	results := make(chan result, 1<<16)
@@ -90,30 +118,39 @@ func main() {
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := client.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+			res, err := cl.SubmitJob(context.Background(), body)
 			if err != nil {
 				results <- result{status: 0, latency: time.Since(t0)}
 				return
 			}
-			_, _ = drain(resp)
-			results <- result{status: resp.StatusCode, latency: time.Since(t0)}
+			results <- result{
+				status:  res.StatusCode,
+				panicjb: res.StatusCode == http.StatusInternalServerError && isPanicBody(res.Body),
+				retried: res.Retried,
+				latency: time.Since(t0),
+			}
 		}()
 	}
 	elapsed := time.Since(start)
 	wg.Wait()
 	close(results)
 
-	var completed, shed, expired, failed int
-	var lat []time.Duration
+	var completed, shed, expired, panicked, failed int
+	var lat, retriedLat []time.Duration
 	for res := range results {
-		switch res.status {
-		case http.StatusOK:
+		switch {
+		case res.status == http.StatusOK:
 			completed++
 			lat = append(lat, res.latency)
-		case http.StatusTooManyRequests:
+			if res.retried {
+				retriedLat = append(retriedLat, res.latency)
+			}
+		case res.status == http.StatusTooManyRequests:
 			shed++
-		case http.StatusGatewayTimeout:
+		case res.status == http.StatusGatewayTimeout:
 			expired++
+		case res.panicjb:
+			panicked++
 		default:
 			failed++
 		}
@@ -123,16 +160,34 @@ func main() {
 	fmt.Printf("  completed %6d  (%.0f/s goodput)\n", completed, float64(completed)/elapsed.Seconds())
 	fmt.Printf("  shed 429  %6d  (%.1f%%)\n", shed, pct(shed, sent))
 	fmt.Printf("  expired   %6d  (%.1f%%)\n", expired, pct(expired, sent))
+	fmt.Printf("  panicked  %6d  (%.1f%%)\n", panicked, pct(panicked, sent))
 	fmt.Printf("  failed    %6d\n", failed)
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		fmt.Printf("  latency   p50 %v  p95 %v  p99 %v  max %v\n",
 			quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99), lat[len(lat)-1])
 	}
+	if len(retriedLat) > 0 {
+		sort.Slice(retriedLat, func(i, j int) bool { return retriedLat[i] < retriedLat[j] })
+		fmt.Printf("  retried   p50 %v  p95 %v  p99 %v  (%d shed-then-retried completions)\n",
+			quantile(retriedLat, 0.50), quantile(retriedLat, 0.95), quantile(retriedLat, 0.99), len(retriedLat))
+	}
+	st := cl.Stats()
+	fmt.Printf("  client    %d attempts / %d requests, %d retries, %d retry-after honored, %d breaker opens, %d breaker rejects\n",
+		st.Attempts, st.Requests, st.Retries, st.RetryAfterHonored, st.BreakerOpens, st.BreakerRejects)
 	if completed == 0 {
 		fmt.Fprintln(os.Stderr, "watsload: zero completed jobs")
 		os.Exit(1)
 	}
+}
+
+// isPanicBody reports whether a 500 body is the structured panic outcome
+// ({"error":"panic",...}) rather than an ordinary workload failure.
+func isPanicBody(body []byte) bool {
+	var v struct {
+		Error string `json:"error"`
+	}
+	return json.Unmarshal(body, &v) == nil && v.Error == "panic"
 }
 
 func pct(n, total int) float64 {
@@ -145,19 +200,6 @@ func pct(n, total int) float64 {
 func quantile(sorted []time.Duration, q float64) time.Duration {
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i].Round(10 * time.Microsecond)
-}
-
-func drain(resp *http.Response) (int64, error) {
-	defer resp.Body.Close()
-	buf := make([]byte, 4096)
-	var n int64
-	for {
-		m, err := resp.Body.Read(buf)
-		n += int64(m)
-		if err != nil {
-			return n, nil
-		}
-	}
 }
 
 // parseMix parses "sha1=6,lzw=3,bzip2=1" into parallel name/weight lists.

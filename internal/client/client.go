@@ -1,0 +1,362 @@
+// Package client is the resilient HTTP client for watsd job services:
+// retries with exponential backoff and jitter that honor the server's
+// Retry-After hint, per-attempt timeouts, and a half-open circuit
+// breaker — the well-behaved counterpart to the server's admission
+// control. A shedding server tells clients when to come back (429 +
+// Retry-After); this client actually listens, which is what keeps an
+// open-loop fleet from turning a transient overload into a retry storm.
+//
+// Retry policy: transport errors, 429 (shed) and 503 (draining or
+// overloaded) are retryable; 4xx request errors and job outcomes
+// (200/500/504) are not — a job that panicked or missed its deadline
+// would do so again, and retrying it duplicates work the scheduler
+// already accounted. The circuit breaker counts only transport errors
+// and 503s (a server that is down or draining), not 429s (flow control
+// from a healthy server): after Breaker.Threshold consecutive failures
+// it opens and rejects submissions locally for Breaker.Cooldown, then
+// lets one probe through (half-open) and closes again on success.
+//
+// All jitter flows through internal/rng, so a seeded client retries on
+// a reproducible schedule in tests.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/rng"
+)
+
+// Config configures a Client. The zero value of every field has a sane
+// default; only BaseURL is required.
+type Config struct {
+	// BaseURL is the watsd base URL, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient executes the attempts (nil = a client with a pooled
+	// transport and no overall timeout; per-attempt timeouts come from
+	// RequestTimeout).
+	HTTPClient *http.Client
+	// RequestTimeout bounds each attempt (0 = 30s).
+	RequestTimeout time.Duration
+	// MaxRetries is the retry budget per request beyond the first
+	// attempt (0 = no retries; a plain client).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff before jitter (0 = 50ms);
+	// subsequent retries double it up to MaxBackoff (0 = 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint is honored
+	// (0 = 10s), so a misconfigured server cannot park clients forever.
+	MaxRetryAfter time.Duration
+	// Seed seeds the jitter stream (deterministic retry schedules in
+	// tests; 0 = 1).
+	Seed uint64
+	// Breaker configures the circuit breaker.
+	Breaker BreakerConfig
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Threshold consecutive breaker-eligible failures (transport, 503)
+	// open the breaker (0 = 8; negative disables the breaker).
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting a
+	// half-open probe through (0 = 2s).
+	Cooldown time.Duration
+}
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker rejects
+// a request locally without attempting it.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Result is the final outcome of one request after retries.
+type Result struct {
+	// StatusCode is the final HTTP status.
+	StatusCode int
+	// Body is the final response body.
+	Body []byte
+	// Attempts is how many HTTP attempts were made (≥ 1).
+	Attempts int
+	// Retried reports whether any retry happened (Attempts > 1) — the
+	// flag watsload uses to report shed-then-retried latency separately.
+	Retried bool
+}
+
+// Stats is a point-in-time copy of the client's counters.
+type Stats struct {
+	Requests          int64 `json:"requests"`
+	Attempts          int64 `json:"attempts"`
+	Retries           int64 `json:"retries"`
+	RetryAfterHonored int64 `json:"retry_after_honored"`
+	BreakerOpens      int64 `json:"breaker_opens"`
+	BreakerRejects    int64 `json:"breaker_rejects"`
+}
+
+// Client is a resilient watsd client; safe for concurrent use.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+	br  *breaker
+
+	jmu    sync.Mutex
+	jitter *rng.Source
+
+	requests          atomic.Int64
+	attempts          atomic.Int64
+	retries           atomic.Int64
+	retryAfterHonored atomic.Int64
+	breakerRejects    atomic.Int64
+}
+
+// New builds a Client over cfg, applying defaults.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: Config.BaseURL is required")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		}}
+	}
+	return &Client{
+		cfg:    cfg,
+		hc:     hc,
+		br:     newBreaker(cfg.Breaker),
+		jitter: rng.New(cfg.Seed),
+	}, nil
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:          c.requests.Load(),
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		RetryAfterHonored: c.retryAfterHonored.Load(),
+		BreakerOpens:      c.br.opens.Load(),
+		BreakerRejects:    c.breakerRejects.Load(),
+	}
+}
+
+// SubmitJob POSTs one job body (the /v1/jobs JSON) and retries per the
+// policy. The returned Result carries the final status and body; err is
+// non-nil only when no HTTP outcome was reached (breaker open, context
+// done, or every attempt failed in transport).
+func (c *Client) SubmitJob(ctx context.Context, body []byte) (Result, error) {
+	return c.Do(ctx, http.MethodPost, "/v1/jobs", body)
+}
+
+// Do performs one request with retries, backoff and the breaker.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte) (Result, error) {
+	c.requests.Add(1)
+	res := Result{}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.br.allow(); err != nil {
+			c.breakerRejects.Add(1)
+			if lastErr != nil {
+				return res, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			}
+			return res, err
+		}
+		status, respBody, retryAfter, err := c.attempt(ctx, method, path, body)
+		res.Attempts++
+		c.attempts.Add(1)
+		if err == nil {
+			res.StatusCode, res.Body = status, respBody
+			c.br.record(status != http.StatusServiceUnavailable)
+			if !retryable(status) || attempt >= c.cfg.MaxRetries {
+				res.Retried = res.Attempts > 1
+				return res, nil
+			}
+		} else {
+			lastErr = err
+			c.br.record(false)
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			if attempt >= c.cfg.MaxRetries {
+				return res, fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, res.Attempts, err)
+			}
+		}
+		c.retries.Add(1)
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return res, err
+		}
+	}
+}
+
+// attempt runs one HTTP attempt under the per-attempt timeout, returning
+// the status, drained body and any Retry-After hint.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+			c.retryAfterHonored.Add(1)
+		}
+	}
+	return resp.StatusCode, respBody, retryAfter, nil
+}
+
+// retryable reports whether an HTTP status is worth retrying: shed (429)
+// and unavailable (503). Job outcomes (200/500/504) and request errors
+// are final.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before retry #attempt: exponential from
+// BaseBackoff with equal jitter (half deterministic, half uniform), but
+// never less than the server's Retry-After hint (capped by
+// MaxRetryAfter) — the server knows its drain better than our curve.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.jmu.Lock()
+	f := c.jitter.Float64()
+	c.jmu.Unlock()
+	d = d/2 + time.Duration(f*float64(d/2))
+	if retryAfter > c.cfg.MaxRetryAfter {
+		retryAfter = c.cfg.MaxRetryAfter
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is a mutex-guarded consecutive-failure circuit breaker with a
+// single half-open probe. Not on any hot path — one short critical
+// section per HTTP attempt.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     int
+	failures  int
+	openedAt  time.Time
+	probing   bool
+	opens     atomic.Int64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	b := &breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown}
+	if b.threshold == 0 {
+		b.threshold = 8
+	}
+	if b.cooldown <= 0 {
+		b.cooldown = 2 * time.Second
+	}
+	return b
+}
+
+// allow gates one attempt: nil in closed state, ErrBreakerOpen while
+// open; after the cooldown the first caller transitions to half-open and
+// becomes the probe, everyone else keeps getting rejected until the
+// probe resolves via record.
+func (b *breaker) allow() error {
+	if b.threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return nil
+	case brOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state, b.probing = brHalfOpen, true
+		return nil
+	default: // brHalfOpen
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports an attempt outcome to the breaker: success closes a
+// half-open breaker and resets the failure run; failure re-opens it (or
+// opens a closed one at the threshold).
+func (b *breaker) record(ok bool) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state, b.failures, b.probing = brClosed, 0, false
+		return
+	}
+	b.failures++
+	if b.state == brHalfOpen || b.failures >= b.threshold {
+		if b.state != brOpen {
+			b.opens.Add(1)
+		}
+		b.state, b.openedAt, b.probing = brOpen, time.Now(), false
+		b.failures = 0
+	}
+}

@@ -1,0 +1,233 @@
+// Package fault is deterministic fault injection for the live runtime:
+// panics, delays and job cancellations induced inside task bodies at
+// configured rates, keyed by (task class, worker, per-worker task index)
+// so a given seed reproduces the exact same fault schedule run after run
+// — the property every chaos test needs to assert exact accounting
+// ("wats_panics_total == injected count") instead of statistical bounds.
+//
+// The injector is attached to a runtime through runtime.Config.Fault and
+// consulted behind a single nil-check before each task body runs, the
+// same disabled-cost discipline as the observability hooks: a runtime
+// without fault injection pays one predictable branch.
+//
+// All randomness flows through internal/rng (xoshiro256** over
+// splitmix64): each Plan call derives a fresh stream from the seed and
+// the (class, worker, index) key, so decisions are independent of
+// scheduling order — the same task draws the same fate no matter which
+// worker sequence interleaving the race detector provokes elsewhere.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/rng"
+)
+
+// Kind is the kind of one injected fault.
+type Kind uint8
+
+const (
+	// None: the task runs untouched.
+	None Kind = iota
+	// Panic: the task body panics before running (the runtime's isolation
+	// layer recovers it and poisons the owning job).
+	Panic
+	// Delay: the task body is stalled for Action.Delay before running —
+	// the knob that makes watchdog stalls and deadline expiries inducible.
+	Delay
+	// Cancel: the task's job context is aborted before the body runs, as
+	// if the caller had cancelled the job at exactly this point.
+	Cancel
+)
+
+// String names the kind for logs and test output.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Action is one planned fault.
+type Action struct {
+	Kind  Kind
+	Delay time.Duration // for Kind == Delay
+}
+
+// Spec configures an Injector. Rates are per-task probabilities in
+// [0, 1]; their sum must not exceed 1 (one uniform draw is partitioned
+// across the kinds, so at most one fault fires per task).
+type Spec struct {
+	Seed       uint64
+	PanicRate  float64
+	DelayRate  float64
+	Delay      time.Duration // how long Delay faults stall
+	CancelRate float64
+}
+
+// ParseSpec parses the -fault flag syntax: comma-separated
+// "panic=RATE", "delay=RATE:DURATION", "cancel=RATE" clauses, e.g.
+// "panic=0.01,delay=0.05:2ms,cancel=0.01". An empty string is the zero
+// Spec (inject nothing).
+func ParseSpec(s string, seed uint64) (Spec, error) {
+	spec := Spec{Seed: seed}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, found := strings.Cut(part, "=")
+		if !found {
+			return spec, fmt.Errorf("fault: clause %q is not name=rate", part)
+		}
+		switch name {
+		case "panic", "cancel":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return spec, fmt.Errorf("fault: bad rate in %q", part)
+			}
+			if name == "panic" {
+				spec.PanicRate = rate
+			} else {
+				spec.CancelRate = rate
+			}
+		case "delay":
+			rateStr, durStr, found := strings.Cut(val, ":")
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return spec, fmt.Errorf("fault: bad rate in %q", part)
+			}
+			spec.DelayRate = rate
+			spec.Delay = time.Millisecond
+			if found {
+				d, err := time.ParseDuration(durStr)
+				if err != nil || d < 0 {
+					return spec, fmt.Errorf("fault: bad duration in %q", part)
+				}
+				spec.Delay = d
+			}
+		default:
+			return spec, fmt.Errorf("fault: unknown fault kind %q (panic|delay|cancel)", name)
+		}
+	}
+	if sum := spec.PanicRate + spec.DelayRate + spec.CancelRate; sum > 1 {
+		return spec, fmt.Errorf("fault: rates sum to %.3f > 1", sum)
+	}
+	return spec, nil
+}
+
+// String renders the spec back in the flag syntax.
+func (s Spec) String() string {
+	var parts []string
+	if s.PanicRate > 0 {
+		parts = append(parts, fmt.Sprintf("panic=%g", s.PanicRate))
+	}
+	if s.DelayRate > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%v", s.DelayRate, s.Delay))
+	}
+	if s.CancelRate > 0 {
+		parts = append(parts, fmt.Sprintf("cancel=%g", s.CancelRate))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool { return s.PanicRate > 0 || s.DelayRate > 0 || s.CancelRate > 0 }
+
+// PanicValue is the value injected panics carry, so recovery layers and
+// tests can tell an induced panic from a genuine bug.
+type PanicValue struct {
+	Class  string
+	Worker int
+	Index  uint64
+}
+
+func (p PanicValue) Error() string {
+	return fmt.Sprintf("fault: injected panic (class %q, worker %d, task %d)", p.Class, p.Worker, p.Index)
+}
+
+// Injector plans faults deterministically and counts what it injected.
+// Plan is safe for concurrent use (the only mutable state is atomic
+// counters).
+type Injector struct {
+	spec    Spec
+	panics  atomic.Int64
+	delays  atomic.Int64
+	cancels atomic.Int64
+}
+
+// New returns an injector for the spec.
+func New(spec Spec) *Injector { return &Injector{spec: spec} }
+
+// Spec returns the injector's configuration.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// fnv1a hashes the class name into the fault key.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Plan decides the fate of one task, keyed by its class, the executing
+// worker and the worker's task index. The decision is a pure function of
+// (Spec.Seed, class, worker, index): one uniform draw from an
+// rng stream derived from that key, partitioned as
+// [0, panic) [panic, panic+delay) [.., ..+cancel) [.., 1].
+func (in *Injector) Plan(class string, worker int, index uint64) Action {
+	key := fnv1a(class) ^ in.spec.Seed
+	key = key*0x9E3779B97F4A7C15 + uint64(worker)
+	key = key*0x9E3779B97F4A7C15 + index
+	x := rng.New(key).Float64()
+	switch {
+	case x < in.spec.PanicRate:
+		in.panics.Add(1)
+		return Action{Kind: Panic}
+	case x < in.spec.PanicRate+in.spec.DelayRate:
+		in.delays.Add(1)
+		return Action{Kind: Delay, Delay: in.spec.Delay}
+	case x < in.spec.PanicRate+in.spec.DelayRate+in.spec.CancelRate:
+		in.cancels.Add(1)
+		return Action{Kind: Cancel}
+	default:
+		return Action{}
+	}
+}
+
+// Counts is a point-in-time copy of how many faults the injector has
+// planned, by kind.
+type Counts struct {
+	Panics  int64 `json:"panics"`
+	Delays  int64 `json:"delays"`
+	Cancels int64 `json:"cancels"`
+}
+
+// Counts snapshots the injected-fault counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Panics:  in.panics.Load(),
+		Delays:  in.delays.Load(),
+		Cancels: in.cancels.Load(),
+	}
+}

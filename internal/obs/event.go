@@ -48,6 +48,14 @@ const (
 	// of Class whose job context was already done and discarded it without
 	// running it.
 	EvCancel
+	// EvPanic is a recovered task panic: a task of Class panicked on
+	// Worker; the runtime's isolation layer recovered it, poisoned the
+	// owning job and kept the worker alive.
+	EvPanic
+	// EvStall is a watchdog detection: the task running on Worker has been
+	// executing for Dur nanoseconds, past the configured stall threshold.
+	// Emitted once per stalled task, not per watchdog tick.
+	EvStall
 
 	numEventKinds
 )
@@ -71,6 +79,10 @@ func (k EventKind) String() string {
 		return "repartition"
 	case EvCancel:
 		return "cancel"
+	case EvPanic:
+		return "panic"
+	case EvStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

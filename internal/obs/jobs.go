@@ -21,6 +21,7 @@ type JobMetrics struct {
 	failed    atomic.Uint64
 	expired   atomic.Uint64
 	shed      atomic.Uint64
+	panicked  atomic.Uint64
 
 	// perClass maps workload class → *jobClassHist.
 	perClass sync.Map
@@ -55,6 +56,10 @@ func (m *JobMetrics) Expired(class string, queueWait time.Duration) {
 // Failed records one job whose workload function returned an error.
 func (m *JobMetrics) Failed() { m.failed.Add(1) }
 
+// Panicked records one job poisoned by a task panic (the isolation layer
+// contained the panic and the job finalized as a structured 500).
+func (m *JobMetrics) Panicked() { m.panicked.Add(1) }
+
 // Completed records one successfully finished job: how long it waited in
 // the queue before its root task started, and how long it executed.
 func (m *JobMetrics) Completed(class string, queueWait, exec time.Duration) {
@@ -71,6 +76,7 @@ type JobCounters struct {
 	Failed    uint64 `json:"failed"`
 	Expired   uint64 `json:"expired"`
 	Shed      uint64 `json:"shed"`
+	Panicked  uint64 `json:"panicked"`
 }
 
 // Counters snapshots the outcome counters.
@@ -81,6 +87,7 @@ func (m *JobMetrics) Counters() JobCounters {
 		Failed:    m.failed.Load(),
 		Expired:   m.expired.Load(),
 		Shed:      m.shed.Load(),
+		Panicked:  m.panicked.Load(),
 	}
 }
 
@@ -109,6 +116,7 @@ func writeJobMetrics(sb *strings.Builder, m *JobMetrics) {
 	}{
 		{"submitted", c.Submitted}, {"completed", c.Completed},
 		{"failed", c.Failed}, {"expired", c.Expired}, {"shed", c.Shed},
+		{"panicked", c.Panicked},
 	} {
 		fmt.Fprintf(sb, "wats_jobs_total{status=%q} %d\n", kv.status, kv.v)
 	}

@@ -22,6 +22,7 @@ type WorkerCounters struct {
 	StealAttempts int64
 	Snatches      int64
 	Cancelled     int64
+	Panics        int64
 	BusyNanos     int64
 }
 
@@ -61,6 +62,8 @@ func writeTracerMetrics(sb *strings.Builder, t *Tracer) {
 	counter("wats_snatches_total", "Preemptions of running tasks.", c.Snatches)
 	counter("wats_completes_total", "Completed tasks.", c.Completes)
 	counter("wats_cancels_total", "Tasks dropped unrun because their job context was done.", c.Cancels)
+	counter("wats_panics_total", "Task panics recovered by the isolation layer.", c.Panics)
+	counter("wats_stalls_total", "Watchdog detections of tasks running past the stall threshold.", c.Stalls)
 	counter("wats_repartitions_total", "Helper-thread cluster-map rebuilds (Algorithm 1).", c.Repartitions)
 	counter("wats_trace_events_total", "Scheduler events recorded to ring buffers.", c.Events)
 	counter("wats_trace_events_dropped_total", "Ring-buffer events overwritten before reading.", c.Dropped)
@@ -121,6 +124,7 @@ func writeWorkerMetrics(sb *strings.Builder, ws []WorkerCounters) {
 	gauge("wats_worker_steal_attempts_total", "Victim-pool probes per worker.", func(w WorkerCounters) int64 { return w.StealAttempts })
 	gauge("wats_worker_snatches_total", "Preemptions per worker.", func(w WorkerCounters) int64 { return w.Snatches })
 	gauge("wats_worker_cancelled_total", "Tasks dropped unrun per worker (job context done).", func(w WorkerCounters) int64 { return w.Cancelled })
+	gauge("wats_worker_panics_total", "Recovered task panics per worker.", func(w WorkerCounters) int64 { return w.Panics })
 	gauge("wats_worker_busy_nanos_total", "Busy time per worker (stalls included).", func(w WorkerCounters) int64 { return w.BusyNanos })
 }
 

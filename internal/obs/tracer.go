@@ -33,6 +33,8 @@ type Tracer struct {
 	completes atomic.Uint64
 	reparts   atomic.Uint64
 	cancels   atomic.Uint64
+	panics    atomic.Uint64
+	stalls    atomic.Uint64
 
 	stealLatency *Histogram
 	repartDur    *Histogram
@@ -173,6 +175,26 @@ func (t *Tracer) Cancel(worker int, class string) {
 	})
 }
 
+// Panic records a recovered task panic: the task of class panicked on
+// worker and the isolation layer contained it.
+func (t *Tracer) Panic(worker int, class string) {
+	t.panics.Add(1)
+	t.ringFor(worker).put(&Event{
+		TS: t.now(), Kind: EvPanic, Worker: int32(worker),
+		Cluster: -1, Victim: -1, Class: class,
+	})
+}
+
+// Stall records a watchdog detection: the task on worker has been
+// running for age, past the stall threshold.
+func (t *Tracer) Stall(worker int, age time.Duration) {
+	t.stalls.Add(1)
+	t.ringFor(-1).put(&Event{
+		TS: t.now(), Kind: EvStall, Worker: int32(worker),
+		Cluster: -1, Victim: -1, Dur: age.Nanoseconds(),
+	})
+}
+
 func (t *Tracer) classHist(class string) *Histogram {
 	if h, ok := t.classWork.Load(class); ok {
 		return h.(*Histogram)
@@ -191,6 +213,8 @@ type Counters struct {
 	Completes     uint64 `json:"completes"`
 	Repartitions  uint64 `json:"repartitions"`
 	Cancels       uint64 `json:"cancels"`
+	Panics        uint64 `json:"panics"`
+	Stalls        uint64 `json:"stalls"`
 	// Events / Dropped report ring pressure: total events recorded and
 	// how many were overwritten before being read.
 	Events  uint64 `json:"events"`
@@ -208,6 +232,8 @@ func (t *Tracer) Counters() Counters {
 		Completes:     t.completes.Load(),
 		Repartitions:  t.reparts.Load(),
 		Cancels:       t.cancels.Load(),
+		Panics:        t.panics.Load(),
+		Stalls:        t.stalls.Load(),
 	}
 	for _, r := range t.rings {
 		c.Events += r.written()

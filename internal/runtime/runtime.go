@@ -49,12 +49,14 @@ import (
 	"errors"
 	"fmt"
 	stdruntime "runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wats/internal/amc"
 	"wats/internal/deque"
+	"wats/internal/fault"
 	"wats/internal/history"
 	"wats/internal/obs"
 	"wats/internal/rng"
@@ -98,6 +100,17 @@ type Config struct {
 	// Servers built over the runtime reuse it as their load-shedding
 	// threshold, so one knob bounds both queue memory and admitted work.
 	MaxQueuedTasks int
+	// Fault, when non-nil, injects deterministic faults (panics, delays,
+	// job cancellations) into task bodies before they run — the chaos
+	// hook of internal/fault. Like Obs, the emission site is one
+	// nil-check, so a runtime without injection pays a single branch.
+	Fault *fault.Injector
+	// StallThreshold, when > 0, starts a watchdog goroutine that flags
+	// workers whose current task has been executing longer than the
+	// threshold: an EvStall event + wats_stalls_total per stalled task,
+	// and Runtime.StalledWorkers() for health endpoints. 0 disables the
+	// watchdog and the per-task heartbeat stores entirely.
+	StallThreshold time.Duration
 }
 
 // DefaultMaxQueuedTasks is the spawn-backpressure depth used when
@@ -115,6 +128,13 @@ type liveTask struct {
 	// would have spawned inherit the same context — so one expired
 	// deadline abandons a whole job tree at its queue boundaries.
 	cancel context.Context
+	// abort, when non-nil, poisons the owning job: the runtime invokes it
+	// with a *TaskPanicError when this task panics (after recovering the
+	// panic), so the job's context can be cancelled and queued siblings
+	// retired. Inherited by children like cancel. Must tolerate multiple
+	// calls — several tasks of one job may panic; context.CancelCauseFunc
+	// already does (first cause wins).
+	abort func(error)
 }
 
 // Ctx is passed to every task function; it identifies the executing
@@ -127,6 +147,7 @@ type Ctx struct {
 	rt     *Runtime
 	class  string          // class of the task being executed (spawn-edge tracking)
 	cancel context.Context // job context of the running task (nil = not cancellable)
+	abort  func(error)     // job poison callback (nil = no job to poison)
 	Worker int
 	// Rel is the executing worker's emulated relative speed.
 	Rel float64
@@ -136,7 +157,7 @@ type Ctx struct {
 // the child is queued and the parent continues). The child inherits the
 // running task's job context, so cancelling the job stops the whole tree.
 func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
-	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel})
+	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel, abort: c.abort})
 }
 
 // Err reports whether the running task's job context has been cancelled
@@ -178,7 +199,7 @@ type Group struct {
 // Ctx.Spawn, the child inherits the spawning task's job context.
 func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 	g.pending.Add(1)
-	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel})
+	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel, abort: ctx.abort})
 }
 
 // Wait blocks until every task spawned into the group has completed.
@@ -249,7 +270,11 @@ type complBatch struct {
 	// wall-clock timing already admits for preemption inside a task.
 	lastEnd   time.Duration
 	timeValid bool
-	_         [24]byte
+	// seq counts tasks this worker has executed, the per-worker task
+	// index fault injection keys its deterministic schedule on. Only
+	// advanced when an injector is configured.
+	seq uint64
+	_   [16]byte
 }
 
 // flush folds worker w's batched completion accounting into the shared
@@ -394,6 +419,9 @@ type WorkerStats struct {
 	// their job context was already done when acquired (deadline exceeded
 	// or caller cancellation).
 	Cancelled int64
+	// Panics counts task panics this worker recovered; each one poisoned
+	// only its own job, never the worker.
+	Panics    int64
 	BusyNanos int64
 }
 
@@ -457,7 +485,19 @@ type Runtime struct {
 	stealAttempts []atomic.Int64
 	snatches      []atomic.Int64
 	cancelled     []atomic.Int64
+	panics        []atomic.Int64
 	busy          []atomic.Int64
+	// flt, when non-nil, plans deterministic fault injection for each
+	// task body; consulted behind one nil-check like obs.
+	flt *fault.Injector
+	// hb[w] is worker w's heartbeat: 1 + the start time (nanos since
+	// base) of the task it is currently executing, or 0 while idle.
+	// Written by the owner around each task, read by the watchdog and
+	// StalledWorkers. Only allocated (and the stores only taken) when
+	// Config.StallThreshold > 0, so the disabled hot path is unchanged.
+	hb           []paddedCount
+	hbOn         bool
+	watchdogDone chan struct{}
 	// maxQueued is the spawn-backpressure depth (Config.MaxQueuedTasks).
 	maxQueued int64
 	// obs, when non-nil, receives scheduler events; every emission is
@@ -507,9 +547,11 @@ func New(cfg Config) (*Runtime, error) {
 		stealAttempts: make([]atomic.Int64, n),
 		snatches:      make([]atomic.Int64, n),
 		cancelled:     make([]atomic.Int64, n),
+		panics:        make([]atomic.Int64, n),
 		busy:          make([]atomic.Int64, n),
 		maxQueued:     int64(cfg.MaxQueuedTasks),
 		obs:           cfg.Obs,
+		flt:           cfg.Fault,
 		base:          time.Now(),
 	}
 	if rt.maxQueued <= 0 {
@@ -556,6 +598,11 @@ func New(cfg Config) (*Runtime, error) {
 	for w := 0; w < n; w++ {
 		rt.recorders[w] = strat.Recorder(w)
 	}
+	if cfg.StallThreshold > 0 {
+		rt.hbOn = true
+		rt.hb = make([]paddedCount, n)
+		rt.watchdogDone = make(chan struct{})
+	}
 	for w := 0; w < n; w++ {
 		rt.wg.Add(1)
 		go rt.worker(w, rng.New(cfg.Seed+uint64(w)*0x9E3779B97F4A7C15+1))
@@ -564,6 +611,10 @@ func New(cfg Config) (*Runtime, error) {
 		rt.helperDone = make(chan struct{})
 		rt.wg.Add(1)
 		go rt.helper()
+	}
+	if rt.hbOn {
+		rt.wg.Add(1)
+		go rt.watchdog()
 	}
 	return rt, nil
 }
@@ -603,6 +654,20 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
 // Wait's bookkeeping stays uniform.
 func (rt *Runtime) SpawnContext(ctx context.Context, class string, fn func(ctx *Ctx)) error {
 	return rt.spawnRoot(&liveTask{class: class, fn: fn, cancel: ctx})
+}
+
+// SpawnJob is SpawnContext plus a poison callback: when any task of the
+// job's tree (the root or a transitively spawned child) panics, the
+// runtime recovers the panic — the worker survives and keeps scheduling —
+// and invokes abort with a *TaskPanicError. Callers pass the job
+// context's context.CancelCauseFunc (wrapped to drop the cause
+// conversion) so the panic cancels the whole job: queued siblings are
+// then retired at the existing cancellation points with exact group
+// accounting, and the caller reads the cause back via context.Cause.
+// abort must tolerate being called more than once (several tasks of one
+// job may panic); context.CancelCauseFunc already does.
+func (rt *Runtime) SpawnJob(ctx context.Context, abort func(error), class string, fn func(ctx *Ctx)) error {
+	return rt.spawnRoot(&liveTask{class: class, fn: fn, cancel: ctx, abort: abort})
 }
 
 func (rt *Runtime) spawnRoot(t *liveTask) error {
@@ -785,6 +850,63 @@ func (rt *Runtime) worker(w int, r *rng.Source) {
 	}
 }
 
+// TaskPanicError is how a panicking task poisons its job: the runtime
+// recovers the panic in execute, wraps it with the task's class, the
+// worker it ran on and the captured stack, and hands it to the job's
+// abort callback (see SpawnJob). It is also the context.Cause callers
+// observe on a panic-cancelled job context.
+type TaskPanicError struct {
+	Class  string
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("runtime: task panic in class %q on worker %d: %v", e.Class, e.Worker, e.Value)
+}
+
+// runGuarded runs one task body with fault injection and panic
+// isolation. A panic in the body (injected or genuine) is recovered and
+// returned instead of unwinding the worker goroutine — the caller
+// (execute) completes the task's timing and group accounting exactly as
+// if the body had returned, so one poisoned task never corrupts
+// outstanding counts or kills a worker. The open-coded defer costs ~1 ns
+// on the per-task path (see DESIGN.md §9).
+func (rt *Runtime) runGuarded(ctx *Ctx, w int, t *liveTask) (pv *TaskPanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = &TaskPanicError{Class: t.class, Worker: w, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if rt.flt != nil {
+		rt.injectFault(w, t)
+	}
+	t.fn(ctx)
+	return nil
+}
+
+// injectFault consults the configured injector for this task and applies
+// the planned fault: a panic (recovered by runGuarded's isolation, so
+// injected panics exercise the real recovery path end to end), a delay
+// before the body runs, or an abort of the owning job.
+func (rt *Runtime) injectFault(w int, t *liveTask) {
+	rt.compl[w].seq++
+	act := rt.flt.Plan(t.class, w, rt.compl[w].seq)
+	switch act.Kind {
+	case fault.Panic:
+		panic(fault.PanicValue{Class: t.class, Worker: w, Index: rt.compl[w].seq})
+	case fault.Delay:
+		rt.sleepUnlessShutdown(act.Delay)
+	case fault.Cancel:
+		if t.abort != nil {
+			t.abort(context.Canceled)
+		}
+	}
+}
+
 // execute runs one task on worker w: timing, speed-emulation stall,
 // Eq. 2 workload observation and completion accounting. It is shared by
 // the worker loop and by Group.Wait's helping path.
@@ -810,8 +932,10 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	ctx := rt.ctxs[w]
 	prev := ctx.class
 	prevCancel := ctx.cancel
+	prevAbort := ctx.abort
 	ctx.class = t.class
 	ctx.cancel = t.cancel
+	ctx.abort = t.abort
 	b := &rt.compl[w]
 	var start time.Duration
 	if b.timeValid {
@@ -823,12 +947,37 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	// helping) must not start its measurement from a reading taken before
 	// this task began.
 	b.timeValid = false
-	t.fn(ctx)
+	// Heartbeat for the watchdog: publish this task's start, restoring
+	// the enclosing task's value afterward so a nested execute (helping
+	// in Group.Wait) doesn't make the outer task look idle.
+	var prevHB int64
+	if rt.hbOn {
+		prevHB = rt.hb[w].v.Load()
+		rt.hb[w].v.Store(int64(start) + 1)
+	}
+	pv := rt.runGuarded(ctx, w, t)
+	if rt.hbOn {
+		rt.hb[w].v.Store(prevHB)
+	}
 	end := time.Since(rt.base)
 	d := end - start
 	b.lastEnd, b.timeValid = end, true
 	ctx.class = prev
 	ctx.cancel = prevCancel
+	ctx.abort = prevAbort
+	if pv != nil {
+		// The task panicked: the worker survives, the job is poisoned.
+		// Everything below — timing, the workload observation, group and
+		// outstanding accounting — proceeds exactly as for a returning
+		// task, so a panic never desynchronizes Wait or Group.Wait.
+		rt.panics[w].Add(1)
+		if rt.obs != nil {
+			rt.obs.Panic(w, t.class)
+		}
+		if t.abort != nil {
+			t.abort(pv)
+		}
+	}
 	b.busy += int64(d)
 	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
 		stall := time.Duration(float64(d) * (1/rel - 1))
@@ -953,6 +1102,9 @@ func (rt *Runtime) Shutdown() {
 	if rt.helperDone != nil {
 		close(rt.helperDone)
 	}
+	if rt.watchdogDone != nil {
+		close(rt.watchdogDone)
+	}
 	rt.wakeAll()
 	rt.mu.Lock()
 	rt.cond.Broadcast()
@@ -984,6 +1136,16 @@ func (rt *Runtime) Cancelled() int64 {
 	return n
 }
 
+// Panics returns the total number of task panics recovered by the
+// isolation layer (summed over workers; racy point-read).
+func (rt *Runtime) Panics() int64 {
+	var n int64
+	for w := range rt.panics {
+		n += rt.panics[w].Load()
+	}
+	return n
+}
+
 // Stats returns a snapshot of per-worker counters.
 func (rt *Runtime) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(rt.pools))
@@ -997,6 +1159,7 @@ func (rt *Runtime) Stats() []WorkerStats {
 			StealAttempts: rt.stealAttempts[w].Load(),
 			Snatches:      rt.snatches[w].Load(),
 			Cancelled:     rt.cancelled[w].Load(),
+			Panics:        rt.panics[w].Load(),
 			BusyNanos:     rt.busy[w].Load(),
 		}
 	}

@@ -1,0 +1,85 @@
+package runtime
+
+import "time"
+
+// The worker watchdog detects stalled tasks: bodies that neither return
+// nor hit a cancellation point for longer than Config.StallThreshold —
+// an infinite loop, a forgotten channel receive, a deadlocked lock. The
+// mechanism rides on the per-worker infrastructure of the lock-free hot
+// path (see park.go and DESIGN.md §7): each worker publishes a heartbeat
+// — one padded atomic store of its current task's start time around each
+// execute, owner-written, watchdog-read — so detection costs the workers
+// two plain atomic stores per task and nothing at all when disabled.
+//
+// The runtime cannot preempt a stalled goroutine (the same limitation
+// that makes snatching inert, see the package comment), so the watchdog
+// reports instead of kills: an EvStall event and wats_stalls_total per
+// stalled task, and StalledWorkers() for readiness endpoints — a wedged
+// instance reports itself unready and the load balancer rotates it out,
+// which is the containment a non-preemptive runtime can honestly offer.
+
+// watchdog periodically scans the heartbeats and reports each stalled
+// task once (a task stalled across many ticks is one detection; a new
+// task on the same worker re-arms it). Started only when
+// Config.StallThreshold > 0; exits on Shutdown.
+func (rt *Runtime) watchdog() {
+	defer rt.wg.Done()
+	period := rt.cfg.StallThreshold / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	// reported[w] is the heartbeat value (task identity: start+1) already
+	// flagged on worker w, so one stalled task emits one event.
+	reported := make([]int64, len(rt.hb))
+	for {
+		select {
+		case <-tick.C:
+			if rt.shutdown.Load() {
+				return
+			}
+			now := int64(time.Since(rt.base))
+			for w := range rt.hb {
+				s := rt.hb[w].v.Load()
+				if s == 0 {
+					reported[w] = 0
+					continue
+				}
+				age := now - (s - 1)
+				if age < int64(rt.cfg.StallThreshold) || reported[w] == s {
+					continue
+				}
+				reported[w] = s
+				if rt.obs != nil {
+					rt.obs.Stall(w, time.Duration(age))
+				}
+			}
+		case <-rt.watchdogDone:
+			return
+		}
+	}
+}
+
+// StalledWorkers returns the workers whose current task has been running
+// longer than Config.StallThreshold — a racy point-read over the
+// heartbeats, cheap enough for per-request readiness checks. Nil when
+// the watchdog is disabled. A worker leaves the list the moment its
+// stalled task finally completes (or the job context unblocks it).
+func (rt *Runtime) StalledWorkers() []int {
+	if !rt.hbOn {
+		return nil
+	}
+	now := int64(time.Since(rt.base))
+	var out []int
+	for w := range rt.hb {
+		if s := rt.hb[w].v.Load(); s != 0 && now-(s-1) >= int64(rt.cfg.StallThreshold) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// StallThreshold returns the configured watchdog threshold (0 =
+// watchdog disabled).
+func (rt *Runtime) StallThreshold() time.Duration { return rt.cfg.StallThreshold }

@@ -1,0 +1,95 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"wats/internal/obs"
+)
+
+func waitForCond(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogDetectsStall: a task blocked past the threshold is
+// reported exactly once (EvStall + wats_stalls_total) and shows in
+// StalledWorkers until it completes.
+func TestWatchdogDetectsStall(t *testing.T) {
+	arch := smallArch()
+	tr := obs.NewTracer(arch.NumCores(), 256)
+	rt, err := New(Config{
+		Arch: arch, Seed: 21, DisableSpeedEmulation: true,
+		Obs: tr, StallThreshold: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if got := rt.StallThreshold(); got != 20*time.Millisecond {
+		t.Fatalf("StallThreshold() = %v", got)
+	}
+
+	release := make(chan struct{})
+	rt.Spawn("wedge", func(ctx *Ctx) { <-release })
+
+	waitForCond(t, 2*time.Second, "stall detection", func() bool {
+		return len(rt.StalledWorkers()) > 0
+	})
+	waitForCond(t, 2*time.Second, "stall event", func() bool {
+		return tr.Counters().Stalls >= 1
+	})
+	// One stalled task is one detection, not one per watchdog tick.
+	time.Sleep(60 * time.Millisecond)
+	if c := tr.Counters(); c.Stalls != 1 {
+		t.Fatalf("stalls = %d, want exactly 1 for one stalled task", c.Stalls)
+	}
+	foundEv := false
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvStall && time.Duration(e.Dur) >= 20*time.Millisecond {
+			foundEv = true
+		}
+	}
+	if !foundEv {
+		t.Fatal("no EvStall event with the stall age in the trace")
+	}
+
+	close(release)
+	rt.Wait()
+	waitForCond(t, 2*time.Second, "stall clearing", func() bool {
+		return len(rt.StalledWorkers()) == 0
+	})
+
+	// A fresh task on the same worker re-arms detection.
+	release2 := make(chan struct{})
+	rt.Spawn("wedge", func(ctx *Ctx) { <-release2 })
+	waitForCond(t, 2*time.Second, "second stall detection", func() bool {
+		return tr.Counters().Stalls == 2
+	})
+	close(release2)
+	rt.Wait()
+}
+
+// TestWatchdogDisabled: without a threshold there are no heartbeats, no
+// watchdog goroutine and StalledWorkers is nil.
+func TestWatchdogDisabled(t *testing.T) {
+	rt, err := New(Config{Arch: smallArch(), Seed: 22, DisableSpeedEmulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	release := make(chan struct{})
+	rt.Spawn("slow", func(ctx *Ctx) { <-release })
+	time.Sleep(10 * time.Millisecond)
+	if got := rt.StalledWorkers(); got != nil {
+		t.Fatalf("StalledWorkers() = %v with watchdog disabled, want nil", got)
+	}
+	close(release)
+	rt.Wait()
+}

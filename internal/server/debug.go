@@ -48,6 +48,7 @@ func ToWorkerCounters(stats []runtime.WorkerStats) []obs.WorkerCounters {
 			Worker: ws.Worker, Group: ws.Group, TasksRun: ws.TasksRun,
 			Steals: ws.Steals, StealAttempts: ws.StealAttempts,
 			Snatches: ws.Snatches, Cancelled: ws.Cancelled, BusyNanos: ws.BusyNanos,
+			Panics: ws.Panics,
 		}
 	}
 	return out

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 
 	"wats/internal/kernels"
 	"wats/internal/runtime"
@@ -22,6 +23,34 @@ type Params struct {
 	N int `json:"n,omitempty"`
 	// Generations is the GA generation count.
 	Generations int `json:"generations,omitempty"`
+}
+
+// Submission caps. Workload cost grows with these knobs (BWT is
+// superlinear in Size, mix spawns N tasks), so unbounded values are a
+// resource-exhaustion vector from unauthenticated input: one request
+// with size=1<<40 would wedge a worker for hours and the watchdog can
+// only report it, not kill it. Validation is the layer that actually
+// prevents that.
+const (
+	maxParamSize        = 16 << 20
+	maxParamN           = 4096
+	maxParamGenerations = 10000
+)
+
+// Validate rejects parameter values that would let a single request
+// monopolize the runtime. Negative values are allowed through: they
+// mean "use the workload default" (see withDefaults).
+func (p Params) Validate() error {
+	if p.Size > maxParamSize {
+		return fmt.Errorf("size %d exceeds limit %d", p.Size, maxParamSize)
+	}
+	if p.N > maxParamN {
+		return fmt.Errorf("n %d exceeds limit %d", p.N, maxParamN)
+	}
+	if p.Generations > maxParamGenerations {
+		return fmt.Errorf("generations %d exceeds limit %d", p.Generations, maxParamGenerations)
+	}
+	return nil
 }
 
 func (p Params) withDefaults(size, n int) Params {
@@ -196,6 +225,22 @@ func Builtins() map[string]Workload {
 			Run: func(ctx *runtime.Ctx, p Params) (any, error) {
 				p = p.withDefaults(4<<10, 16)
 				in := kernels.NewInput(p.Seed)
+				// Children report round-trip failures through a shared
+				// first-error slot instead of panicking: a corrupt round
+				// trip is a job failure (500 "failed"), not a poisoned
+				// job — the panic path is reserved for genuinely
+				// unexpected faults.
+				var (
+					errMu    sync.Mutex
+					firstErr error
+				)
+				fail := func(err error) {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
 				g := ctx.Group()
 				for i := 0; i < p.N; i++ {
 					data := in.Bytes(p.Size)
@@ -205,13 +250,13 @@ func Builtins() map[string]Workload {
 						g.Spawn(ctx, "bzip2", func(c *runtime.Ctx) {
 							enc, pr := kernels.Bzip2Like(text)
 							if _, err := kernels.Bzip2LikeDecode(enc, pr); err != nil {
-								panic(err)
+								fail(fmt.Errorf("bzip2 round trip: %w", err))
 							}
 						})
 					case 1:
 						g.Spawn(ctx, "lzw", func(c *runtime.Ctx) {
 							if _, err := kernels.LZWDecode(kernels.LZWEncode(data)); err != nil {
-								panic(err)
+								fail(fmt.Errorf("lzw round trip: %w", err))
 							}
 						})
 					default:
@@ -223,6 +268,12 @@ func Builtins() map[string]Workload {
 				}
 				g.Wait(ctx)
 				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				errMu.Lock()
+				err := firstErr
+				errMu.Unlock()
+				if err != nil {
 					return nil, err
 				}
 				return map[string]any{"children": p.N}, nil

@@ -68,6 +68,11 @@ const (
 	StatusCompleted = "completed"
 	StatusFailed    = "failed"
 	StatusExpired   = "expired"
+	// StatusPanicked marks a job poisoned by a task panic: the runtime's
+	// isolation layer recovered the panic, the job's context was
+	// cancelled (retiring queued siblings), and the job reports a
+	// structured 500 instead of taking the daemon down.
+	StatusPanicked = "panicked"
 )
 
 // JobView is the wire representation of one job.
@@ -82,6 +87,9 @@ type JobView struct {
 	ExecMS float64 `json:"exec_ms,omitempty"`
 	Result any     `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// Detail carries the panic message (class, worker, value) for
+	// panicked jobs: the body reads {"error":"panic","detail":...}.
+	Detail string `json:"detail,omitempty"`
 }
 
 // job is the server-side record; fields are guarded by Server.mu except
@@ -96,6 +104,7 @@ type job struct {
 	finished  time.Time
 	result    any
 	err       string
+	detail    string
 	finalized bool
 	done      chan struct{} // closed when the root task function returns
 }
@@ -168,6 +177,7 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.Handle("/metrics", dbg)
 	mux.Handle("/debug/", dbg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +190,8 @@ func (s *Server) Handler() *http.ServeMux {
   GET  /v1/jobs/{id} poll an async job
   GET  /v1/workloads list invocable workloads
   GET  /v1/version   build info
-  GET  /v1/healthz   admission state
+  GET  /v1/healthz   liveness + admission state
+  GET  /v1/readyz    readiness (503 while draining or wedged)
   GET  /metrics      Prometheus metrics (scheduler + per-job histograms)
   GET  /debug/wats   scheduler snapshot; /debug/pprof/, /debug/vars, /debug/wats/trace
 `)
@@ -216,6 +227,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown workload %q (see /v1/workloads)", req.Workload)
 		return
 	}
+	if err := req.Params.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad params: %v", err)
+		return
+	}
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
@@ -239,9 +254,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
-	jobCtx, cancel := context.Background(), context.CancelFunc(func() {})
+	// The job context is cancellable-with-cause so a task panic anywhere
+	// in the job's tree can poison it: the runtime's isolation layer
+	// recovers the panic and calls abort with a *runtime.TaskPanicError,
+	// which cancels jobCtx (retiring queued siblings at the runtime's
+	// cancellation points) and surfaces via context.Cause.
+	causeCtx, abort := context.WithCancelCause(context.Background())
+	jobCtx := context.Context(causeCtx)
+	cancel := context.CancelFunc(func() { abort(context.Canceled) })
 	if deadline > 0 {
-		jobCtx, cancel = context.WithTimeout(context.Background(), deadline)
+		tctx, tcancel := context.WithTimeout(causeCtx, deadline)
+		jobCtx = tctx
+		cancel = func() { tcancel(); abort(context.Canceled) }
 	}
 
 	j := &job{
@@ -257,7 +281,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.metrics.Submitted()
 
-	spawnErr := s.rt.SpawnContext(jobCtx, wl.Class, func(ctx *runtime.Ctx) {
+	spawnErr := s.rt.SpawnJob(jobCtx, abort, wl.Class, func(ctx *runtime.Ctx) {
 		defer close(j.done)
 		start := time.Now()
 		s.mu.Lock()
@@ -265,7 +289,33 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			j.status, j.started = StatusRunning, start
 		}
 		s.mu.Unlock()
+		// A panicking workload finalizes the job here (exact timings) and
+		// rethrows so the runtime's isolation layer still accounts the
+		// panic (wats_panics_total, EvPanic) and poisons jobCtx — the
+		// worker survives either way.
+		defer func() {
+			if r := recover(); r != nil {
+				s.finalize(j, nil, &runtime.TaskPanicError{
+					Class: wl.Class, Worker: ctx.Worker, Value: r,
+				}, start, time.Now())
+				panic(r)
+			}
+		}()
 		res, err := wl.Run(ctx, req.Params)
+		if err == nil && jobCtx.Err() != nil {
+			// The job was poisoned or cancelled while the root body ran
+			// to completion anyway; the cause, not the result, is the
+			// outcome.
+			err = jobCtx.Err()
+		}
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// A root that returned ctx.Err() only sees the generic
+			// cancellation; the cause knows whether a child's panic
+			// poisoned the job (this finalize may beat the watcher's).
+			if cause := context.Cause(jobCtx); cause != nil {
+				err = cause
+			}
+		}
 		s.finalize(j, res, err, start, time.Now())
 	})
 	if spawnErr != nil {
@@ -289,28 +339,55 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-j.done:
-		writeJSON(w, s.view(j))
 	case <-jobCtx.Done():
-		s.expire(j)
-		writeJSONStatus(w, http.StatusGatewayTimeout, s.view(j))
+		s.finalizeCancelled(j, jobCtx)
+	}
+	v := s.view(j)
+	writeJSONStatus(w, httpStatusFor(v.Status), v)
+}
+
+// httpStatusFor maps a final job status to the synchronous response
+// code: jobs that ran fine are 200, panicked or failed jobs are a
+// structured 500, expired jobs 504.
+func httpStatusFor(status string) int {
+	switch status {
+	case StatusPanicked, StatusFailed:
+		return http.StatusInternalServerError
+	case StatusExpired:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusOK
 	}
 }
 
 // watch finalizes j when its context fires before the root task function
-// completed (dropped while queued, or still running past its deadline —
-// in the latter case the function's own result is discarded: the client
-// was already told 504).
+// completed (dropped while queued, poisoned by a sibling's panic, or
+// still running past its deadline — in the latter case the function's
+// own result is discarded: the client was already told 504/500).
 func (s *Server) watch(j *job, ctx context.Context, cancel context.CancelFunc) {
 	select {
 	case <-j.done:
 		cancel()
 	case <-ctx.Done():
-		s.expire(j)
+		s.finalizeCancelled(j, ctx)
 	}
 }
 
+// finalizeCancelled resolves a job whose context fired: a panic cause
+// finalizes it as panicked, anything else (deadline, injected cancel) as
+// expired. Idempotent against finalize — first finalization wins.
+func (s *Server) finalizeCancelled(j *job, ctx context.Context) {
+	var pe *runtime.TaskPanicError
+	if errors.As(context.Cause(ctx), &pe) {
+		s.finalize(j, nil, pe, j.submitted, time.Now())
+		return
+	}
+	s.expire(j)
+}
+
 // finalize records the root task's outcome; first finalization wins (the
-// deadline watcher may have expired the job already).
+// deadline watcher or a sibling's panic may have finalized the job
+// already).
 func (s *Server) finalize(j *job, res any, err error, start, end time.Time) {
 	s.mu.Lock()
 	if j.finalized {
@@ -318,17 +395,25 @@ func (s *Server) finalize(j *job, res any, err error, start, end time.Time) {
 		return
 	}
 	j.finalized = true
-	j.started, j.finished, j.result = start, end, res
+	if j.started.IsZero() {
+		j.started = start
+	}
+	j.finished, j.result = end, res
+	var pe *runtime.TaskPanicError
 	switch {
 	case err == nil:
 		j.status = StatusCompleted
+	case errors.As(err, &pe):
+		// The structured 500 the isolation layer promises: the wire body
+		// reads {"error":"panic","detail":"<class/worker/value>"}.
+		j.status, j.err, j.detail = StatusPanicked, "panic", pe.Error()
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		j.status, j.err = StatusExpired, err.Error()
 	default:
 		j.status, j.err = StatusFailed, err.Error()
 	}
 	status := j.status
-	queueWait, exec := start.Sub(j.submitted), end.Sub(start)
+	queueWait, exec := j.started.Sub(j.submitted), end.Sub(j.started)
 	s.evictLocked(j.id)
 	s.mu.Unlock()
 	s.inflight.Add(-1)
@@ -337,6 +422,8 @@ func (s *Server) finalize(j *job, res any, err error, start, end time.Time) {
 		s.metrics.Completed(j.class, queueWait, exec)
 	case StatusExpired:
 		s.metrics.Expired(j.class, queueWait)
+	case StatusPanicked:
+		s.metrics.Panicked()
 	default:
 		s.metrics.Failed()
 	}
@@ -379,7 +466,7 @@ func (s *Server) view(j *job) JobView {
 	defer s.mu.Unlock()
 	v := JobView{
 		ID: j.id, Workload: j.workload, Status: j.status,
-		Result: j.result, Error: j.err,
+		Result: j.result, Error: j.err, Detail: j.detail,
 	}
 	switch {
 	case !j.started.IsZero():
@@ -428,16 +515,39 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, Build())
 }
 
+// handleHealthz is liveness: always 200 with the admission state in the
+// body — a draining instance is still alive and answering pollers.
+// Readiness (should the load balancer route here?) is /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := "ok"
 	if s.draining.Load() {
 		state = "draining"
 	}
 	writeJSON(w, map[string]any{
-		"status":     state,
-		"inflight":   s.Inflight(),
-		"queued":     s.rt.QueuedTasks(),
-		"max_queued": s.rt.MaxQueuedTasks(),
+		"status":          state,
+		"inflight":        s.Inflight(),
+		"queued":          s.rt.QueuedTasks(),
+		"max_queued":      s.rt.MaxQueuedTasks(),
+		"stalled_workers": len(s.rt.StalledWorkers()),
+	})
+}
+
+// handleReadyz is readiness: 503 while draining (rotate the instance
+// out before the SIGTERM drain finishes) or while any worker is wedged
+// on a stalled task (the watchdog can detect but not preempt it — see
+// internal/runtime/watchdog.go — so unreadiness is the containment).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	stalled := s.rt.StalledWorkers()
+	state, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		state, code = "draining", http.StatusServiceUnavailable
+	case len(stalled) > 0:
+		state, code = "wedged", http.StatusServiceUnavailable
+	}
+	writeJSONStatus(w, code, map[string]any{
+		"status":          state,
+		"stalled_workers": len(stalled),
 	})
 }
 
