@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo vulncheck
+.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo scale-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./cmd/watsd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,6 +67,16 @@ chaos-demo:
 	  curl -sf http://127.0.0.1:18081/v1/healthz && echo && \
 	  curl -sf http://127.0.0.1:18081/metrics | grep -E '^wats_(panics_total|jobs_total\{status="panicked"\})' && \
 	  kill -TERM $$(cat /tmp/watsd-chaos.pid) && wait $$(cat /tmp/watsd-chaos.pid)
+
+# scale-demo is the elastic-runtime acceptance run (DESIGN.md §10): the
+# same bursty open-loop load against a fixed 16-worker pool and an
+# autoscaled 2..16 pool, in-process over real HTTP. -check enforces the
+# gate — the autoscaler must hold steady-state p99 within 2x of the
+# peak-provisioned pool on at most 60% of its worker-seconds, grow and
+# shrink back to min, and lose zero jobs. The committed BENCH_elastic.json
+# is this run's artifact.
+scale-demo:
+	$(GO) run ./cmd/scaledemo -check -out /tmp/BENCH_elastic.json
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

@@ -1,0 +1,362 @@
+// Command scaledemo is the elastic-runtime acceptance benchmark: it runs
+// the same bursty open-loop load against two in-process watsd-equivalent
+// stacks — a fixed pool at -fixed workers, and an autoscaled pool
+// ranging -min..-max — and compares end-to-end job latency against the
+// worker-seconds each pool consumed. The autoscaler earns its keep when
+// it holds steady-state p99 within 2x of the fixed pool while spending
+// at most 60% of its worker-seconds (-check enforces exactly that, for
+// CI), because the fixed pool pays for peak capacity through both idle
+// phases while the elastic pool only rents it for the burst.
+//
+// Latencies are reported twice: over every completed job, and over the
+// steady state (arrivals in the first -ramp-exclude of each phase are
+// excluded). The overall number includes the grow ramp — the honest
+// price of scaling on demand — while the steady number is the service
+// level either pool sustains once the controller has reacted; the gate
+// uses the steady number, the JSON records both.
+//
+// Usage:
+//
+//	scaledemo                                  # print the comparison
+//	scaledemo -check -out BENCH_elastic.json   # CI gate + committed artifact
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/rng"
+	"wats/internal/runtime"
+	"wats/internal/scale"
+	"wats/internal/server"
+)
+
+type options struct {
+	jobMs       int
+	low, high   float64
+	lowDur      time.Duration
+	highDur     time.Duration
+	minW, maxW  int
+	fixedW      int
+	rampExclude time.Duration
+	out         string
+	check       bool
+	seed        uint64
+}
+
+// scenarioResult is one pool's side of the comparison, as committed in
+// BENCH_elastic.json.
+type scenarioResult struct {
+	Pool          string  `json:"pool"` // "fixed" or "autoscaled"
+	Workers       string  `json:"workers"`
+	Sent          int     `json:"sent"`
+	Completed     int     `json:"completed"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	SteadyP99Ms   float64 `json:"steady_p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	WorkerSeconds float64 `json:"worker_seconds"`
+	EnergyJoules  float64 `json:"energy_joules"`
+	Resizes       int     `json:"resizes"`
+	FinalWorkers  int     `json:"final_workers"`
+	Retired       int     `json:"retired_workers"`
+}
+
+type report struct {
+	Benchmark          string         `json:"benchmark"`
+	Generated          string         `json:"generated"`
+	JobMs              int            `json:"job_ms"`
+	Profile            string         `json:"profile"`
+	Fixed              scenarioResult `json:"fixed"`
+	Autoscaled         scenarioResult `json:"autoscaled"`
+	SteadyP99Ratio     float64        `json:"steady_p99_ratio"`
+	WorkerSecondsRatio float64        `json:"worker_seconds_ratio"`
+}
+
+func main() {
+	o := options{}
+	flag.IntVar(&o.jobMs, "job-ms", 20, "service time of one job in milliseconds")
+	flag.Float64Var(&o.low, "low", 25, "baseline arrival rate, jobs/sec")
+	flag.Float64Var(&o.high, "high", 400, "burst arrival rate, jobs/sec")
+	flag.DurationVar(&o.lowDur, "low-dur", 3*time.Second, "duration of each baseline phase (one before, one after the burst)")
+	flag.DurationVar(&o.highDur, "high-dur", 4*time.Second, "duration of the burst phase")
+	flag.IntVar(&o.minW, "min", 2, "autoscaled pool lower bound")
+	flag.IntVar(&o.maxW, "max", 16, "autoscaled pool upper bound")
+	flag.IntVar(&o.fixedW, "fixed", 16, "fixed pool size (the peak-provisioned baseline)")
+	flag.DurationVar(&o.rampExclude, "ramp-exclude", time.Second, "exclude arrivals in the first ramp-exclude of each phase from the steady p99")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout only)")
+	flag.BoolVar(&o.check, "check", false, "enforce the acceptance gate: steady p99 ratio <= 2, worker-seconds ratio <= 0.6")
+	flag.Uint64Var(&o.seed, "seed", 1, "arrival-process seed")
+	flag.Parse()
+
+	fmt.Printf("scale-demo: %dms jobs, profile %s, fixed %d vs autoscaled %d..%d\n",
+		o.jobMs, profileString(o), o.fixedW, o.minW, o.maxW)
+
+	fixed, err := runScenario(o, false)
+	if err != nil {
+		fatal("fixed pool: %v", err)
+	}
+	auto, err := runScenario(o, true)
+	if err != nil {
+		fatal("autoscaled pool: %v", err)
+	}
+
+	r := report{
+		Benchmark:          "elastic-autoscale",
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		JobMs:              o.jobMs,
+		Profile:            profileString(o),
+		Fixed:              *fixed,
+		Autoscaled:         *auto,
+		SteadyP99Ratio:     round3(auto.SteadyP99Ms / fixed.SteadyP99Ms),
+		WorkerSecondsRatio: round3(auto.WorkerSeconds / fixed.WorkerSeconds),
+	}
+	for _, s := range []*scenarioResult{fixed, auto} {
+		fmt.Printf("  %-10s  %7s workers  %6.0f jobs/s  p50 %6.2fms  p99 %7.2fms (steady %6.2fms)  %6.1f worker-s  %7.1f J  %d resizes\n",
+			s.Pool, s.Workers, s.JobsPerSec, s.P50Ms, s.P99Ms, s.SteadyP99Ms, s.WorkerSeconds, s.EnergyJoules, s.Resizes)
+	}
+	fmt.Printf("  autoscaled / fixed: steady p99 %.2fx, worker-seconds %.2fx, energy %.2fx\n",
+		r.SteadyP99Ratio, r.WorkerSecondsRatio, auto.EnergyJoules/fixed.EnergyJoules)
+
+	buf, _ := json.MarshalIndent(r, "", "  ")
+	buf = append(buf, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, buf, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  wrote %s\n", o.out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if o.check {
+		switch {
+		case auto.Resizes == 0:
+			fatal("check: the autoscaler never resized")
+		case auto.Completed != auto.Sent || fixed.Completed != fixed.Sent:
+			fatal("check: lost jobs (fixed %d/%d, autoscaled %d/%d)",
+				fixed.Completed, fixed.Sent, auto.Completed, auto.Sent)
+		case auto.FinalWorkers != o.minW:
+			fatal("check: pool did not shrink back (final %d, want %d)", auto.FinalWorkers, o.minW)
+		case r.SteadyP99Ratio > 2.0:
+			fatal("check: steady p99 ratio %.2f > 2.0 (autoscaled %v vs fixed %v)",
+				r.SteadyP99Ratio, auto.SteadyP99Ms, fixed.SteadyP99Ms)
+		case r.WorkerSecondsRatio > 0.6:
+			fatal("check: worker-seconds ratio %.2f > 0.6", r.WorkerSecondsRatio)
+		}
+		fmt.Println("  check: PASS")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scaledemo: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func profileString(o options) string {
+	return fmt.Sprintf("%.0f:%v,%.0f:%v,%.0f:%v", o.low, o.lowDur, o.high, o.highDur, o.low, o.lowDur)
+}
+
+func round3(x float64) float64 { return float64(int(x*1000+0.5)) / 1000 }
+
+// runScenario stands up one full service stack (runtime, HTTP server,
+// optional autoscaler), drives the low/high/low arrival profile against
+// it, and tears it down.
+func runScenario(o options, autoscale bool) (*scenarioResult, error) {
+	var arch *amc.Arch
+	res := &scenarioResult{Pool: "fixed", Workers: fmt.Sprint(o.fixedW)}
+	if autoscale {
+		// Start at the per-group floor; the controller grows it. Same 1:1
+		// fast:slow ratio the fixed pool uses, so ShapeFor preserves it.
+		arch = amc.MustNew("elastic", amc.CGroup{Freq: 2.0, N: 1}, amc.CGroup{Freq: 0.8, N: 1})
+		res = &scenarioResult{Pool: "autoscaled", Workers: fmt.Sprintf("%d..%d", o.minW, o.maxW)}
+	} else {
+		arch = amc.MustNew("fixed",
+			amc.CGroup{Freq: 2.0, N: o.fixedW / 2}, amc.CGroup{Freq: 0.8, N: o.fixedW - o.fixedW/2})
+	}
+	rt, err := runtime.New(runtime.Config{
+		Arch:                  arch,
+		Policy:                "WATS",
+		Seed:                  7,
+		LockFree:              true,
+		DisableSpeedEmulation: true, // capacity = workers for sleep-shaped jobs
+		MaxQueuedTasks:        1 << 14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	srv, err := server.New(server.Config{
+		Runtime:     rt,
+		MaxInflight: 1 << 13,
+		Workloads: map[string]server.Workload{
+			"pulse": {
+				Name: "pulse", Class: "pulse", Desc: "occupy one worker for params.n ms",
+				Run: func(ctx *runtime.Ctx, p server.Params) (any, error) {
+					time.Sleep(time.Duration(p.N) * time.Millisecond)
+					return "ok", nil
+				},
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	var runner *scale.Runner
+	if autoscale {
+		// Demo-timescale controller: the profile's phases are seconds, so
+		// the holds and cooldown shrink with them (watsd's defaults pace a
+		// long-lived service, not a 10-second benchmark).
+		ctl, err := scale.NewController(scale.Config{
+			Min:        o.minW,
+			Max:        o.maxW,
+			Weights:    arch.Counts(),
+			Freqs:      []float64{2.0, 0.8},
+			Energy:     rt.EnergyModel(),
+			GrowHold:   5 * time.Millisecond,
+			ShrinkHold: 200 * time.Millisecond,
+			Cooldown:   25 * time.Millisecond,
+			// The backlog trigger alone stalls when arrivals exactly match
+			// service capacity (the queue random-walks instead of growing),
+			// so let the rolling tail latency force the grow through that
+			// plateau.
+			LatencySLO: 4 * time.Duration(o.jobMs) * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runner = scale.NewRunner(ctl, rt, 5*time.Millisecond, srv.Metrics().RecentP99Latency)
+		runner.Start()
+		defer runner.Stop()
+	}
+
+	// Worker-seconds sampler: integrate the live worker count.
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan float64, 1)
+	go func() {
+		var ws float64
+		last := time.Now()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case now := <-tick.C:
+				ws += float64(rt.Workers()) * now.Sub(last).Seconds()
+				last = now
+			case <-samplerStop:
+				ws += float64(rt.Workers()) * time.Since(last).Seconds()
+				samplerDone <- ws
+				return
+			}
+		}
+	}()
+
+	// Open-loop Poisson arrivals over low/high/low, one goroutine per job.
+	type sample struct {
+		lat    time.Duration
+		steady bool
+		ok     bool
+	}
+	cl := &http.Client{
+		Timeout:   time.Minute,
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}
+	base := "http://" + ln.Addr().String()
+	body, _ := json.Marshal(map[string]any{"workload": "pulse", "params": map[string]any{"n": o.jobMs}})
+	phases := []struct {
+		rate float64
+		dur  time.Duration
+	}{{o.low, o.lowDur}, {o.high, o.highDur}, {o.low, o.lowDur}}
+
+	r := rng.New(o.seed)
+	results := make(chan sample, 1<<16)
+	sent := 0
+	start := time.Now()
+	next := start
+	var phaseStart, phaseEnd time.Duration
+	for _, ph := range phases {
+		phaseStart = phaseEnd
+		phaseEnd += ph.dur
+		for {
+			next = next.Add(time.Duration(r.ExpFloat64() / ph.rate * float64(time.Second)))
+			off := next.Sub(start)
+			if off > phaseEnd {
+				break
+			}
+			time.Sleep(time.Until(next))
+			sent++
+			steady := off >= phaseStart+o.rampExclude
+			go func() {
+				t0 := time.Now()
+				resp, err := cl.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results <- sample{ok: false}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				results <- sample{lat: time.Since(t0), steady: steady, ok: resp.StatusCode == http.StatusOK}
+			}()
+		}
+		next = start.Add(phaseEnd)
+	}
+
+	var all, steady []time.Duration
+	for i := 0; i < sent; i++ {
+		s := <-results
+		if !s.ok {
+			continue
+		}
+		all = append(all, s.lat)
+		if s.steady {
+			steady = append(steady, s.lat)
+		}
+	}
+	elapsed := time.Since(start)
+	close(samplerStop)
+	workerSeconds := <-samplerDone
+
+	res.Sent = sent
+	res.Completed = len(all)
+	res.JobsPerSec = round3(float64(len(all)) / elapsed.Seconds())
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	res.P50Ms = quantileMs(all, 0.50)
+	res.P99Ms = quantileMs(all, 0.99)
+	res.SteadyP99Ms = quantileMs(steady, 0.99)
+	res.MaxMs = quantileMs(all, 1)
+	res.WorkerSeconds = round3(workerSeconds)
+	res.EnergyJoules = round3(rt.EnergyJoules())
+	res.FinalWorkers = rt.Workers()
+	res.Retired = rt.RetiredWorkers()
+	if runner != nil {
+		res.Resizes = runner.Resizes()
+	}
+	return res, nil
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return round3(float64(sorted[i].Microseconds()) / 1000)
+}

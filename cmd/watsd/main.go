@@ -2,17 +2,19 @@
 // runtime: kernel workloads as invocable HTTP job types, per-job
 // deadlines, admission control with load shedding, the full debug mux
 // (Prometheus metrics with per-job latency histograms, pprof, scheduler
-// snapshot, Chrome trace) on the same listener, and graceful drain on
-// SIGTERM — stop admitting, finish in-flight jobs, quiesce the runtime,
-// then shut down.
+// snapshot, Chrome trace) on the same listener, online worker-pool
+// resizing (POST /v1/resize and an optional autoscaler), and graceful
+// drain on SIGTERM — stop admitting, finish in-flight jobs, quiesce the
+// runtime, then shut down.
 //
 // Usage:
 //
 //	watsd -listen :8080
 //	watsd -listen :8080 -fast 2 -slow 2 -policy WATS -max-inflight 64
+//	watsd -listen :8080 -autoscale -min-workers 2 -max-workers 16
 //	watsd -listen :8080 -fault panic=0.01,delay=0.02:2ms -stall-threshold 5s
 //	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"bzip2"}'
-//	curl -XPOST localhost:8080/v1/jobs -d '{"workload":"ga","deadline_ms":5,"async":true}'
+//	curl -XPOST localhost:8080/v1/resize -d '{"workers":8}'
 //	curl localhost:8080/v1/version
 //
 // Drive it with cmd/watsload for an open-loop service benchmark.
@@ -33,78 +35,178 @@ import (
 	"wats/internal/fault"
 	"wats/internal/obs"
 	"wats/internal/runtime"
+	"wats/internal/scale"
 	"wats/internal/sched"
 	"wats/internal/server"
 )
 
-func main() {
-	var (
-		listen       = flag.String("listen", ":8080", "address to serve the job API and debug mux on")
-		fast         = flag.Int("fast", 2, "number of fast workers")
-		slow         = flag.Int("slow", 2, "number of slow workers (0.4x speed)")
-		policy       = flag.String("policy", "WATS", "scheduling policy kind (Share|Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS|WATS-Mem)")
-		noEmu        = flag.Bool("no-speed-emulation", false, "disable the asymmetry emulation stalls (serve at raw core speed)")
-		maxInflight  = flag.Int("max-inflight", 64, "admitted in-flight job bound; beyond it submissions get 429")
-		maxQueued    = flag.Int("max-queued", 0, "runtime spawn-backpressure depth, reused as the shed threshold (0 = 4096)")
-		deadline     = flag.Duration("default-deadline", 0, "deadline applied to jobs that set none (0 = none)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before giving up")
-		faultSpec    = flag.String("fault", "", `deterministic fault injection spec, e.g. "panic=0.01,delay=0.05:2ms,cancel=0.01" (empty = off)`)
-		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
-		stallThresh  = flag.Duration("stall-threshold", 10*time.Second, "watchdog stall threshold for in-flight tasks (0 = watchdog off)")
-	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "watsd ", log.LstdFlags|log.Lmsgprefix)
+// options is the parsed and validated command line. Parsing is split
+// from main so the validation rules are unit-testable (see main_test.go)
+// and a bad flag is always a clean usage error, never a value passed
+// through to the runtime.
+type options struct {
+	listen       string
+	fast, slow   int
+	policy       string
+	noEmu        bool
+	maxInflight  int
+	maxQueued    int
+	deadline     time.Duration
+	drainTimeout time.Duration
+	faultSpec    string
+	faultSeed    uint64
+	stallThresh  time.Duration
 
-	kind := sched.Kind(*policy)
-	if _, err := sched.NewStrategy(kind); err != nil {
-		logger.Fatalf("bad -policy: %v", err)
+	autoscale    bool
+	minWorkers   int
+	maxWorkers   int
+	autoscaleSLO time.Duration
+
+	arch  *amc.Arch
+	kind  sched.Kind
+	fault fault.Spec
+}
+
+// parseOptions registers watsd's flags on fs, parses args and validates
+// everything cross-field. On error the returned message is a usage
+// error for the operator; nothing has been applied yet.
+func parseOptions(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.listen, "listen", ":8080", "address to serve the job API and debug mux on")
+	fs.IntVar(&o.fast, "fast", 2, "number of fast workers")
+	fs.IntVar(&o.slow, "slow", 2, "number of slow workers (0.4x speed)")
+	fs.StringVar(&o.policy, "policy", "WATS", "scheduling policy kind (Share|Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS|WATS-Mem)")
+	fs.BoolVar(&o.noEmu, "no-speed-emulation", false, "disable the asymmetry emulation stalls (serve at raw core speed)")
+	fs.IntVar(&o.maxInflight, "max-inflight", 64, "admitted in-flight job bound; beyond it submissions get 429")
+	fs.IntVar(&o.maxQueued, "max-queued", 0, "runtime spawn-backpressure depth, reused as the shed threshold (0 = 4096)")
+	fs.DurationVar(&o.deadline, "default-deadline", 0, "deadline applied to jobs that set none (0 = none)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before giving up")
+	fs.StringVar(&o.faultSpec, "fault", "", `deterministic fault injection spec, e.g. "panic=0.01,delay=0.05:2ms,cancel=0.01" (empty = off)`)
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault-injection schedule")
+	fs.DurationVar(&o.stallThresh, "stall-threshold", 10*time.Second, "watchdog stall threshold for in-flight tasks (must be > 0)")
+	fs.BoolVar(&o.autoscale, "autoscale", false, "grow/shrink the worker pool online between -min-workers and -max-workers")
+	fs.IntVar(&o.minWorkers, "min-workers", 2, "autoscale lower bound on total workers (>= number of c-groups)")
+	fs.IntVar(&o.maxWorkers, "max-workers", 16, "autoscale upper bound on total workers")
+	fs.DurationVar(&o.autoscaleSLO, "autoscale-slo", 0, "p99 job-latency SLO the autoscaler defends (0 = backlog-only scaling)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate applies the cross-field rules and resolves the derived
+// fields (arch, policy kind, fault spec).
+func (o *options) validate() error {
+	o.kind = sched.Kind(o.policy)
+	if _, err := sched.NewStrategy(o.kind); err != nil {
+		return fmt.Errorf("bad -policy: %v", err)
 	}
 	// amc.New, not MustNew: -fast/-slow are operator input, and a bad
 	// value ("-fast 0 -slow 0") should be a clean usage error, not a
 	// panic with a stack trace.
 	arch, err := amc.New("watsd",
-		amc.CGroup{Freq: 2.0, N: *fast}, amc.CGroup{Freq: 0.8, N: *slow})
+		amc.CGroup{Freq: 2.0, N: o.fast}, amc.CGroup{Freq: 0.8, N: o.slow})
 	if err != nil {
-		logger.Fatalf("bad -fast/-slow: %v", err)
+		return fmt.Errorf("bad -fast/-slow: %v", err)
 	}
+	o.arch = arch
+	if o.stallThresh <= 0 {
+		return fmt.Errorf("bad -stall-threshold: %v (must be > 0)", o.stallThresh)
+	}
+	spec, err := fault.ParseSpec(o.faultSpec, o.faultSeed)
+	if err != nil {
+		return fmt.Errorf("bad -fault: %v", err)
+	}
+	o.fault = spec
+	if o.minWorkers <= 0 {
+		return fmt.Errorf("bad -min-workers: %d (must be > 0)", o.minWorkers)
+	}
+	if o.maxWorkers <= 0 {
+		return fmt.Errorf("bad -max-workers: %d (must be > 0)", o.maxWorkers)
+	}
+	if o.minWorkers > o.maxWorkers {
+		return fmt.Errorf("-min-workers (%d) > -max-workers (%d)", o.minWorkers, o.maxWorkers)
+	}
+	if o.autoscale && o.minWorkers < o.arch.K() {
+		return fmt.Errorf("-min-workers %d below the %d c-groups (every group keeps one worker)", o.minWorkers, o.arch.K())
+	}
+	if o.autoscaleSLO < 0 {
+		return fmt.Errorf("bad -autoscale-slo: %v (must be >= 0)", o.autoscaleSLO)
+	}
+	if o.maxInflight <= 0 {
+		return fmt.Errorf("bad -max-inflight: %d (must be > 0)", o.maxInflight)
+	}
+	return nil
+}
+
+func main() {
+	logger := log.New(os.Stderr, "watsd ", log.LstdFlags|log.Lmsgprefix)
+	opts, err := parseOptions(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		logger.Fatal(err)
+	}
+
 	var injector *fault.Injector
-	if *faultSpec != "" {
-		spec, err := fault.ParseSpec(*faultSpec, *faultSeed)
-		if err != nil {
-			logger.Fatalf("bad -fault: %v", err)
-		}
-		injector = fault.New(spec)
-		logger.Printf("fault injection armed: %s", spec)
+	if opts.fault.Enabled() {
+		injector = fault.New(opts.fault)
+		logger.Printf("fault injection armed: %s", opts.fault)
 	}
 	rt, err := runtime.New(runtime.Config{
-		Arch:                  arch,
-		Policy:                kind,
+		Arch:                  opts.arch,
+		Policy:                opts.kind,
 		Seed:                  7,
 		LockFree:              true,
-		DisableSpeedEmulation: *noEmu,
-		MaxQueuedTasks:        *maxQueued,
-		Obs:                   obs.NewTracer(arch.NumCores(), 0),
+		DisableSpeedEmulation: opts.noEmu,
+		MaxQueuedTasks:        opts.maxQueued,
+		Obs:                   obs.NewTracer(opts.arch.NumCores(), 0),
 		Fault:                 injector,
-		StallThreshold:        *stallThresh,
+		StallThreshold:        opts.stallThresh,
 	})
 	if err != nil {
 		logger.Fatalf("runtime: %v", err)
 	}
 	srv, err := server.New(server.Config{
 		Runtime:         rt,
-		MaxInflight:     *maxInflight,
-		DefaultDeadline: *deadline,
+		MaxInflight:     opts.maxInflight,
+		DefaultDeadline: opts.deadline,
 	})
 	if err != nil {
 		logger.Fatalf("server: %v", err)
 	}
 
+	var scaler *scale.Runner
+	if opts.autoscale {
+		freqs := make([]float64, opts.arch.K())
+		for i, g := range opts.arch.Groups {
+			freqs[i] = g.Freq
+		}
+		ctl, err := scale.NewController(scale.Config{
+			Min:        opts.minWorkers,
+			Max:        opts.maxWorkers,
+			Weights:    opts.arch.Counts(),
+			Freqs:      freqs,
+			Energy:     rt.EnergyModel(),
+			LatencySLO: opts.autoscaleSLO,
+		})
+		if err != nil {
+			logger.Fatalf("autoscale: %v", err)
+		}
+			// The rolling window, not the cumulative p99: the SLO veto must
+		// lift once a burst's tail ages out, or the pool never shrinks.
+		scaler = scale.NewRunner(ctl, rt, 0, srv.Metrics().RecentP99Latency)
+		scaler.Start()
+		logger.Printf("autoscale on: %d..%d workers (SLO %v)", ctl.Config().Min, ctl.Config().Max, opts.autoscaleSLO)
+	}
+
 	b := server.Build()
 	logger.Printf("version %s commit %s (%s)", b.Version, b.Commit, b.GoVersion)
 	logger.Printf("serving on %s: %s under policy %s, max-inflight %d, shed depth %d",
-		*listen, arch, kind, *maxInflight, rt.MaxQueuedTasks())
+		opts.listen, opts.arch, opts.kind, opts.maxInflight, rt.MaxQueuedTasks())
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: opts.listen, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
@@ -114,11 +216,14 @@ func main() {
 	case sig := <-sigc:
 		logger.Printf("%v: draining (in-flight %d)", sig, srv.Inflight())
 	case err := <-errc:
+		if scaler != nil {
+			scaler.Stop()
+		}
 		rt.Shutdown()
 		logger.Fatalf("listener: %v", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		logger.Printf("drain incomplete: %v (in-flight %d)", err, srv.Inflight())
@@ -126,14 +231,20 @@ func main() {
 		logger.Printf("drained: all in-flight jobs finished")
 	}
 	// Stop the listener after the drain so late pollers of async jobs
-	// still get answers while jobs finish; then stop the workers.
+	// still get answers while jobs finish; stop the autoscaler before the
+	// workers so no resize races the shutdown.
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel2()
 	_ = httpSrv.Shutdown(shutCtx)
+	if scaler != nil {
+		scaler.Stop()
+		logger.Printf("autoscaler: %d resizes, final shape %v (%d workers, %d retired)",
+			scaler.Resizes(), rt.Shape(), rt.Workers(), rt.RetiredWorkers())
+	}
 	rt.Shutdown()
 	c := srv.Metrics().Counters()
-	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d panicked, %d shed, %d tasks cancelled, %d panics recovered",
-		c.Submitted, c.Completed, c.Expired, c.Failed, c.Panicked, c.Shed, rt.Cancelled(), rt.Panics())
+	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d panicked, %d shed, %d tasks cancelled, %d panics recovered, %.1f J",
+		c.Submitted, c.Completed, c.Expired, c.Failed, c.Panicked, c.Shed, rt.Cancelled(), rt.Panics(), rt.EnergyJoules())
 	if injector != nil {
 		fc := injector.Counts()
 		logger.Printf("faults injected: %d panics, %d delays, %d cancels", fc.Panics, fc.Delays, fc.Cancels)

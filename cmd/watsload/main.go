@@ -20,6 +20,7 @@
 //	watsload -addr http://localhost:8080 -rate 100 -duration 5s
 //	watsload -rate 2000 -duration 10s -mix sha1=6,lzw=3,bzip2=1 -deadline-ms 500
 //	watsload -rate 2000 -duration 5s -chaos -retries 3
+//	watsload -profile 50:2s,800:4s,50:2s   # stepped rates for autoscale tests
 package main
 
 import (
@@ -58,6 +59,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "HTTP timeout per attempt")
 		retries  = flag.Int("retries", 0, "retry budget per job for shed (429) and unavailable (503) responses")
 		chaos    = flag.Bool("chaos", false, "chaos mode: expect injected faults; defaults -retries to 3 and tightens backoff")
+		profile  = flag.String("profile", "", `stepped-rate profile "rate:dur,rate:dur,..." overriding -rate/-duration (e.g. "50:2s,800:4s,50:2s")`)
 	)
 	flag.Parse()
 
@@ -65,6 +67,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "watsload:", err)
 		os.Exit(2)
+	}
+	phases := []phase{{rate: *rate, dur: *duration}}
+	if *profile != "" {
+		phases, err = parseProfile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "watsload:", err)
+			os.Exit(2)
+		}
+	}
+	var total time.Duration
+	for _, ph := range phases {
+		total += ph.dur
 	}
 	ccfg := client.Config{
 		BaseURL:        *addr,
@@ -88,8 +102,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms, retries %d\n",
-		*addr, *duration, *rate, *mix, *deadline, ccfg.MaxRetries)
+	if *profile != "" {
+		fmt.Printf("open-loop load: %s for %v stepped %s, mix %s, deadline %dms, retries %d\n",
+			*addr, total, *profile, *mix, *deadline, ccfg.MaxRetries)
+	} else {
+		fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms, retries %d\n",
+			*addr, total, *rate, *mix, *deadline, ccfg.MaxRetries)
+	}
 	if *chaos {
 		fmt.Println("chaos mode: counting panicked jobs separately; breaker armed")
 	}
@@ -100,36 +119,45 @@ func main() {
 	sent := 0
 	start := time.Now()
 	next := start
-	for {
-		// Poisson process: exponential inter-arrival times at mean 1/rate.
-		next = next.Add(time.Duration(r.ExpFloat64() / *rate * float64(time.Second)))
-		if next.Sub(start) > *duration {
-			break
+	var phaseEnd time.Duration
+	for _, ph := range phases {
+		phaseEnd += ph.dur
+		for {
+			// Poisson process: exponential inter-arrival times at mean
+			// 1/rate for the current phase.
+			next = next.Add(time.Duration(r.ExpFloat64() / ph.rate * float64(time.Second)))
+			if next.Sub(start) > phaseEnd {
+				break
+			}
+			time.Sleep(time.Until(next))
+			wl := names[pickWeighted(r, weights)]
+			body, _ := json.Marshal(map[string]any{
+				"workload":    wl,
+				"deadline_ms": *deadline,
+				"params":      map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size},
+			})
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				res, err := cl.SubmitJob(context.Background(), body)
+				if err != nil {
+					results <- result{status: 0, latency: time.Since(t0)}
+					return
+				}
+				results <- result{
+					status:  res.StatusCode,
+					panicjb: res.StatusCode == http.StatusInternalServerError && isPanicBody(res.Body),
+					retried: res.Retried,
+					latency: time.Since(t0),
+				}
+			}()
 		}
-		time.Sleep(time.Until(next))
-		wl := names[pickWeighted(r, weights)]
-		body, _ := json.Marshal(map[string]any{
-			"workload":    wl,
-			"deadline_ms": *deadline,
-			"params":      map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size},
-		})
-		sent++
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t0 := time.Now()
-			res, err := cl.SubmitJob(context.Background(), body)
-			if err != nil {
-				results <- result{status: 0, latency: time.Since(t0)}
-				return
-			}
-			results <- result{
-				status:  res.StatusCode,
-				panicjb: res.StatusCode == http.StatusInternalServerError && isPanicBody(res.Body),
-				retried: res.Retried,
-				latency: time.Since(t0),
-			}
-		}()
+		// Restart the arrival clock at the phase boundary so the next
+		// phase's rate applies from its own start, not from the previous
+		// phase's overshooting last arrival.
+		next = start.Add(phaseEnd)
 	}
 	elapsed := time.Since(start)
 	wg.Wait()
@@ -200,6 +228,41 @@ func pct(n, total int) float64 {
 func quantile(sorted []time.Duration, q float64) time.Duration {
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i].Round(10 * time.Microsecond)
+}
+
+// phase is one step of an arrival-rate profile.
+type phase struct {
+	rate float64 // jobs/sec
+	dur  time.Duration
+}
+
+// parseProfile parses the -profile syntax "rate:dur,rate:dur,...",
+// e.g. "50:2s,800:4s,50:2s": 2 s at 50 jobs/s, 4 s at 800, 2 s at 50.
+func parseProfile(s string) ([]phase, error) {
+	var phases []phase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rstr, dstr, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("bad -profile step %q (want rate:dur)", part)
+		}
+		rate, err := strconv.ParseFloat(rstr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad rate in -profile step %q", part)
+		}
+		dur, err := time.ParseDuration(dstr)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("bad duration in -profile step %q", part)
+		}
+		phases = append(phases, phase{rate: rate, dur: dur})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("empty -profile")
+	}
+	return phases, nil
 }
 
 // parseMix parses "sha1=6,lzw=3,bzip2=1" into parallel name/weight lists.

@@ -85,6 +85,43 @@ func MustNew(name string, groups ...CGroup) *Arch {
 	return a
 }
 
+// Counts returns the per-group core counts Ni, fastest group first. The
+// returned slice is a copy; callers may mutate it and feed it to Resize.
+func (a *Arch) Counts() []int {
+	counts := make([]int, len(a.Groups))
+	for i, g := range a.Groups {
+		counts[i] = g.N
+	}
+	return counts
+}
+
+// Resize returns a new architecture with the same c-group speeds but the
+// given per-group core counts (fastest group first). The number of groups
+// and their frequencies are immutable across a resize — only Ni changes —
+// and every group must keep at least one core so no task cluster is left
+// without a worker. The receiver is not modified: architectures are
+// immutable values published by pointer swap, matching the runtime's RCU
+// discipline.
+func (a *Arch) Resize(counts []int) (*Arch, error) {
+	if len(counts) != len(a.Groups) {
+		return nil, fmt.Errorf("amc: resize of %q has %d counts, want %d", a.Name, len(counts), len(a.Groups))
+	}
+	groups := make([]CGroup, len(a.Groups))
+	for i, g := range a.Groups {
+		if counts[i] < 1 {
+			return nil, fmt.Errorf("amc: resize of %q gives c-group %d (%.1fGHz) %d cores; every group needs at least 1", a.Name, i, g.Freq, counts[i])
+		}
+		groups[i] = CGroup{Freq: g.Freq, N: counts[i]}
+	}
+	next := &Arch{Name: a.Name, Groups: groups}
+	for gi, g := range groups {
+		for c := 0; c < g.N; c++ {
+			next.coreGroup = append(next.coreGroup, gi)
+		}
+	}
+	return next, nil
+}
+
 // K returns the number of c-groups (distinct speeds).
 func (a *Arch) K() int { return len(a.Groups) }
 

@@ -204,3 +204,53 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("unexpected String(): %q", s)
 	}
 }
+
+func TestCounts(t *testing.T) {
+	a := MustNew("c", CGroup{2, 3}, CGroup{1, 5})
+	got := a.Counts()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Counts() = %v", got)
+	}
+	// A copy, not a view.
+	got[0] = 99
+	if a.Counts()[0] != 3 {
+		t.Fatal("Counts() aliases internal state")
+	}
+}
+
+func TestResizeShape(t *testing.T) {
+	a := MustNew("r", CGroup{2, 2}, CGroup{1, 2})
+	b, err := a.Resize([]int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCores() != 16 || b.K() != 2 {
+		t.Fatalf("resized arch: %d cores, %d groups", b.NumCores(), b.K())
+	}
+	if b.Groups[0].Freq != 2 || b.Groups[1].Freq != 1 {
+		t.Fatalf("resize changed frequencies: %+v", b.Groups)
+	}
+	if g := b.GroupOf(7); g != 0 {
+		t.Fatalf("core 7 in group %d, want 0", g)
+	}
+	if g := b.GroupOf(8); g != 1 {
+		t.Fatalf("core 8 in group %d, want 1", g)
+	}
+	// The original is untouched (resize is copy-on-write).
+	if a.NumCores() != 4 {
+		t.Fatalf("original mutated: %d cores", a.NumCores())
+	}
+}
+
+func TestResizeRejectsBadShapes(t *testing.T) {
+	a := MustNew("r", CGroup{2, 2}, CGroup{1, 2})
+	if _, err := a.Resize([]int{4}); err == nil {
+		t.Fatal("wrong group count accepted")
+	}
+	if _, err := a.Resize([]int{4, 0}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := a.Resize([]int{4, -1}); err == nil {
+		t.Fatal("negative group accepted")
+	}
+}

@@ -98,8 +98,8 @@ func ParseSpec(s string, seed uint64) (Spec, error) {
 		switch name {
 		case "panic", "cancel":
 			rate, err := strconv.ParseFloat(val, 64)
-			if err != nil || rate < 0 || rate > 1 {
-				return spec, fmt.Errorf("fault: bad rate in %q", part)
+			if err != nil || rate <= 0 || rate > 1 {
+				return spec, fmt.Errorf("fault: bad rate in %q (need 0 < rate <= 1)", part)
 			}
 			if name == "panic" {
 				spec.PanicRate = rate
@@ -109,15 +109,15 @@ func ParseSpec(s string, seed uint64) (Spec, error) {
 		case "delay":
 			rateStr, durStr, found := strings.Cut(val, ":")
 			rate, err := strconv.ParseFloat(rateStr, 64)
-			if err != nil || rate < 0 || rate > 1 {
-				return spec, fmt.Errorf("fault: bad rate in %q", part)
+			if err != nil || rate <= 0 || rate > 1 {
+				return spec, fmt.Errorf("fault: bad rate in %q (need 0 < rate <= 1)", part)
 			}
 			spec.DelayRate = rate
 			spec.Delay = time.Millisecond
 			if found {
 				d, err := time.ParseDuration(durStr)
-				if err != nil || d < 0 {
-					return spec, fmt.Errorf("fault: bad duration in %q", part)
+				if err != nil || d <= 0 {
+					return spec, fmt.Errorf("fault: bad duration in %q (need > 0)", part)
 				}
 				spec.Delay = d
 			}

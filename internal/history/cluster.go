@@ -99,17 +99,23 @@ func BuildClusterMap(reg *task.Registry, arch *amc.Arch) *ClusterMap {
 // publishes each rebuild RCU-style through an atomic pointer swap and
 // readers never take a lock.
 type Allocator struct {
-	reg  *task.Registry
-	arch *amc.Arch
+	reg *task.Registry
+
+	// arch is the architecture partitioned for. It is swappable: an online
+	// resize publishes a new shape through SetArch and the next Reorganize
+	// re-scores the partition against it (same RCU discipline as the
+	// cluster map itself).
+	arch atomic.Pointer[amc.Arch]
 
 	// current is the published cluster map (never nil).
 	current atomic.Pointer[ClusterMap]
 
 	// reorgMu serializes rebuilds (cold path: the helper thread, plus the
-	// reorganize-per-completion ablation); builtAt and partition are
+	// reorganize-per-completion ablation); builtAt, dirty and partition are
 	// guarded by it.
 	reorgMu   sync.Mutex
 	builtAt   uint64 // registry epoch when current was built
+	dirty     bool   // arch changed since current was built
 	reorgs    atomic.Int64
 	partition func([]float64, *amc.Arch) []int
 }
@@ -126,9 +132,9 @@ type Allocator struct {
 func NewAllocator(reg *task.Registry, arch *amc.Arch) *Allocator {
 	a := &Allocator{
 		reg:       reg,
-		arch:      arch,
 		partition: PartitionAnchored,
 	}
+	a.arch.Store(arch)
 	a.current.Store(&ClusterMap{cluster: map[string]int{}, k: arch.K()})
 	return a
 }
@@ -146,7 +152,18 @@ func (a *Allocator) UseLiteralPartition() {
 func (a *Allocator) Registry() *task.Registry { return a.reg }
 
 // Arch returns the architecture the allocator partitions for.
-func (a *Allocator) Arch() *amc.Arch { return a.arch }
+func (a *Allocator) Arch() *amc.Arch { return a.arch.Load() }
+
+// SetArch publishes a new architecture shape and marks the cluster map
+// stale, so the next Reorganize re-scores the partition against the new
+// per-group capacities even if no class statistics changed (the K/Ni
+// trigger of an online resize, as opposed to the class-history trigger).
+func (a *Allocator) SetArch(arch *amc.Arch) {
+	a.reorgMu.Lock()
+	defer a.reorgMu.Unlock()
+	a.arch.Store(arch)
+	a.dirty = true
+}
 
 // Map returns the current cluster map (never nil). It is the spawn-path
 // read: one atomic load, no lock.
@@ -165,9 +182,10 @@ func (a *Allocator) Reorganize() bool {
 	a.reorgMu.Lock()
 	defer a.reorgMu.Unlock()
 	epoch := a.reg.Epoch()
-	if epoch == a.builtAt {
+	if epoch == a.builtAt && !a.dirty {
 		return false
 	}
+	arch := a.arch.Load()
 	// Snapshot merges pending shard observations into the canonical class
 	// table — the fold-on-repartition step of the helper thread.
 	classes := a.reg.Snapshot()
@@ -175,14 +193,15 @@ func (a *Allocator) Reorganize() bool {
 	for i, c := range classes {
 		weights[i] = c.TotalWork()
 	}
-	cuts := a.partition(weights, a.arch)
+	cuts := a.partition(weights, arch)
 	assign := AssignmentFromCuts(len(classes), cuts)
-	m := &ClusterMap{cluster: make(map[string]int, len(classes)), k: a.arch.K()}
+	m := &ClusterMap{cluster: make(map[string]int, len(classes)), k: arch.K()}
 	for i, c := range classes {
 		m.cluster[c.Name] = assign[i]
 	}
 	a.current.Store(m)
 	a.builtAt = epoch
+	a.dirty = false
 	a.reorgs.Add(1)
 	return true
 }

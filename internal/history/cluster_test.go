@@ -145,3 +145,46 @@ func TestUseLiteralPartition(t *testing.T) {
 		t.Fatal("literal allocator lost class")
 	}
 }
+
+func TestAllocatorSetArch(t *testing.T) {
+	// An online resize publishes a new shape through SetArch; the next
+	// Reorganize must rebuild even though no class statistics changed (the
+	// K/Ni trigger, as opposed to the class-history trigger), and the cut
+	// must be re-scored against the new per-group capacities.
+	reg := task.NewRegistry()
+	before := amc.MustNew("before", amc.CGroup{Freq: 2, N: 1}, amc.CGroup{Freq: 1, N: 2})
+	a := NewAllocator(reg, before)
+	for _, f := range []string{"a", "b", "c", "d"} {
+		reg.Observe(f, 1)
+	}
+	if !a.Reorganize() {
+		t.Fatal("first Reorganize should rebuild")
+	}
+	// Equal capacities (2x1 vs 1x2), equal weights: an even split.
+	if got := len(a.Map().Classes(0)); got != 2 {
+		t.Fatalf("before resize: %d classes in cluster 0, want 2", got)
+	}
+	if a.Reorganize() {
+		t.Fatal("Reorganize with no new data should be a no-op")
+	}
+
+	after, err := before.Resize([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetArch(after)
+	if a.Arch() != after {
+		t.Fatal("SetArch did not publish the new architecture")
+	}
+	if !a.Reorganize() {
+		t.Fatal("Reorganize after SetArch must rebuild despite unchanged statistics")
+	}
+	// Capacities are now 6 vs 1: the cut must shift toward the grown
+	// fast group.
+	if got := len(a.Map().Classes(0)); got <= 2 {
+		t.Fatalf("after resize: %d classes in cluster 0, want the cut to move past 2", got)
+	}
+	if a.Reorganize() {
+		t.Fatal("Reorganize after the rebuild should be a no-op again")
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantile pins the log₂-bucketed quantile contract: the
+// returned bound is at least the true quantile and within 2× of it.
+func TestHistogramQuantile(t *testing.T) {
+	var empty Histogram
+	if got := empty.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want uint64 // true quantile over 1..100
+	}{
+		{0, 1},
+		{0.5, 51},
+		{0.95, 96},
+		{0.99, 100},
+		{1, 100},
+		{1.5, 100}, // clamped
+		{-1, 1},    // clamped
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.want || got >= 2*tc.want {
+			t.Fatalf("Quantile(%v) = %d, want in [%d, %d)", tc.q, got, tc.want, 2*tc.want)
+		}
+	}
+}
+
+// TestTracerResize: the resize event moves the worker gauge, bumps the
+// counter and lands in the event stream with old/new/duration intact.
+func TestTracerResize(t *testing.T) {
+	tr := NewTracer(4, 16)
+	if got := tr.CurrentWorkers(); got != 4 {
+		t.Fatalf("initial gauge = %d, want the constructed count 4", got)
+	}
+	tr.Resize(4, 8, 3*time.Millisecond)
+	tr.Resize(8, 2, time.Millisecond)
+	c := tr.Counters()
+	if c.Resizes != 2 {
+		t.Fatalf("resizes counter = %d, want 2", c.Resizes)
+	}
+	if c.Workers != 2 || tr.CurrentWorkers() != 2 {
+		t.Fatalf("worker gauge = %d/%d, want 2", c.Workers, tr.CurrentWorkers())
+	}
+	var seen int
+	for _, e := range tr.Events() {
+		if e.Kind != EvResize {
+			continue
+		}
+		seen++
+		if seen == 1 && (e.Victim != 4 || e.N != 8 || e.Dur != (3*time.Millisecond).Nanoseconds()) {
+			t.Fatalf("first resize event: %+v", e)
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("found %d resize events, want 2", seen)
+	}
+}
+
+// TestWindowedHistogramForgets: observations age out after one to two
+// periods, and fresh observations land in a clean window.
+func TestWindowedHistogramForgets(t *testing.T) {
+	w := &WindowedHistogram{Period: 10 * time.Millisecond}
+	w.Observe(100)
+	if got := w.Snapshot().Count; got != 1 {
+		t.Fatalf("fresh observation not visible: count = %d", got)
+	}
+	time.Sleep(25 * time.Millisecond) // > 2 periods: both generations stale
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("stale observations survived the window: count = %d", got)
+	}
+	w.Observe(7)
+	s := w.Snapshot()
+	if got := s.Quantile(1); s.Count != 1 || got < 7 || got >= 14 {
+		t.Fatalf("post-expiry observe: count=%d max=%d, want 1 sample within 2x of 7", s.Count, got)
+	}
+}
+
+// TestJobMetricsRecentP99Decays: the cumulative p99 keeps a burst's tail
+// forever; the windowed one must let it go.
+func TestJobMetricsRecentP99Decays(t *testing.T) {
+	var m JobMetrics
+	m.class("web").recent.Period = 10 * time.Millisecond
+	m.Completed("web", 20*time.Millisecond, 20*time.Millisecond)
+	if got := m.RecentP99Latency(); got < 40*time.Millisecond {
+		t.Fatalf("recent p99 = %v right after a slow job, want >= 40ms", got)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if got := m.RecentP99Latency(); got != 0 {
+		t.Fatalf("recent p99 = %v after the window passed, want 0", got)
+	}
+	if got := m.P99Latency(); got < 40*time.Millisecond {
+		t.Fatalf("cumulative p99 = %v, must keep the burst tail", got)
+	}
+}
+
+// TestJobMetricsP99Latency: the SLO signal is the WORST per-class p99 of
+// end-to-end latency, so one slow class must dominate many fast ones.
+func TestJobMetricsP99Latency(t *testing.T) {
+	var m JobMetrics
+	if got := m.P99Latency(); got != 0 {
+		t.Fatalf("empty collector p99 = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		m.Completed("fast", 500*time.Microsecond, 500*time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.Completed("slow", 10*time.Millisecond, 30*time.Millisecond)
+	}
+	got := m.P99Latency()
+	if got < 40*time.Millisecond || got >= 80*time.Millisecond {
+		t.Fatalf("p99 = %v, want within 2x of the slow class's 40ms", got)
+	}
+}

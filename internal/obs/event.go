@@ -56,6 +56,10 @@ const (
 	// executing for Dur nanoseconds, past the configured stall threshold.
 	// Emitted once per stalled task, not per watchdog tick.
 	EvStall
+	// EvResize is an elastic-runtime resize: the worker pool changed from
+	// Victim (old count) to N (new count) workers; Dur is how long the
+	// resize took (grow publication + victim drain).
+	EvResize
 
 	numEventKinds
 )
@@ -83,6 +87,8 @@ func (k EventKind) String() string {
 		return "panic"
 	case EvStall:
 		return "stall"
+	case EvResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // histBuckets is the number of power-of-two buckets: bucket i counts
@@ -76,6 +78,116 @@ func (s HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile sample (the bound
+// of the bucket the quantile falls in), or 0 when the histogram is
+// empty. q is clamped to [0, 1]. Resolution is the log₂ bucketing: the
+// true quantile is within 2× of the returned bound.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// Merge returns the bucket-wise sum of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return s
+}
+
+// WindowedHistogram is a Histogram that forgets: observations land in
+// the current of two generations, snapshots merge both, and the older
+// generation is dropped every Period. Readings therefore cover between
+// one and two periods of history — a cheap sliding-window approximation
+// for control signals (an autoscaler's tail-latency check) that must
+// stop seeing a burst once it is over, which the cumulative Histogram
+// never does.
+type WindowedHistogram struct {
+	// Period is the rotation interval; zero or negative selects 1s.
+	Period time.Duration
+
+	mu         sync.Mutex
+	cur        int
+	lastRotate time.Time
+	gen        [2]Histogram
+}
+
+func (w *WindowedHistogram) period() time.Duration {
+	if w.Period <= 0 {
+		return time.Second
+	}
+	return w.Period
+}
+
+// maybeRotate drops generations that have aged out. Called with w.mu
+// held.
+func (w *WindowedHistogram) maybeRotate(now time.Time) {
+	if w.lastRotate.IsZero() {
+		w.lastRotate = now
+		return
+	}
+	p := w.period()
+	elapsed := now.Sub(w.lastRotate)
+	if elapsed < p {
+		return
+	}
+	w.gen[1-w.cur].reset()
+	w.cur = 1 - w.cur
+	if elapsed >= 2*p {
+		// Both generations predate the window: nothing recent survives.
+		w.gen[1-w.cur].reset()
+	}
+	w.lastRotate = now
+}
+
+// Observe folds one sample into the current generation.
+func (w *WindowedHistogram) Observe(v int64) {
+	w.mu.Lock()
+	w.maybeRotate(time.Now())
+	w.gen[w.cur].Observe(v)
+	w.mu.Unlock()
+}
+
+// Snapshot merges the live generations into one snapshot covering the
+// last one to two periods.
+func (w *WindowedHistogram) Snapshot() HistSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.maybeRotate(time.Now())
+	return w.gen[0].Snapshot().Merge(w.gen[1].Snapshot())
+}
+
+// reset zeroes a histogram in place (Histogram holds atomics, so it
+// cannot be overwritten by assignment).
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
 }
 
 // MaxBucket returns the index of the highest non-empty bucket, or -1 when

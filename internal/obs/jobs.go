@@ -30,6 +30,13 @@ type JobMetrics struct {
 type jobClassHist struct {
 	queueWait Histogram
 	exec      Histogram
+	// total observes queueWait+exec of completed jobs: the end-to-end
+	// latency an autoscaler's SLO check cares about.
+	total Histogram
+	// recent is the same end-to-end latency over a rolling ~1-2s window,
+	// so the autoscaler's signal decays once a burst ends instead of
+	// carrying its tail forever.
+	recent WindowedHistogram
 }
 
 func (m *JobMetrics) class(name string) *jobClassHist {
@@ -67,6 +74,39 @@ func (m *JobMetrics) Completed(class string, queueWait, exec time.Duration) {
 	h := m.class(class)
 	h.queueWait.Observe(queueWait.Nanoseconds())
 	h.exec.Observe(exec.Nanoseconds())
+	h.total.Observe((queueWait + exec).Nanoseconds())
+	h.recent.Observe((queueWait + exec).Nanoseconds())
+}
+
+// P99Latency returns the worst per-class p99 of end-to-end job latency
+// (queue wait + execution) over completed jobs, or 0 when none have
+// completed — the tail signal an autoscale controller's SLO check
+// consumes. Cumulative over the collector's lifetime, so it reacts to
+// sustained shifts, not bursts.
+func (m *JobMetrics) P99Latency() time.Duration {
+	var worst uint64
+	m.perClass.Range(func(_, v any) bool {
+		if q := v.(*jobClassHist).total.Snapshot().Quantile(0.99); q > worst {
+			worst = q
+		}
+		return true
+	})
+	return time.Duration(worst)
+}
+
+// RecentP99Latency is P99Latency over a rolling one-to-two-second
+// window: the tail signal to feed an autoscale controller's SLO check,
+// since it forgets a burst shortly after the burst ends (the cumulative
+// P99Latency would veto scaling down forever).
+func (m *JobMetrics) RecentP99Latency() time.Duration {
+	var worst uint64
+	m.perClass.Range(func(_, v any) bool {
+		if q := v.(*jobClassHist).recent.Snapshot().Quantile(0.99); q > worst {
+			worst = q
+		}
+		return true
+	})
+	return time.Duration(worst)
 }
 
 // JobCounters is a point-in-time copy of the outcome counters.

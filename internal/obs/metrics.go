@@ -24,6 +24,11 @@ type WorkerCounters struct {
 	Cancelled     int64
 	Panics        int64
 	BusyNanos     int64
+	// EnergyJoules is the modeled energy the worker has consumed so far
+	// (DVFS power model × busy seconds).
+	EnergyJoules float64
+	// Retiring marks a worker mid-drain during an elastic shrink.
+	Retiring bool
 }
 
 // MetricsHandler serves the tracer's counters and histograms in the
@@ -65,8 +70,10 @@ func writeTracerMetrics(sb *strings.Builder, t *Tracer) {
 	counter("wats_panics_total", "Task panics recovered by the isolation layer.", c.Panics)
 	counter("wats_stalls_total", "Watchdog detections of tasks running past the stall threshold.", c.Stalls)
 	counter("wats_repartitions_total", "Helper-thread cluster-map rebuilds (Algorithm 1).", c.Repartitions)
+	counter("wats_resizes_total", "Elastic worker-pool resizes.", c.Resizes)
 	counter("wats_trace_events_total", "Scheduler events recorded to ring buffers.", c.Events)
 	counter("wats_trace_events_dropped_total", "Ring-buffer events overwritten before reading.", c.Dropped)
+	fmt.Fprintf(sb, "# HELP wats_workers Current worker-pool size.\n# TYPE wats_workers gauge\nwats_workers %d\n", c.Workers)
 
 	histogram(sb, "wats_steal_latency_nanos", "Acquisition-walk latency of successful steals.", "", t.StealLatency())
 	histogram(sb, "wats_repartition_duration_nanos", "Algorithm 1 rebuild duration.", "", t.RepartitionDuration())
@@ -126,6 +133,13 @@ func writeWorkerMetrics(sb *strings.Builder, ws []WorkerCounters) {
 	gauge("wats_worker_cancelled_total", "Tasks dropped unrun per worker (job context done).", func(w WorkerCounters) int64 { return w.Cancelled })
 	gauge("wats_worker_panics_total", "Recovered task panics per worker.", func(w WorkerCounters) int64 { return w.Panics })
 	gauge("wats_worker_busy_nanos_total", "Busy time per worker (stalls included).", func(w WorkerCounters) int64 { return w.BusyNanos })
+	var total float64
+	fmt.Fprintf(sb, "# HELP wats_worker_energy_joules_total Modeled energy per worker (power model x busy seconds).\n# TYPE wats_worker_energy_joules_total counter\n")
+	for _, w := range ws {
+		total += w.EnergyJoules
+		fmt.Fprintf(sb, "wats_worker_energy_joules_total{worker=\"%d\",group=\"%d\"} %g\n", w.Worker, w.Group, w.EnergyJoules)
+	}
+	fmt.Fprintf(sb, "# HELP wats_energy_joules_total Modeled energy across all workers, retired ones included.\n# TYPE wats_energy_joules_total counter\nwats_energy_joules_total %g\n", total)
 }
 
 // expvarOnce guards the process-wide expvar name, which panics on

@@ -35,6 +35,11 @@ type Tracer struct {
 	cancels   atomic.Uint64
 	panics    atomic.Uint64
 	stalls    atomic.Uint64
+	resizes   atomic.Uint64
+
+	// curWorkers is the live worker-pool size gauge, seeded with the
+	// constructed worker count and updated by Resize events.
+	curWorkers atomic.Int64
 
 	stealLatency *Histogram
 	repartDur    *Histogram
@@ -66,6 +71,7 @@ func NewTracer(workers, ringSize int) *Tracer {
 	for i := 0; i <= workers; i++ {
 		t.rings = append(t.rings, newRing(size))
 	}
+	t.curWorkers.Store(int64(workers))
 	return t
 }
 
@@ -195,6 +201,21 @@ func (t *Tracer) Stall(worker int, age time.Duration) {
 	})
 }
 
+// Resize records an elastic-runtime pool resize from oldWorkers to
+// newWorkers taking dur, and moves the worker-pool gauge.
+func (t *Tracer) Resize(oldWorkers, newWorkers int, dur time.Duration) {
+	t.resizes.Add(1)
+	t.curWorkers.Store(int64(newWorkers))
+	t.ringFor(-1).put(&Event{
+		TS: t.now(), Kind: EvResize, Worker: -1, Cluster: -1,
+		Victim: int32(oldWorkers), N: int32(newWorkers), Dur: dur.Nanoseconds(),
+	})
+}
+
+// CurrentWorkers returns the worker-pool size gauge: the constructed
+// count until the first Resize event, then the last resize's new count.
+func (t *Tracer) CurrentWorkers() int { return int(t.curWorkers.Load()) }
+
 func (t *Tracer) classHist(class string) *Histogram {
 	if h, ok := t.classWork.Load(class); ok {
 		return h.(*Histogram)
@@ -215,6 +236,9 @@ type Counters struct {
 	Cancels       uint64 `json:"cancels"`
 	Panics        uint64 `json:"panics"`
 	Stalls        uint64 `json:"stalls"`
+	Resizes       uint64 `json:"resizes"`
+	// Workers is the current worker-pool size gauge.
+	Workers int64 `json:"workers"`
 	// Events / Dropped report ring pressure: total events recorded and
 	// how many were overwritten before being read.
 	Events  uint64 `json:"events"`
@@ -234,6 +258,8 @@ func (t *Tracer) Counters() Counters {
 		Cancels:       t.cancels.Load(),
 		Panics:        t.panics.Load(),
 		Stalls:        t.stalls.Load(),
+		Resizes:       t.resizes.Load(),
+		Workers:       t.curWorkers.Load(),
 	}
 	for _, r := range t.rings {
 		c.Events += r.written()

@@ -41,6 +41,9 @@ func BenchmarkSpawnParallel(b *testing.B) {
 			}
 			nop := func(ctx *Ctx) {}
 			per := b.N/workers + 1
+			// Drive each worker's spawn path directly (mutex pools tolerate
+			// non-owner pushes; this bench never runs in lock-free mode).
+			ws := rt.table.Load().ws
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -48,7 +51,7 @@ func BenchmarkSpawnParallel(b *testing.B) {
 				go func(w int) {
 					defer wg.Done()
 					for i := 0; i < per; i++ {
-						rt.spawnTask(w, "", &liveTask{class: spawnClasses[(i+w)%len(spawnClasses)], fn: nop})
+						rt.spawnTask(ws[w], "", &liveTask{class: spawnClasses[(i+w)%len(spawnClasses)], fn: nop})
 					}
 				}(w)
 			}

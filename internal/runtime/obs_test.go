@@ -88,14 +88,17 @@ func TestStatsStealAttempts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Sleeping tasks deschedule the running worker, so the queued backlog
-	// (external spawns all land in worker 0's pools) is drained by several
-	// workers stealing — a busy-spin task could let one worker consume the
-	// whole backlog on a single-CPU host, and the acquisition walk's
-	// cluster gate means workers arriving after the drain record no probes.
-	for i := 0; i < 200; i++ {
-		rt.Spawn("w", func(ctx *Ctx) { time.Sleep(200 * time.Microsecond) })
-	}
+	// External spawns go through the shared inbox and are popped, never
+	// stolen, so the backlog must be built worker-side: one root fans 200
+	// sleeping children into its own pools. Sleeping tasks deschedule the
+	// running worker, so the backlog is drained by several workers
+	// stealing — a busy-spin task could let one worker consume the whole
+	// backlog on a single-CPU host.
+	rt.Spawn("root", func(ctx *Ctx) {
+		for i := 0; i < 200; i++ {
+			ctx.Spawn("w", func(ctx *Ctx) { time.Sleep(200 * time.Microsecond) })
+		}
+	})
 	rt.Wait()
 	rt.Shutdown()
 	var attempts, steals int64

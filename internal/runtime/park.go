@@ -27,6 +27,20 @@ import "sync/atomic"
 // token is in flight per park cycle and sends never block. Spurious
 // wakeups are benign: every park sits in a loop that rechecks its
 // condition.
+//
+// The same argument covers the retire flag of the elastic runtime: the
+// worker's ready() check loads retire after announcing the parked state,
+// and Resize stores retire before its tryWake CAS — whichever order the
+// total order picks, either the worker sees the flag and unparks itself
+// or the CAS sees the parked state and wakes it.
+//
+// Wake targets come from the RCU worker table: wakeOne consults the
+// active set's per-cluster eligibility lists, wakeAll sweeps the full set
+// including workers mid-retirement (a retiring worker parked inside
+// Group.Wait must still hear its group drain). A waker holding a stale
+// table can at worst wake a worker that is about to exit — which then
+// re-broadcasts before exiting (see retireDrain) — never miss one that
+// must run.
 const (
 	parkAwake  = 0
 	parkParked = 1
@@ -42,8 +56,8 @@ type parker struct {
 // park blocks worker w until a waker targets it or ready() holds. ready
 // is re-evaluated after the parked state is announced, closing the
 // check-then-block window. It reports whether the runtime is shut down.
-func (rt *Runtime) park(w int, ready func() bool) bool {
-	p := &rt.parkers[w]
+func (rt *Runtime) park(w *worker, ready func() bool) bool {
+	p := &w.pk
 	select { // drop a stale token from an earlier spurious cycle
 	case <-p.ch:
 	default:
@@ -65,8 +79,8 @@ func (rt *Runtime) park(w int, ready func() bool) bool {
 }
 
 // tryWake unparks worker w if it is parked, reporting success.
-func (rt *Runtime) tryWake(w int) bool {
-	p := &rt.parkers[w]
+func (rt *Runtime) tryWake(w *worker) bool {
+	p := &w.pk
 	if p.state.CompareAndSwap(parkParked, parkAwake) {
 		rt.nparked.Add(-1)
 		p.ch <- struct{}{} // never blocks: ≤1 token in flight per cycle
@@ -75,22 +89,23 @@ func (rt *Runtime) tryWake(w int) bool {
 	return false
 }
 
-// wakeOne wakes one parked worker able to acquire from cluster cl; cl < 0
-// means any worker (inbox and central-queue work is visible to all). The
-// common case — nobody parked — is a single atomic load.
+// wakeOne wakes one parked active worker able to acquire from cluster cl;
+// cl < 0 means any worker (inbox and central-queue work is visible to
+// all). The common case — nobody parked — is a single atomic load.
 func (rt *Runtime) wakeOne(cl int) {
 	if rt.nparked.Load() == 0 {
 		return
 	}
-	if cl >= 0 && cl < len(rt.eligible) {
-		for _, w := range rt.eligible[cl] {
+	tbl := rt.table.Load()
+	if cl >= 0 && cl < len(tbl.eligible) {
+		for _, w := range tbl.eligible[cl] {
 			if rt.tryWake(w) {
 				return
 			}
 		}
 		return
 	}
-	for w := range rt.parkers {
+	for _, w := range tbl.ws {
 		if rt.tryWake(w) {
 			return
 		}
@@ -98,12 +113,14 @@ func (rt *Runtime) wakeOne(cl int) {
 }
 
 // wakeAll unparks every parked worker — the slow-path sweep used for
-// events whose waiters are not cluster-indexed: group drains, shutdown.
+// events whose waiters are not cluster-indexed: group drains, shutdown,
+// retirement hand-offs. It sweeps the full table (retiring workers
+// included), so no waiter is ever stranded by a resize.
 func (rt *Runtime) wakeAll() {
 	if rt.nparked.Load() == 0 {
 		return
 	}
-	for w := range rt.parkers {
+	for _, w := range rt.table.Load().all {
 		rt.tryWake(w)
 	}
 }

@@ -25,6 +25,15 @@
 // cluster map with one atomic load, and idle workers park on per-worker
 // slots woken by targeted CAS+send instead of a global mutex broadcast.
 //
+// Elasticity: the worker set is malleable. All per-worker state lives in
+// heap-allocated worker structs published through an RCU worker table
+// (see resize.go): Resize adds workers (fresh deques, a fresh history
+// shard) and retires them (the retiring worker drains its deques back
+// into the shared inbox and folds its counters into a retired aggregate —
+// no completion is ever lost or double-counted). External spawns always
+// go through the inbox in every mode, so no queued task can strand on a
+// worker that is about to leave.
+//
 // Shutdown semantics: Runtime.Spawn returns ErrShutdown once Shutdown has
 // begun and the task is dropped. Ctx.Spawn (and Group.Spawn) report
 // nothing: a task already running when Shutdown is called races with it,
@@ -50,11 +59,13 @@ import (
 	"fmt"
 	stdruntime "runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wats/internal/amc"
+	"wats/internal/counters"
 	"wats/internal/deque"
 	"wats/internal/fault"
 	"wats/internal/history"
@@ -67,7 +78,9 @@ import (
 // Config configures a Runtime.
 type Config struct {
 	// Arch gives each worker its emulated speed; the number of workers is
-	// the architecture's core count.
+	// the architecture's core count. With Resize the shape may change
+	// online — the c-group count and speeds stay fixed, only the per-group
+	// core counts move.
 	Arch *amc.Arch
 	// Policy selects the scheduling policy by kind; every sched.Kind is
 	// accepted. Default sched.KindWATS.
@@ -90,10 +103,12 @@ type Config struct {
 	// locked inbox (Chase-Lev requires owner-only pushes).
 	LockFree bool
 	// Obs, when non-nil, receives scheduler events (spawn, pop, steal
-	// attempt/success, complete, repartition) and feeds the metrics
-	// endpoints. Every emission site is guarded by one nil-check, so a
-	// nil Obs costs a single predictable branch (see BenchmarkObsHook).
-	// Build it with obs.NewTracer(cfg.Arch.NumCores(), 0).
+	// attempt/success, complete, repartition, resize) and feeds the
+	// metrics endpoints. Every emission site is guarded by one nil-check,
+	// so a nil Obs costs a single predictable branch (see
+	// BenchmarkObsHook). Build it with obs.NewTracer(workers, 0); size it
+	// for the largest worker count the runtime may grow to (events from
+	// workers beyond that share the external ring).
 	Obs *obs.Tracer
 	// MaxQueuedTasks is the per-cluster queue depth beyond which a spawner
 	// yields its quantum to let consumers catch up (0 = the default 4096).
@@ -111,6 +126,11 @@ type Config struct {
 	// and Runtime.StalledWorkers() for health endpoints. 0 disables the
 	// watchdog and the per-task heartbeat stores entirely.
 	StallThreshold time.Duration
+	// Energy, when non-nil, overrides the DVFS model used for the
+	// per-worker energy accounting (default counters.DefaultEnergyModel):
+	// a worker's energy is Power(its c-group frequency) × busy-seconds,
+	// the P = k·f³ + static model of §IV-E applied to measured busy time.
+	Energy *counters.EnergyModel
 }
 
 // DefaultMaxQueuedTasks is the spawn-backpressure depth used when
@@ -145,9 +165,11 @@ type liveTask struct {
 // path allocation-free).
 type Ctx struct {
 	rt     *Runtime
+	w      *worker
 	class  string          // class of the task being executed (spawn-edge tracking)
 	cancel context.Context // job context of the running task (nil = not cancellable)
 	abort  func(error)     // job poison callback (nil = no job to poison)
+	// Worker is the executing worker's stable slot id.
 	Worker int
 	// Rel is the executing worker's emulated relative speed.
 	Rel float64
@@ -157,7 +179,7 @@ type Ctx struct {
 // the child is queued and the parent continues). The child inherits the
 // running task's job context, so cancelling the job stops the whole tree.
 func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
-	c.rt.spawnTask(c.Worker, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel, abort: c.abort})
+	c.rt.spawnTask(c.w, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel, abort: c.abort})
 }
 
 // Err reports whether the running task's job context has been cancelled
@@ -199,7 +221,7 @@ type Group struct {
 // Ctx.Spawn, the child inherits the spawning task's job context.
 func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 	g.pending.Add(1)
-	g.rt.spawnTask(ctx.Worker, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel, abort: ctx.abort})
+	g.rt.spawnTask(ctx.w, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel, abort: ctx.abort})
 }
 
 // Wait blocks until every task spawned into the group has completed.
@@ -210,21 +232,22 @@ func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 // When nothing is runnable anywhere, the worker parks on its per-worker
 // slot (like the worker loop) until new work arrives or the group's
 // stragglers, running on other workers, drain it (group drains sweep all
-// parked workers). Wait returns early on Shutdown, since abandoned group
-// tasks would otherwise never drain.
+// parked workers — including workers mid-retirement, which stay in the
+// wake-all set until they actually exit). Wait returns early on Shutdown,
+// since abandoned group tasks would otherwise never drain.
 func (g *Group) Wait(ctx *Ctx) {
 	rt := g.rt
-	w := ctx.Worker
-	r := rt.helpRngs[w]
+	w := ctx.w
+	r := w.helpRng
 	ready := func() bool { return g.pending.Load() <= 0 || rt.haveWork(w) }
 	spins := 0
 	for g.pending.Load() > 0 {
 		if t := rt.acquire(w, r); t != nil {
-			rt.execute(w, rt.rels[w], t)
+			rt.execute(w, t)
 			spins = 0
 			continue
 		}
-		rt.compl[w].timeValid = false
+		w.compl.timeValid = false
 		rt.flush(w)
 		if spins < parkSpins {
 			spins++
@@ -253,7 +276,8 @@ type paddedCount struct {
 // reader who needs exact values — Wait(), at the outstanding==0 crossing —
 // is by construction only satisfied once every worker has gone idle and
 // flushed. Stats() reads may lag by one batch while a worker stays busy
-// (they are documented racy point-reads).
+// (they are documented racy point-reads). A retiring worker flushes before
+// it exits, so retirement never strands a batch.
 type complBatch struct {
 	done  int64 // completed tasks not yet folded into outstanding
 	tasks int64 // pending tasksRun delta
@@ -277,18 +301,99 @@ type complBatch struct {
 	_   [16]byte
 }
 
+// worker is one live worker's complete state: pools, counters, parking
+// slot, statistics recorder. Workers are heap-allocated and published
+// through the RCU worker table, never stored by value, so hot-adding and
+// retiring a worker is a pointer-slice swap — no other worker's state
+// moves. The id is a stable slot number: it keys the history shard, the
+// obs ring and the Stats row, and is recycled through a free list after
+// retirement (safe because a retired worker provably exited before its id
+// is reused — the old and new owner of a shard never overlap).
+type worker struct {
+	id   int
+	grp  int     // c-group index
+	rel  float64 // emulated relative speed Fi/F1
+	freq float64 // c-group frequency, for the energy model
+
+	pools []taskPool
+	// order is the worker's acquisition walk (strat.AcquireOrder of its
+	// c-group), cached so the walk costs no interface call per acquire.
+	order []int
+	// ctx is the worker's reusable task context: execute saves and
+	// restores the class field around each task so nested execution
+	// (Group.Wait helping) stays correct without a per-task allocation.
+	ctx   *Ctx
+	compl complBatch
+	pk    parker
+	// rec is the worker's owner-only statistics sink (the lock-free
+	// record step of Algorithm 2).
+	rec     sched.Recorder
+	helpRng *rng.Source
+
+	tasksRun      atomic.Int64
+	steals        atomic.Int64
+	stealAttempts atomic.Int64
+	snatches      atomic.Int64
+	cancelled     atomic.Int64
+	panics        atomic.Int64
+	busy          atomic.Int64
+	// hb is the worker's heartbeat: 1 + the start time (nanos since base)
+	// of the task it is currently executing, or 0 while idle. Owner-
+	// written, watchdog-read; only touched when Config.StallThreshold > 0.
+	hb paddedCount
+
+	// retire asks the worker to exit: checked at the top of the worker
+	// loop, so the current task (and any Group.Wait it is blocked in)
+	// always completes first. Set only by Resize, under resizeMu.
+	retire atomic.Bool
+	// gone is closed when the worker goroutine exits (any path: retire or
+	// shutdown). Resize awaits it before folding the worker's counters.
+	gone chan struct{}
+}
+
+// workerTable is the RCU-published view of the worker set. ws are the
+// active workers: steal victims, wake targets, the denominators of shape
+// math. all additionally holds workers mid-retirement (flagged but not
+// yet exited): they must stay visible to wakeAll (a group drain must
+// reach a retiring worker parked in Group.Wait) and to Stats/watchdog
+// until their counters are folded. Both slices are sorted by id and
+// immutable once published.
+type workerTable struct {
+	ws  []*worker
+	all []*worker
+	// eligible[c] lists the active workers whose acquisition walk includes
+	// cluster c — the targets a cluster-c spawn may need to wake.
+	eligible [][]*worker
+}
+
+func makeTable(ws, all []*worker, k int) *workerTable {
+	t := &workerTable{ws: ws, all: all, eligible: make([][]*worker, k)}
+	for _, w := range ws {
+		for _, cl := range w.order {
+			if cl >= 0 && cl < k {
+				t.eligible[cl] = append(t.eligible[cl], w)
+			}
+		}
+	}
+	return t
+}
+
+func sortWorkers(ws []*worker) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+}
+
 // flush folds worker w's batched completion accounting into the shared
 // counters, broadcasting the outstanding==0 crossing for Wait(). Owner-only
-// (worker w's goroutine); called whenever acquisition comes up empty, so a
-// worker never parks — and the runtime never quiesces — with unflushed
-// completions.
-func (rt *Runtime) flush(w int) {
-	b := &rt.compl[w]
+// (worker w's goroutine); called whenever acquisition comes up empty and on
+// the retirement path, so a worker never parks — and the runtime never
+// quiesces — with unflushed completions.
+func (rt *Runtime) flush(w *worker) {
+	b := &w.compl
 	if b.done == 0 && b.tasks == 0 {
 		return
 	}
-	rt.tasksRun[w].Add(b.tasks)
-	rt.busy[w].Add(b.busy)
+	w.tasksRun.Add(b.tasks)
+	w.busy.Add(b.busy)
 	done := b.done
 	b.done, b.tasks, b.busy = 0, 0, 0
 	if done != 0 && rt.outstanding.Add(-done) == 0 {
@@ -400,9 +505,12 @@ func (p *clPool) size() int { return p.d.Len() }
 
 // WorkerStats reports one worker's counters.
 type WorkerStats struct {
-	Worker   int
-	Group    int
-	Rel      float64
+	Worker int
+	Group  int
+	Rel    float64
+	// Retiring marks a worker that has been asked to exit by a resize but
+	// has not finished its current task yet.
+	Retiring bool
 	TasksRun int64
 	// Steals counts successful steals; StealAttempts counts every
 	// victim-pool probe of the acquisition walk, successful or not —
@@ -423,26 +531,56 @@ type WorkerStats struct {
 	// only its own job, never the worker.
 	Panics    int64
 	BusyNanos int64
+	// EnergyJoules is the modeled energy of the worker's busy time:
+	// Power(its c-group frequency) × busy-seconds under the DVFS model
+	// (P = k·f³ + static, §IV-E). A model estimate, not a measurement.
+	EnergyJoules float64
+}
+
+// retiredAgg accumulates the counters of retired workers so totals stay
+// exact across shrinks. Written under resizeMu; read atomically anywhere.
+type retiredAgg struct {
+	workers       atomic.Int64
+	tasksRun      atomic.Int64
+	steals        atomic.Int64
+	stealAttempts atomic.Int64
+	cancelled     atomic.Int64
+	panics        atomic.Int64
+	busy          atomic.Int64
+	joulesBits    atomic.Uint64 // math.Float64bits of accumulated joules
 }
 
 // Runtime is the live scheduler instance.
 type Runtime struct {
-	cfg     Config
-	arch    *amc.Arch
-	strat   sched.Strategy
-	k       int          // pool columns per worker (strat.Clusters())
-	central bool         // strat.Central(): all work flows through the inbox
-	pools   [][]taskPool // [worker][cluster]
-	// inbox receives external (non-worker) spawns in lock-free mode, where
-	// workers own their deques' push ends exclusively, and every spawn for
-	// central-queue policies (Share). Its depth gate keeps the acquisition
+	cfg   Config
+	strat sched.Strategy
+	// arch is the current architecture shape, republished by Resize (the
+	// c-group count and speeds never change, only the per-group counts).
+	arch    atomic.Pointer[amc.Arch]
+	f1      float64 // fastest frequency, immutable across resizes
+	k       int     // pool columns per worker (strat.Clusters())
+	central bool    // strat.Central(): all work flows through the inbox
+
+	// table is the RCU-published worker set (see workerTable). Readers —
+	// the acquisition walk, wakes, stats — load it once per operation;
+	// Resize builds a new table and swaps the pointer.
+	table atomic.Pointer[workerTable]
+	// resizeMu serializes Resize calls and guards nextID/freeIDs and the
+	// retired aggregate's read-modify-write folds.
+	resizeMu sync.Mutex
+	nextID   int
+	freeIDs  []int
+	retired  retiredAgg
+	energy   counters.EnergyModel
+
+	// inbox receives every external (non-worker) spawn — in all modes —
+	// and every spawn under central-queue policies (Share). Routing
+	// external work through the inbox (rather than some worker's pools)
+	// is what makes retirement race-free: a retiring worker's pools only
+	// ever receive pushes from the retiring worker itself, so its final
+	// drain leaves nothing behind. The depth gate keeps the acquisition
 	// walk off the inbox lock while it is empty.
 	inbox *pool
-	rels  []float64
-	grps  []int
-	// orders[w] is worker w's acquisition walk (strat.AcquireOrder of its
-	// c-group), cached so the walk costs no interface call per acquire.
-	orders [][]int
 	// clusterWork[cl] counts tasks queued in cluster cl across all worker
 	// pools (never the inbox). The acquisition walk and the park-readiness
 	// check gate on it, so scanning an empty cluster costs one atomic load
@@ -451,23 +589,10 @@ type Runtime struct {
 	// exceed the truth (spurious walk) or trail a just-pushed task (the
 	// wake that follows the increment closes that window).
 	clusterWork []paddedCount
-	// ctxs[w] is worker w's reusable task context: execute saves and
-	// restores the class field around each task so nested execution
-	// (Group.Wait helping) stays correct without a per-task allocation.
-	ctxs []*Ctx
-	// compl[w] batches worker w's completion accounting (see complBatch).
-	compl []complBatch
 
-	// parkers are the per-worker parking slots (see park.go); nparked
-	// counts currently parked workers so the spawn-side wake check is one
-	// atomic load. eligible[c] lists the workers whose acquisition walk
-	// includes cluster c — the targets a cluster-c spawn may need to wake.
-	parkers  []parker
-	nparked  atomic.Int64
-	eligible [][]int
-	// recorders[w] is worker w's owner-only statistics sink (the
-	// lock-free record step of Algorithm 2).
-	recorders []sched.Recorder
+	// nparked counts currently parked workers so the spawn-side wake
+	// check is one atomic load (see park.go).
+	nparked atomic.Int64
 
 	outstanding atomic.Int64
 	// mu/cond serve only the external Wait(): completions touch them just
@@ -480,22 +605,10 @@ type Runtime struct {
 	// policy has no reorganization step (no helper started).
 	helperDone chan struct{}
 
-	tasksRun      []atomic.Int64
-	steals        []atomic.Int64
-	stealAttempts []atomic.Int64
-	snatches      []atomic.Int64
-	cancelled     []atomic.Int64
-	panics        []atomic.Int64
-	busy          []atomic.Int64
 	// flt, when non-nil, plans deterministic fault injection for each
 	// task body; consulted behind one nil-check like obs.
 	flt *fault.Injector
-	// hb[w] is worker w's heartbeat: 1 + the start time (nanos since
-	// base) of the task it is currently executing, or 0 while idle.
-	// Written by the owner around each task, read by the watchdog and
-	// StalledWorkers. Only allocated (and the stores only taken) when
-	// Config.StallThreshold > 0, so the disabled hot path is unchanged.
-	hb           []paddedCount
+	// hbOn records whether heartbeats are collected (StallThreshold > 0).
 	hbOn         bool
 	watchdogDone chan struct{}
 	// maxQueued is the spawn-backpressure depth (Config.MaxQueuedTasks).
@@ -503,9 +616,6 @@ type Runtime struct {
 	// obs, when non-nil, receives scheduler events; every emission is
 	// behind one nil-check so disabled tracing costs a single branch.
 	obs *obs.Tracer
-	// helpRngs are per-worker victim-selection streams for Group.Wait's
-	// helping path (the worker loop has its own stream).
-	helpRngs []*rng.Source
 	// base anchors task timing: measuring with two monotonic-only
 	// time.Since(base) reads instead of time.Now()+time.Since skips the
 	// wall-clock read, which is a measurable share of a no-op task.
@@ -537,75 +647,39 @@ func New(cfg Config) (*Runtime, error) {
 	strat.Bind(cfg.Arch)
 	n := cfg.Arch.NumCores()
 	rt := &Runtime{
-		cfg:           cfg,
-		arch:          cfg.Arch,
-		strat:         strat,
-		k:             strat.Clusters(),
-		central:       strat.Central(),
-		tasksRun:      make([]atomic.Int64, n),
-		steals:        make([]atomic.Int64, n),
-		stealAttempts: make([]atomic.Int64, n),
-		snatches:      make([]atomic.Int64, n),
-		cancelled:     make([]atomic.Int64, n),
-		panics:        make([]atomic.Int64, n),
-		busy:          make([]atomic.Int64, n),
-		maxQueued:     int64(cfg.MaxQueuedTasks),
-		obs:           cfg.Obs,
-		flt:           cfg.Fault,
-		base:          time.Now(),
+		cfg:       cfg,
+		strat:     strat,
+		f1:        cfg.Arch.FastestFreq(),
+		k:         strat.Clusters(),
+		central:   strat.Central(),
+		maxQueued: int64(cfg.MaxQueuedTasks),
+		obs:       cfg.Obs,
+		flt:       cfg.Fault,
+		energy:    counters.DefaultEnergyModel,
+		base:      time.Now(),
+	}
+	rt.arch.Store(cfg.Arch)
+	if cfg.Energy != nil {
+		rt.energy = *cfg.Energy
 	}
 	if rt.maxQueued <= 0 {
 		rt.maxQueued = DefaultMaxQueuedTasks
 	}
 	rt.cond = sync.NewCond(&rt.mu)
-	f1 := cfg.Arch.FastestFreq()
 	rt.inbox = &pool{}
 	rt.clusterWork = make([]paddedCount, rt.k)
-	rt.compl = make([]complBatch, n)
-	for w := 0; w < n; w++ {
-		ps := make([]taskPool, rt.k)
-		for c := range ps {
-			if cfg.LockFree {
-				ps[c] = newCLPool()
-			} else {
-				ps[c] = &pool{}
-			}
-		}
-		rt.pools = append(rt.pools, ps)
-		rt.rels = append(rt.rels, cfg.Arch.Speed(w)/f1)
-		rt.grps = append(rt.grps, cfg.Arch.GroupOf(w))
-		rt.orders = append(rt.orders, append([]int(nil), strat.AcquireOrder(rt.grps[w])...))
-	}
-	for w := 0; w < n; w++ {
-		rt.helpRngs = append(rt.helpRngs, rng.New(cfg.Seed^0xABCD+uint64(w)*7919+3))
-		rt.ctxs = append(rt.ctxs, &Ctx{rt: rt, Worker: w, Rel: rt.rels[w]})
-	}
-	rt.parkers = make([]parker, n)
-	for w := range rt.parkers {
-		rt.parkers[w].ch = make(chan struct{}, 1)
-	}
-	// eligible[c]: the workers whose acquisition walk visits cluster c —
-	// the only ones a cluster-c spawn can make runnable.
-	rt.eligible = make([][]int, rt.k)
-	for w := 0; w < n; w++ {
-		for _, cl := range strat.AcquireOrder(rt.grps[w]) {
-			if cl >= 0 && cl < rt.k {
-				rt.eligible[cl] = append(rt.eligible[cl], w)
-			}
-		}
-	}
-	rt.recorders = make([]sched.Recorder, n)
-	for w := 0; w < n; w++ {
-		rt.recorders[w] = strat.Recorder(w)
-	}
 	if cfg.StallThreshold > 0 {
 		rt.hbOn = true
-		rt.hb = make([]paddedCount, n)
 		rt.watchdogDone = make(chan struct{})
 	}
-	for w := 0; w < n; w++ {
-		rt.wg.Add(1)
-		go rt.worker(w, rng.New(cfg.Seed+uint64(w)*0x9E3779B97F4A7C15+1))
+	ws := make([]*worker, 0, n)
+	for id := 0; id < n; id++ {
+		ws = append(ws, rt.newWorker(id, cfg.Arch.GroupOf(id)))
+	}
+	rt.nextID = n
+	rt.table.Store(makeTable(ws, ws, rt.k))
+	for _, w := range ws {
+		rt.startWorker(w)
 	}
 	if strat.Reorganizes() {
 		rt.helperDone = make(chan struct{})
@@ -617,6 +691,44 @@ func New(cfg Config) (*Runtime, error) {
 		go rt.watchdog()
 	}
 	return rt, nil
+}
+
+// newWorker allocates one worker for slot id in c-group grp: fresh pools,
+// a fresh (or revived, on id reuse) history shard via the strategy's
+// growable recorder set, its own parking slot and rng streams. The caller
+// publishes it in a worker table before starting it.
+func (rt *Runtime) newWorker(id, grp int) *worker {
+	arch := rt.arch.Load()
+	freq := arch.Groups[grp].Freq
+	w := &worker{
+		id:      id,
+		grp:     grp,
+		freq:    freq,
+		rel:     freq / rt.f1,
+		order:   append([]int(nil), rt.strat.AcquireOrder(grp)...),
+		rec:     rt.strat.Recorder(id),
+		helpRng: rng.New(rt.cfg.Seed^0xABCD + uint64(id)*7919 + 3),
+		gone:    make(chan struct{}),
+	}
+	w.pools = make([]taskPool, rt.k)
+	for c := range w.pools {
+		if rt.cfg.LockFree {
+			w.pools[c] = newCLPool()
+		} else {
+			w.pools[c] = &pool{}
+		}
+	}
+	w.pk.ch = make(chan struct{}, 1)
+	w.ctx = &Ctx{rt: rt, w: w, Worker: id, Rel: w.rel}
+	return w
+}
+
+// startWorker launches w's goroutine. The worker must already be visible
+// in the published table, or a spawner could push work it can see and
+// then fail to wake it.
+func (rt *Runtime) startWorker(w *worker) {
+	rt.wg.Add(1)
+	go rt.run(w, rng.New(rt.cfg.Seed+uint64(w.id)*0x9E3779B97F4A7C15+1))
 }
 
 // clusterOf routes a class through the strategy's allocation axis, clamped
@@ -636,11 +748,12 @@ func (rt *Runtime) clusterOf(class string) int {
 // not accepted and will never run.
 var ErrShutdown = errors.New("runtime: Spawn after Shutdown")
 
-// Spawn submits a root task; it is routed to the fastest core's pools
-// (the paper schedules the main task's work on the fastest core, §IV-E).
-// In lock-free mode external spawns go through the inbox, since only a
-// worker may push to its own Chase-Lev deques. After Shutdown it drops
-// the task and returns ErrShutdown.
+// Spawn submits a root task through the shared inbox, from which the next
+// idle worker — fastest first in practice, since fast workers drain their
+// queues soonest — picks it up. External spawns never target a specific
+// worker's pools: workers own their push ends (lock-free mode) and may
+// retire at any time (elastic mode), so the inbox is the only safe
+// mailbox. After Shutdown it drops the task and returns ErrShutdown.
 func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
 	return rt.spawnRoot(&liveTask{class: class, fn: fn})
 }
@@ -674,24 +787,25 @@ func (rt *Runtime) spawnRoot(t *liveTask) error {
 	if rt.shutdown.Load() {
 		return ErrShutdown
 	}
-	if rt.cfg.LockFree && !rt.central {
-		rt.outstanding.Add(1)
-		rt.inbox.push(t)
-		if rt.obs != nil {
-			rt.obs.Spawn(-1, -1, t.class, rt.inbox.size())
-		}
-		rt.wakeOne(-1)
-		return nil
+	rt.outstanding.Add(1)
+	rt.inbox.push(t)
+	if rt.obs != nil {
+		rt.obs.Spawn(-1, -1, t.class, rt.inbox.size())
 	}
-	rt.spawnTask(0, "", t)
+	rt.wakeOne(-1)
+	if int64(rt.inbox.size()) >= rt.maxQueued {
+		// The spawner is far ahead of the consumers: yield instead of
+		// ballooning the queue (deep queues cost GC scan time and memory).
+		stdruntime.Gosched()
+	}
 	return nil
 }
 
-// spawnTask routes one task: the spawn edge is reported to the strategy
-// (divide-and-conquer detection), then the task goes to the spawning
-// worker's pool for its class's cluster — or the central inbox for
-// central-queue policies.
-func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
+// spawnTask routes one worker-side task: the spawn edge is reported to the
+// strategy (divide-and-conquer detection), then the task goes to the
+// spawning worker's pool for its class's cluster — or the central inbox
+// for central-queue policies.
+func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 	if rt.shutdown.Load() {
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
@@ -702,9 +816,9 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 		// The job is already dead: don't let an expired task tree keep
 		// fanning out. The drop is accounted exactly like an acquire-time
 		// drop so cancellations stay visible in Stats.
-		rt.cancelled[worker].Add(1)
+		w.cancelled.Add(1)
 		if rt.obs != nil {
-			rt.obs.Cancel(worker, t.class)
+			rt.obs.Cancel(w.id, t.class)
 		}
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
@@ -718,16 +832,16 @@ func (rt *Runtime) spawnTask(worker int, parentClass string, t *liveTask) {
 	if rt.central {
 		rt.inbox.push(t)
 		if rt.obs != nil {
-			rt.obs.Spawn(worker, 0, t.class, rt.inbox.size())
+			rt.obs.Spawn(w.id, 0, t.class, rt.inbox.size())
 		}
 		rt.wakeOne(-1)
 	} else {
 		cl := rt.clusterOf(t.class)
-		p := rt.pools[worker][cl]
+		p := w.pools[cl]
 		p.push(t)
 		queued := rt.clusterWork[cl].v.Add(1)
 		if rt.obs != nil {
-			rt.obs.Spawn(worker, cl, t.class, p.size())
+			rt.obs.Spawn(w.id, cl, t.class, p.size())
 		}
 		rt.wakeOne(cl)
 		if queued >= rt.maxQueued {
@@ -758,10 +872,12 @@ func (rt *Runtime) MaxQueuedTasks() int { return int(rt.maxQueued) }
 // acquire implements the acquisition axis for a worker: drain the inbox,
 // then walk the strategy's cluster order — own pool pop, then steal from
 // random victims — exactly as the sim adapter does on virtual cores.
-// Returns nil when no task is available anywhere. The strategy's snatch
-// mode is inert here: a running goroutine cannot be preempted (see the
-// package comment).
-func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
+// Victims come from the published worker table, so a worker hot-added a
+// microsecond ago is already stealable and a retiring one no longer is
+// (its leftover tasks drain through the inbox). Returns nil when no task
+// is available anywhere. The strategy's snatch mode is inert here: a
+// running goroutine cannot be preempted (see the package comment).
+func (rt *Runtime) acquire(w *worker, r *rng.Source) *liveTask {
 	var t0 time.Time
 	if rt.obs != nil {
 		t0 = time.Now()
@@ -770,48 +886,52 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 	// shared inbox lock.
 	if t := rt.inbox.stealTop(); t != nil {
 		if rt.obs != nil {
-			rt.obs.Pop(w, -1, t.class)
+			rt.obs.Pop(w.id, -1, t.class)
 		}
 		return t
 	}
 	if rt.central {
 		return nil
 	}
-	for _, cl := range rt.orders[w] {
+	var victims []*worker
+	for _, cl := range w.order {
 		// One load skips the whole cluster when nothing is queued in it —
 		// the common case for most clusters of the walk.
 		if rt.clusterWork[cl].v.Load() == 0 {
 			continue
 		}
-		if t := rt.pools[w][cl].popBottom(); t != nil {
+		if t := w.pools[cl].popBottom(); t != nil {
 			rt.clusterWork[cl].v.Add(-1)
 			if rt.obs != nil {
-				rt.obs.Pop(w, cl, t.class)
+				rt.obs.Pop(w.id, cl, t.class)
 			}
 			return t
 		}
+		if victims == nil {
+			victims = rt.table.Load().ws
+		}
 		probes := int64(0)
-		n := len(rt.pools)
+		n := len(victims)
 		start := r.Intn(n)
 		for i := 0; i < n; i++ {
-			v := (start + i) % n
+			v := victims[(start+i)%n]
 			if v == w {
 				continue
 			}
 			probes++
-			if t := rt.pools[v][cl].stealTop(); t != nil {
+			if t := v.pools[cl].stealTop(); t != nil {
 				rt.clusterWork[cl].v.Add(-1)
-				rt.steals[w].Add(1)
-				rt.stealAttempts[w].Add(probes)
+				w.steals.Add(1)
+				w.stealAttempts.Add(probes)
 				if rt.obs != nil {
-					rt.obs.Steal(w, v, cl, t.class, int(probes), time.Since(t0))
+					rt.obs.Steal(w.id, v.id, cl, t.class, int(probes), time.Since(t0))
 				}
 				return t
 			}
 		}
-		rt.stealAttempts[w].Add(probes)
+		w.stealAttempts.Add(probes)
 		if rt.obs != nil && probes > 0 {
-			rt.obs.StealTry(w, cl, int(probes))
+			rt.obs.StealTry(w.id, cl, int(probes))
 		}
 	}
 	return nil
@@ -824,15 +944,24 @@ func (rt *Runtime) acquire(w int, r *rng.Source) *liveTask {
 // runtime still quiesces to parked workers almost immediately.
 const parkSpins = 2
 
-func (rt *Runtime) worker(w int, r *rng.Source) {
+// run is the worker loop. The retire check sits at the top: a worker asked
+// to leave finishes its current task (and any Group.Wait it is helping in)
+// first, then drains its pools back into the shared inbox, flushes its
+// completion batch and exits — see retireDrain in resize.go for the safety
+// argument.
+func (rt *Runtime) run(w *worker, r *rng.Source) {
 	defer rt.wg.Done()
-	rel := rt.rels[w]
-	ready := func() bool { return rt.haveWork(w) }
+	defer close(w.gone)
+	ready := func() bool { return w.retire.Load() || rt.haveWork(w) }
 	spins := 0
 	for {
+		if w.retire.Load() {
+			rt.retireDrain(w)
+			return
+		}
 		t := rt.acquire(w, r)
 		if t == nil {
-			rt.compl[w].timeValid = false
+			w.compl.timeValid = false
 			rt.flush(w)
 			if spins < parkSpins {
 				spins++
@@ -846,7 +975,7 @@ func (rt *Runtime) worker(w int, r *rng.Source) {
 			continue
 		}
 		spins = 0
-		rt.execute(w, rel, t)
+		rt.execute(w, t)
 	}
 }
 
@@ -875,10 +1004,10 @@ func (e *TaskPanicError) Error() string {
 // if the body had returned, so one poisoned task never corrupts
 // outstanding counts or kills a worker. The open-coded defer costs ~1 ns
 // on the per-task path (see DESIGN.md §9).
-func (rt *Runtime) runGuarded(ctx *Ctx, w int, t *liveTask) (pv *TaskPanicError) {
+func (rt *Runtime) runGuarded(ctx *Ctx, w *worker, t *liveTask) (pv *TaskPanicError) {
 	defer func() {
 		if r := recover(); r != nil {
-			pv = &TaskPanicError{Class: t.class, Worker: w, Value: r, Stack: debug.Stack()}
+			pv = &TaskPanicError{Class: t.class, Worker: w.id, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	if rt.flt != nil {
@@ -892,12 +1021,12 @@ func (rt *Runtime) runGuarded(ctx *Ctx, w int, t *liveTask) (pv *TaskPanicError)
 // the planned fault: a panic (recovered by runGuarded's isolation, so
 // injected panics exercise the real recovery path end to end), a delay
 // before the body runs, or an abort of the owning job.
-func (rt *Runtime) injectFault(w int, t *liveTask) {
-	rt.compl[w].seq++
-	act := rt.flt.Plan(t.class, w, rt.compl[w].seq)
+func (rt *Runtime) injectFault(w *worker, t *liveTask) {
+	w.compl.seq++
+	act := rt.flt.Plan(t.class, w.id, w.compl.seq)
 	switch act.Kind {
 	case fault.Panic:
-		panic(fault.PanicValue{Class: t.class, Worker: w, Index: rt.compl[w].seq})
+		panic(fault.PanicValue{Class: t.class, Worker: w.id, Index: w.compl.seq})
 	case fault.Delay:
 		rt.sleepUnlessShutdown(act.Delay)
 	case fault.Cancel:
@@ -910,33 +1039,33 @@ func (rt *Runtime) injectFault(w int, t *liveTask) {
 // execute runs one task on worker w: timing, speed-emulation stall,
 // Eq. 2 workload observation and completion accounting. It is shared by
 // the worker loop and by Group.Wait's helping path.
-func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
+func (rt *Runtime) execute(w *worker, t *liveTask) {
 	if t.cancel != nil && t.cancel.Err() != nil {
 		// The job's deadline passed (or it was cancelled) while this task
 		// sat queued: drop it without running. Group and outstanding
 		// accounting still happen so Wait and Group.Wait stay correct —
 		// a cancelled task "completes" instantly, it just never executes
 		// or contributes a workload observation.
-		rt.cancelled[w].Add(1)
+		w.cancelled.Add(1)
 		if rt.obs != nil {
-			rt.obs.Cancel(w, t.class)
+			rt.obs.Cancel(w.id, t.class)
 		}
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
 		}
-		rt.compl[w].done++
+		w.compl.done++
 		return
 	}
 	// Reuse the worker's Ctx, saving the class and job context around the
 	// call: execution nests when a task helps inside Group.Wait.
-	ctx := rt.ctxs[w]
+	ctx := w.ctx
 	prev := ctx.class
 	prevCancel := ctx.cancel
 	prevAbort := ctx.abort
 	ctx.class = t.class
 	ctx.cancel = t.cancel
 	ctx.abort = t.abort
-	b := &rt.compl[w]
+	b := &w.compl
 	var start time.Duration
 	if b.timeValid {
 		start = b.lastEnd
@@ -952,12 +1081,12 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	// in Group.Wait) doesn't make the outer task look idle.
 	var prevHB int64
 	if rt.hbOn {
-		prevHB = rt.hb[w].v.Load()
-		rt.hb[w].v.Store(int64(start) + 1)
+		prevHB = w.hb.v.Load()
+		w.hb.v.Store(int64(start) + 1)
 	}
 	pv := rt.runGuarded(ctx, w, t)
 	if rt.hbOn {
-		rt.hb[w].v.Store(prevHB)
+		w.hb.v.Store(prevHB)
 	}
 	end := time.Since(rt.base)
 	d := end - start
@@ -970,17 +1099,17 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 		// Everything below — timing, the workload observation, group and
 		// outstanding accounting — proceeds exactly as for a returning
 		// task, so a panic never desynchronizes Wait or Group.Wait.
-		rt.panics[w].Add(1)
+		w.panics.Add(1)
 		if rt.obs != nil {
-			rt.obs.Panic(w, t.class)
+			rt.obs.Panic(w.id, t.class)
 		}
 		if t.abort != nil {
 			t.abort(pv)
 		}
 	}
 	b.busy += int64(d)
-	if !rt.cfg.DisableSpeedEmulation && rel < 1 {
-		stall := time.Duration(float64(d) * (1/rel - 1))
+	if !rt.cfg.DisableSpeedEmulation && w.rel < 1 {
+		stall := time.Duration(float64(d) * (1/w.rel - 1))
 		rt.sleepUnlessShutdown(stall)
 		b.busy += int64(stall)
 		b.timeValid = false
@@ -990,10 +1119,10 @@ func (rt *Runtime) execute(w int, rel float64, t *liveTask) {
 	// workload is exactly d. The observation goes to the worker's own
 	// shard recorder — owner-only, no lock — and is merged into the class
 	// table at the next reorganization (or cold-path registry read).
-	rt.recorders[w].Observe(t.class, d.Seconds(), 0)
+	w.rec.Observe(t.class, d.Seconds(), 0)
 	b.tasks++
 	if rt.obs != nil {
-		rt.obs.Complete(w, rt.clusterOf(t.class), t.class, d)
+		rt.obs.Complete(w.id, rt.clusterOf(t.class), t.class, d)
 	}
 	if t.group != nil && t.group.pending.Add(-1) == 0 {
 		// The group drained: wake workers parked in Group.Wait (sweep —
@@ -1023,14 +1152,14 @@ func (rt *Runtime) sleepUnlessShutdown(d time.Duration) {
 // WATS-NP worker would spin on work it is never allowed to steal. Called
 // from the parking slow path; the reads are racy point-checks, which the
 // park protocol makes safe (see park.go).
-func (rt *Runtime) haveWork(w int) bool {
+func (rt *Runtime) haveWork(w *worker) bool {
 	if !rt.inbox.empty() {
 		return true
 	}
 	if rt.central {
 		return false
 	}
-	for _, cl := range rt.orders[w] {
+	for _, cl := range w.order {
 		if rt.clusterWork[cl].v.Load() > 0 {
 			return true
 		}
@@ -1046,8 +1175,8 @@ func (rt *Runtime) nonEmptyPools() int {
 	if !rt.inbox.empty() {
 		n++
 	}
-	for _, ps := range rt.pools {
-		for _, p := range ps {
+	for _, w := range rt.table.Load().all {
+		for _, p := range w.pools {
 			if !p.empty() {
 				n++
 			}
@@ -1094,7 +1223,8 @@ func (rt *Runtime) Wait() {
 }
 
 // Shutdown stops the workers. Pending tasks are abandoned; call Wait
-// first for a clean drain.
+// first for a clean drain. A Resize in flight when Shutdown is called
+// completes first (its victims exit through the shutdown path).
 func (rt *Runtime) Shutdown() {
 	if rt.shutdown.Swap(true) {
 		return
@@ -1109,6 +1239,11 @@ func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
+	// Serialize against an in-flight Resize: its goroutine starts/awaits
+	// are done once we hold the lock, so wg.Add never races wg.Wait.
+	rt.resizeMu.Lock()
+	rt.resizeMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	rt.wakeAll()
 	rt.wg.Wait()
 }
 
@@ -1126,42 +1261,90 @@ func (rt *Runtime) Registry() *task.Registry { return rt.strat.Registry() }
 // kind; history-less kinds simply never reorganize it).
 func (rt *Runtime) Allocator() *history.Allocator { return rt.strat.Allocator() }
 
+// Arch returns the current architecture shape (republished by Resize).
+func (rt *Runtime) Arch() *amc.Arch { return rt.arch.Load() }
+
+// BaseArch returns the architecture the runtime was constructed with —
+// the machine's native asymmetry ratio, which resize apportionment
+// should follow even after the live shape has drifted from it.
+func (rt *Runtime) BaseArch() *amc.Arch { return rt.cfg.Arch }
+
 // Cancelled returns the total number of tasks dropped because their job
-// context was done before they ran (summed over workers; racy point-read).
+// context was done before they ran (summed over live and retired workers;
+// racy point-read).
 func (rt *Runtime) Cancelled() int64 {
-	var n int64
-	for w := range rt.cancelled {
-		n += rt.cancelled[w].Load()
+	n := rt.retired.cancelled.Load()
+	for _, w := range rt.table.Load().all {
+		n += w.cancelled.Load()
 	}
 	return n
 }
 
 // Panics returns the total number of task panics recovered by the
-// isolation layer (summed over workers; racy point-read).
+// isolation layer (summed over live and retired workers; racy point-read).
 func (rt *Runtime) Panics() int64 {
-	var n int64
-	for w := range rt.panics {
-		n += rt.panics[w].Load()
+	n := rt.retired.panics.Load()
+	for _, w := range rt.table.Load().all {
+		n += w.panics.Load()
 	}
 	return n
 }
 
-// Stats returns a snapshot of per-worker counters.
+// TasksRun returns the total number of tasks executed, including those
+// run by workers since retired — the figure resize tests assert exact
+// completion accounting against. Quiescent-exact (after Wait); racy while
+// workers run (batched completions may lag by one flush).
+func (rt *Runtime) TasksRun() int64 {
+	n := rt.retired.tasksRun.Load()
+	for _, w := range rt.table.Load().all {
+		n += w.tasksRun.Load()
+	}
+	return n
+}
+
+// BusyNanos returns total busy time (emulation stalls included) across
+// live and retired workers — the utilization numerator the scale
+// controller consumes.
+func (rt *Runtime) BusyNanos() int64 {
+	n := rt.retired.busy.Load()
+	for _, w := range rt.table.Load().all {
+		n += w.busy.Load()
+	}
+	return n
+}
+
+// statsOf renders one worker's counter row.
+func (rt *Runtime) statsOf(w *worker, retiring bool) WorkerStats {
+	busy := w.busy.Load()
+	return WorkerStats{
+		Worker:        w.id,
+		Group:         w.grp,
+		Rel:           w.rel,
+		Retiring:      retiring,
+		TasksRun:      w.tasksRun.Load(),
+		Steals:        w.steals.Load(),
+		StealAttempts: w.stealAttempts.Load(),
+		Snatches:      w.snatches.Load(),
+		Cancelled:     w.cancelled.Load(),
+		Panics:        w.panics.Load(),
+		BusyNanos:     busy,
+		EnergyJoules:  rt.energy.Power(w.freq) * float64(busy) / 1e9,
+	}
+}
+
+// Stats returns a snapshot of per-worker counters for every live worker
+// (retiring workers included, flagged). Counters of workers already
+// retired are folded into the RetiredStats aggregate, so
+// sum(Stats) + RetiredStats is exact across resizes.
 func (rt *Runtime) Stats() []WorkerStats {
-	out := make([]WorkerStats, len(rt.pools))
-	for w := range out {
-		out[w] = WorkerStats{
-			Worker:        w,
-			Group:         rt.grps[w],
-			Rel:           rt.rels[w],
-			TasksRun:      rt.tasksRun[w].Load(),
-			Steals:        rt.steals[w].Load(),
-			StealAttempts: rt.stealAttempts[w].Load(),
-			Snatches:      rt.snatches[w].Load(),
-			Cancelled:     rt.cancelled[w].Load(),
-			Panics:        rt.panics[w].Load(),
-			BusyNanos:     rt.busy[w].Load(),
-		}
+	tbl := rt.table.Load()
+	active := make(map[*worker]bool, len(tbl.ws))
+	for _, w := range tbl.ws {
+		active[w] = true
+	}
+	out := make([]WorkerStats, 0, len(tbl.all))
+	for _, w := range tbl.all {
+		out = append(out, rt.statsOf(w, !active[w]))
 	}
 	return out
 }

@@ -77,9 +77,14 @@ func TestRuntimeStealsAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Shutdown()
-	for i := 0; i < 64; i++ {
-		rt.Spawn("work", func(ctx *Ctx) { spin(time.Millisecond) })
-	}
+	// Fan the work out from one root: its children land in the spawning
+	// worker's own pools (external roots go through the shared inbox and
+	// are popped, not stolen), so the backlog must spread by stealing.
+	rt.Spawn("root", func(ctx *Ctx) {
+		for i := 0; i < 64; i++ {
+			ctx.Spawn("work", func(ctx *Ctx) { spin(time.Millisecond) })
+		}
+	})
 	rt.Wait()
 	stats := rt.Stats()
 	var steals, ran int64
@@ -91,7 +96,7 @@ func TestRuntimeStealsAcrossWorkers(t *testing.T) {
 			workers++
 		}
 	}
-	if ran != 64 {
+	if ran != 65 { // the root plus its 64 children
 		t.Fatalf("ran=%d", ran)
 	}
 	if steals == 0 {

@@ -10,19 +10,26 @@ import (
 // Snapshot is a point-in-time view of the scheduler's observable state:
 // the learned task classes TC(f, n, w), the current class → cluster
 // partition and how often it was rebuilt, the per-c-group preference
-// tables the acquisition walk follows, live deque depths and the
-// per-worker counters. It is what `watsrun -inspect` renders and what the
-// debug server serves at /debug/wats. Depths and counters are racy
-// point-reads while workers run; everything else is a consistent copy.
-// Classes are the merged view: taking a snapshot folds any per-worker
-// shard observations not yet consumed by the helper into the canonical
-// class table (the registry does this internally; no scheduler lock is
-// involved).
+// tables the acquisition walk follows, the live worker shape, deque
+// depths and the per-worker counters. It is what `watsrun -inspect`
+// renders and what the debug server serves at /debug/wats. Depths and
+// counters are racy point-reads while workers run; everything else is a
+// consistent copy. The worker rows come from one RCU table load, so a
+// snapshot taken mid-resize sees either the old or the new worker set,
+// never a half-updated one. Classes are the merged view: taking a
+// snapshot folds any per-worker shard observations not yet consumed by
+// the helper into the canonical class table (the registry does this
+// internally; no scheduler lock is involved).
 type Snapshot struct {
 	Policy  string `json:"policy"`
 	Arch    string `json:"arch"`
 	Workers int    `json:"workers"`
 	CGroups int    `json:"cgroups"`
+	// Shape is the active per-c-group worker count, fastest group first
+	// (the live value Resize manipulates).
+	Shape []int `json:"shape"`
+	// RetiredWorkers counts workers retired by resizes so far.
+	RetiredWorkers int `json:"retired_workers"`
 	// Classes are the learned task-class records, sorted by descending
 	// average workload (the order Algorithm 1 consumes).
 	Classes []task.Class `json:"classes"`
@@ -34,38 +41,55 @@ type Snapshot struct {
 	// PreferenceTables[g] is the cluster walk an idle worker of c-group g
 	// performs (Algorithm 3's "rob the weaker first" lists for WATS).
 	PreferenceTables [][]int `json:"preference_tables"`
-	// DequeDepths[w][c] is worker w's current pool depth for cluster c.
+	// DequeDepths[i][c] is the pool depth for cluster c of the worker in
+	// row i of Stats (rows align; the worker's id is Stats[i].Worker).
 	DequeDepths [][]int `json:"deque_depths"`
 	// InboxDepth is the external-spawn / central-queue depth.
 	InboxDepth int `json:"inbox_depth"`
 	// Outstanding is the number of spawned-but-uncompleted tasks.
 	Outstanding int64 `json:"outstanding"`
-	// Stats are the per-worker counters (see WorkerStats).
+	// EnergyJoules is the modeled energy consumed so far (live + retired
+	// workers; see Runtime.EnergyJoules).
+	EnergyJoules float64 `json:"energy_joules"`
+	// Stats are the per-worker counters (see WorkerStats), retiring
+	// workers included (flagged).
 	Stats []WorkerStats `json:"stats"`
 }
 
 // Snapshot captures the current scheduler state. It is safe to call at
-// any time, including while workers run.
+// any time, including while workers run or a resize is in flight.
 func (rt *Runtime) Snapshot() Snapshot {
+	arch := rt.arch.Load()
+	tbl := rt.table.Load()
 	s := Snapshot{
 		Policy:          string(rt.strat.Kind()),
-		Arch:            rt.arch.Name,
-		Workers:         len(rt.pools),
-		CGroups:         rt.arch.K(),
+		Arch:            arch.Name,
+		Workers:         len(tbl.ws),
+		CGroups:         arch.K(),
+		Shape:           make([]int, arch.K()),
+		RetiredWorkers:  rt.RetiredWorkers(),
 		Classes:         rt.Registry().Snapshot(),
 		Partition:       rt.strat.Allocator().Map().Snapshot(),
 		Reorganizations: rt.strat.Allocator().Reorganizations(),
 		InboxDepth:      rt.inbox.size(),
 		Outstanding:     rt.outstanding.Load(),
-		Stats:           rt.Stats(),
+		EnergyJoules:    rt.EnergyJoules(),
 	}
-	for g := 0; g < rt.arch.K(); g++ {
+	for _, w := range tbl.ws {
+		s.Shape[w.grp]++
+	}
+	for g := 0; g < arch.K(); g++ {
 		order := rt.strat.AcquireOrder(g)
 		s.PreferenceTables = append(s.PreferenceTables, append([]int(nil), order...))
 	}
-	for _, ps := range rt.pools {
-		depths := make([]int, len(ps))
-		for c, p := range ps {
+	active := make(map[*worker]bool, len(tbl.ws))
+	for _, w := range tbl.ws {
+		active[w] = true
+	}
+	for _, w := range tbl.all {
+		s.Stats = append(s.Stats, rt.statsOf(w, !active[w]))
+		depths := make([]int, len(w.pools))
+		for c, p := range w.pools {
 			depths[c] = p.size()
 		}
 		s.DequeDepths = append(s.DequeDepths, depths)
@@ -77,8 +101,8 @@ func (rt *Runtime) Snapshot() Snapshot {
 // `watsrun -inspect`.
 func (s Snapshot) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "policy %s on %s: %d workers in %d c-groups, %d reorganizations, %d outstanding\n",
-		s.Policy, s.Arch, s.Workers, s.CGroups, s.Reorganizations, s.Outstanding)
+	fmt.Fprintf(&sb, "policy %s on %s: %d workers (shape %v, %d retired) in %d c-groups, %d reorganizations, %d outstanding, %.1f J\n",
+		s.Policy, s.Arch, s.Workers, s.Shape, s.RetiredWorkers, s.CGroups, s.Reorganizations, s.Outstanding, s.EnergyJoules)
 	if len(s.Classes) > 0 {
 		fmt.Fprintf(&sb, "classes (TC(f,n,w), avg fastest-core ms -> cluster):\n")
 		for _, c := range s.Classes {
@@ -95,14 +119,22 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&sb, "  C%d: %v\n", g+1, order)
 	}
 	fmt.Fprintf(&sb, "deque depths (worker x cluster, inbox %d):\n", s.InboxDepth)
-	for w, depths := range s.DequeDepths {
-		fmt.Fprintf(&sb, "  w%-2d %v\n", w, depths)
+	for i, depths := range s.DequeDepths {
+		id := i
+		if i < len(s.Stats) {
+			id = s.Stats[i].Worker
+		}
+		fmt.Fprintf(&sb, "  w%-2d %v\n", id, depths)
 	}
 	fmt.Fprintf(&sb, "workers (tasks / steals / attempts / busy):\n")
 	for _, st := range s.Stats {
-		fmt.Fprintf(&sb, "  w%-2d g%d rel %.2f  %6d / %5d / %6d / %.1fms\n",
+		flag := ""
+		if st.Retiring {
+			flag = " (retiring)"
+		}
+		fmt.Fprintf(&sb, "  w%-2d g%d rel %.2f  %6d / %5d / %6d / %.1fms%s\n",
 			st.Worker, st.Group, st.Rel, st.TasksRun, st.Steals, st.StealAttempts,
-			float64(st.BusyNanos)/1e6)
+			float64(st.BusyNanos)/1e6, flag)
 	}
 	return sb.String()
 }

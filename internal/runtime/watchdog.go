@@ -20,8 +20,12 @@ import "time"
 
 // watchdog periodically scans the heartbeats and reports each stalled
 // task once (a task stalled across many ticks is one detection; a new
-// task on the same worker re-arms it). Started only when
-// Config.StallThreshold > 0; exits on Shutdown.
+// task on the same worker re-arms it). It reads the worker set through
+// the RCU table each tick, so hot-added workers are covered from their
+// first task and retiring workers until they exit; the reported map is
+// keyed by slot id (a reused slot starts clean — its previous owner's
+// heartbeat was zeroed when that worker went idle to exit). Started only
+// when Config.StallThreshold > 0; exits on Shutdown.
 func (rt *Runtime) watchdog() {
 	defer rt.wg.Done()
 	period := rt.cfg.StallThreshold / 4
@@ -30,9 +34,9 @@ func (rt *Runtime) watchdog() {
 	}
 	tick := time.NewTicker(period)
 	defer tick.Stop()
-	// reported[w] is the heartbeat value (task identity: start+1) already
-	// flagged on worker w, so one stalled task emits one event.
-	reported := make([]int64, len(rt.hb))
+	// reported[id] is the heartbeat value (task identity: start+1) already
+	// flagged on the worker in slot id, so one stalled task emits one event.
+	reported := make(map[int]int64)
 	for {
 		select {
 		case <-tick.C:
@@ -40,19 +44,19 @@ func (rt *Runtime) watchdog() {
 				return
 			}
 			now := int64(time.Since(rt.base))
-			for w := range rt.hb {
-				s := rt.hb[w].v.Load()
+			for _, w := range rt.table.Load().all {
+				s := w.hb.v.Load()
 				if s == 0 {
-					reported[w] = 0
+					delete(reported, w.id)
 					continue
 				}
 				age := now - (s - 1)
-				if age < int64(rt.cfg.StallThreshold) || reported[w] == s {
+				if age < int64(rt.cfg.StallThreshold) || reported[w.id] == s {
 					continue
 				}
-				reported[w] = s
+				reported[w.id] = s
 				if rt.obs != nil {
-					rt.obs.Stall(w, time.Duration(age))
+					rt.obs.Stall(w.id, time.Duration(age))
 				}
 			}
 		case <-rt.watchdogDone:
@@ -61,8 +65,8 @@ func (rt *Runtime) watchdog() {
 	}
 }
 
-// StalledWorkers returns the workers whose current task has been running
-// longer than Config.StallThreshold — a racy point-read over the
+// StalledWorkers returns the worker ids whose current task has been
+// running longer than Config.StallThreshold — a racy point-read over the
 // heartbeats, cheap enough for per-request readiness checks. Nil when
 // the watchdog is disabled. A worker leaves the list the moment its
 // stalled task finally completes (or the job context unblocks it).
@@ -72,9 +76,9 @@ func (rt *Runtime) StalledWorkers() []int {
 	}
 	now := int64(time.Since(rt.base))
 	var out []int
-	for w := range rt.hb {
-		if s := rt.hb[w].v.Load(); s != 0 && now-(s-1) >= int64(rt.cfg.StallThreshold) {
-			out = append(out, w)
+	for _, w := range rt.table.Load().all {
+		if s := w.hb.v.Load(); s != 0 && now-(s-1) >= int64(rt.cfg.StallThreshold) {
+			out = append(out, w.id)
 		}
 	}
 	return out

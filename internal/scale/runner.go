@@ -1,0 +1,98 @@
+package scale
+
+import (
+	"sync"
+	"time"
+)
+
+// Pool is the slice of the runtime the Runner drives. *runtime.Runtime
+// satisfies it; tests use fakes.
+type Pool interface {
+	QueuedTasks() int
+	Workers() int
+	Shape() []int
+	BusyNanos() int64
+	Resize(counts []int) error
+}
+
+// Runner polls a Pool on a fixed period, feeds the observations to a
+// Controller and applies its decisions. Start it once; Stop is
+// idempotent and waits for the loop to exit. Resize errors (e.g. a
+// racing Shutdown) stop the loop: an autoscaler on a dead runtime has
+// nothing left to do.
+type Runner struct {
+	ctl    *Controller
+	pool   Pool
+	period time.Duration
+	p99    func() time.Duration
+
+	resizes  int
+	resizeMu sync.Mutex
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewRunner builds a runner over pool. period <= 0 defaults to 10 ms.
+// p99 may be nil when no job-latency view exists.
+func NewRunner(ctl *Controller, pool Pool, period time.Duration, p99 func() time.Duration) *Runner {
+	if period <= 0 {
+		period = 10 * time.Millisecond
+	}
+	return &Runner{
+		ctl: ctl, pool: pool, period: period, p99: p99,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the poll loop.
+func (r *Runner) Start() {
+	go r.loop()
+}
+
+// Stop halts the loop and waits for it to exit. Safe to call multiple
+// times and from multiple goroutines.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Resizes reports how many resizes the runner has applied.
+func (r *Runner) Resizes() int {
+	r.resizeMu.Lock()
+	defer r.resizeMu.Unlock()
+	return r.resizes
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-tick.C:
+			sig := Signal{
+				Queued:    r.pool.QueuedTasks(),
+				Workers:   r.pool.Workers(),
+				Shape:     r.pool.Shape(),
+				BusyNanos: r.pool.BusyNanos(),
+			}
+			if r.p99 != nil {
+				sig.P99 = r.p99()
+			}
+			counts, ok := r.ctl.Decide(now, sig)
+			if !ok {
+				continue
+			}
+			if err := r.pool.Resize(counts); err != nil {
+				return
+			}
+			r.resizeMu.Lock()
+			r.resizes++
+			r.resizeMu.Unlock()
+		}
+	}
+}

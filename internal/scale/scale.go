@@ -1,0 +1,316 @@
+// Package scale is the elastic-pool controller of the live runtime: a
+// pure hysteresis policy that watches queue backlog, per-job tail latency
+// and the DVFS energy model and decides when the malleable worker pool
+// should grow or shrink, plus a small Runner goroutine that applies the
+// decisions through Runtime.Resize.
+//
+// The controller is deliberately split from actuation: Decide is a pure
+// function of (time, Signal) so every policy path is unit-testable
+// without a live runtime, and the Runner is a trivial poll loop. The
+// policy follows the shape of the paper's energy argument (§IV-E): work
+// per joule on a c-group running at f is proportional to f / (k·f³ + s),
+// so when a resize must choose which groups receive surplus workers, the
+// most energy-efficient groups win the tie-break.
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wats/internal/counters"
+)
+
+// Signal is a point-in-time view of the runtime the controller decides
+// from. All fields are racy point-reads; the policy only needs trends.
+type Signal struct {
+	// Queued is the number of spawned-but-unacquired tasks (inbox plus
+	// all cluster pools) — runtime.QueuedTasks.
+	Queued int
+	// Workers is the live worker count — runtime.Workers.
+	Workers int
+	// Shape is the per-c-group worker count, fastest group first —
+	// runtime.Shape.
+	Shape []int
+	// BusyNanos is the cumulative busy time across live workers, used to
+	// derive a utilization estimate between observations.
+	BusyNanos int64
+	// P99 is the recent 99th-percentile job latency, or 0 when the
+	// caller has no job-level view (plain runtime embedding).
+	P99 time.Duration
+}
+
+// Config tunes the controller. The zero value is completed by Defaults:
+// a 2-to-NumCPU pool, grow when the backlog exceeds 2 tasks per worker
+// for 2 consecutive observations, shrink after 500 ms of near-idle, at
+// most one resize per 100 ms.
+type Config struct {
+	// Min and Max bound the total worker count, inclusive. Min is
+	// clamped up to the number of c-groups (every group keeps ≥ 1
+	// worker, an invariant of amc.Resize).
+	Min, Max int
+	// GrowAt is the queued-tasks-per-worker ratio at or above which the
+	// pool is considered overloaded.
+	GrowAt float64
+	// ShrinkAt is the ratio at or below which the pool is considered
+	// under-used. Must be < GrowAt for the hysteresis band to exist.
+	ShrinkAt float64
+	// GrowHold / ShrinkHold are how long the overload / idle condition
+	// must persist before the controller acts. Shrinking waits longer:
+	// adding capacity late costs latency, removing it late only costs
+	// energy.
+	GrowHold, ShrinkHold time.Duration
+	// Cooldown is the minimum gap between two resizes, so the pool
+	// settles (and the backlog signal reflects the new shape) before
+	// the next decision.
+	Cooldown time.Duration
+	// LatencySLO, when > 0, adds a tail-latency trigger: P99 above the
+	// SLO counts as overload even with a short queue, and P99 above
+	// SLO/2 vetoes shrinking.
+	LatencySLO time.Duration
+	// UtilFloor vetoes shrinking while pool utilization — busy
+	// worker-nanoseconds per available worker-nanosecond over the
+	// candidate idle window — is above it. A latency-bound service can
+	// saturate its workers with a near-empty queue, and on the backlog
+	// signal alone the controller would shrink mid-burst and oscillate.
+	// 0 selects the default 0.4; utilization never exceeds ~1, so any
+	// value > 1 disables the veto.
+	UtilFloor float64
+	// Weights are the relative per-c-group worker proportions, fastest
+	// group first — normally the bound architecture's core counts, so
+	// an elastic pool keeps the machine's asymmetry ratio as it scales.
+	Weights []int
+	// Freqs are the per-c-group frequencies (F1 first) and Energy the
+	// DVFS power model; together they rank groups by work-per-joule for
+	// the surplus-worker tie-break in ShapeFor. Freqs may be nil, in
+	// which case surplus goes to the fastest (lowest-index) groups.
+	Freqs  []float64
+	Energy counters.EnergyModel
+}
+
+// Defaults fills unset fields and validates the rest.
+func (c Config) Defaults() (Config, error) {
+	if len(c.Weights) == 0 {
+		return Config{}, fmt.Errorf("scale: Weights (per-group proportions) are required")
+	}
+	for _, w := range c.Weights {
+		if w < 1 {
+			return Config{}, fmt.Errorf("scale: every weight must be >= 1, got %v", c.Weights)
+		}
+	}
+	k := len(c.Weights)
+	if c.Min == 0 {
+		c.Min = k
+	}
+	if c.Min < k {
+		c.Min = k // every c-group keeps at least one worker
+	}
+	if c.Max == 0 {
+		c.Max = 4 * c.Min
+	}
+	if c.Max < c.Min {
+		return Config{}, fmt.Errorf("scale: Max (%d) < Min (%d)", c.Max, c.Min)
+	}
+	if c.GrowAt == 0 {
+		c.GrowAt = 2
+	}
+	if c.ShrinkAt == 0 {
+		c.ShrinkAt = 0.25
+	}
+	if c.ShrinkAt >= c.GrowAt {
+		return Config{}, fmt.Errorf("scale: ShrinkAt (%v) must be < GrowAt (%v)", c.ShrinkAt, c.GrowAt)
+	}
+	if c.GrowHold == 0 {
+		c.GrowHold = 20 * time.Millisecond
+	}
+	if c.ShrinkHold == 0 {
+		c.ShrinkHold = 500 * time.Millisecond
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.UtilFloor == 0 {
+		c.UtilFloor = 0.4
+	}
+	if c.UtilFloor < 0 {
+		return Config{}, fmt.Errorf("scale: UtilFloor must be >= 0, got %v", c.UtilFloor)
+	}
+	if c.Freqs != nil && len(c.Freqs) != k {
+		return Config{}, fmt.Errorf("scale: %d freqs for %d groups", len(c.Freqs), k)
+	}
+	return c, nil
+}
+
+// Controller is the pure decision core. Not safe for concurrent use; the
+// Runner (or any single caller) owns it.
+type Controller struct {
+	cfg Config
+
+	lastResize time.Time
+	overSince  time.Time // zero when the overload condition is not active
+	idleSince  time.Time // zero when the idle condition is not active
+
+	// idleBusy anchors the utilization measurement at idleSince: busy
+	// worker-time accumulated since the idle clock started running.
+	idleBusy int64
+}
+
+// NewController validates cfg (via Defaults) and returns a controller.
+func NewController(cfg Config) (*Controller, error) {
+	c, err := cfg.Defaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: c}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Decide consumes one observation and returns the per-group worker
+// counts to resize to, or ok=false to hold the current shape. now must
+// be monotonically non-decreasing across calls.
+func (c *Controller) Decide(now time.Time, sig Signal) (counts []int, ok bool) {
+	if sig.Workers <= 0 {
+		return nil, false
+	}
+	backlog := float64(sig.Queued) / float64(sig.Workers)
+	over := backlog >= c.cfg.GrowAt
+	idle := backlog <= c.cfg.ShrinkAt
+	if c.cfg.LatencySLO > 0 {
+		if sig.P99 > c.cfg.LatencySLO {
+			over, idle = true, false
+		} else if sig.P99 > c.cfg.LatencySLO/2 {
+			idle = false // tail is warm: keep capacity
+		}
+	}
+	// Track how long each condition has persisted.
+	if over {
+		if c.overSince.IsZero() {
+			c.overSince = now
+		}
+	} else {
+		c.overSince = time.Time{}
+	}
+	if idle {
+		if c.idleSince.IsZero() {
+			c.idleSince = now
+			c.idleBusy = sig.BusyNanos
+		} else if dt := now.Sub(c.idleSince); dt > 0 {
+			// Utilization veto, measured over the whole candidate idle
+			// window rather than tick to tick: BusyNanos advances in
+			// whole-task chunks at completion time, so a short window
+			// containing one completion reads as saturated even at
+			// light load; anchoring at idleSince dilutes that
+			// quantization as the window grows. Workers busy above the
+			// floor mean the pool is earning its keep even with an
+			// empty queue (a latency-bound service runs saturated with
+			// backlog near zero), so the idle clock is re-anchored and
+			// must start over. BusyNanos is monotone across resizes
+			// (retired workers' busy is folded in).
+			util := float64(sig.BusyNanos-c.idleBusy) / (float64(sig.Workers) * float64(dt.Nanoseconds()))
+			if util > c.cfg.UtilFloor {
+				c.idleSince = now
+				c.idleBusy = sig.BusyNanos
+			}
+		}
+	} else {
+		c.idleSince = time.Time{}
+	}
+
+	if !c.lastResize.IsZero() && now.Sub(c.lastResize) < c.cfg.Cooldown {
+		return nil, false
+	}
+
+	target := sig.Workers
+	switch {
+	case over && now.Sub(c.overSince) >= c.cfg.GrowHold:
+		// Double toward Max: backlog grows multiplicatively under
+		// sustained overload, so capacity should too.
+		target = min(c.cfg.Max, sig.Workers*2)
+	case idle && now.Sub(c.idleSince) >= c.cfg.ShrinkHold:
+		// Halve toward Min, the symmetric decay.
+		target = max(c.cfg.Min, (sig.Workers+1)/2)
+	default:
+		return nil, false
+	}
+	if target == sig.Workers {
+		return nil, false
+	}
+	counts = ShapeFor(target, c.cfg.Weights, c.cfg.Freqs, c.cfg.Energy)
+	if sameShape(counts, sig.Shape) {
+		return nil, false
+	}
+	c.lastResize = now
+	c.overSince, c.idleSince = time.Time{}, time.Time{}
+	return counts, true
+}
+
+// ShapeFor splits total workers across c-groups: one worker per group
+// first (the amc invariant), then largest-remainder apportionment over
+// weights, with remainder ties — and any surplus when total < the
+// proportional floor sum — ranked by work-per-joule f/P(f) when freqs
+// and an energy model are given (fastest-first otherwise). total is
+// clamped up to len(weights).
+func ShapeFor(total int, weights []int, freqs []float64, em counters.EnergyModel) []int {
+	k := len(weights)
+	if total < k {
+		total = k
+	}
+	counts := make([]int, k)
+	for i := range counts {
+		counts[i] = 1
+	}
+	rest := total - k
+	wsum := 0
+	for _, w := range weights {
+		wsum += w
+	}
+	type frac struct {
+		g   int
+		rem float64
+	}
+	fracs := make([]frac, k)
+	assigned := 0
+	for g, w := range weights {
+		exact := float64(rest) * float64(w) / float64(wsum)
+		fl := int(exact)
+		counts[g] += fl
+		assigned += fl
+		fracs[g] = frac{g: g, rem: exact - float64(fl)}
+	}
+	// Rank groups for the leftover slots: larger remainder first, then
+	// higher work-per-joule (or faster group when no model is given).
+	score := func(g int) float64 {
+		if freqs == nil {
+			return -float64(g) // lower index = faster = preferred
+		}
+		return freqs[g] / em.Power(freqs[g])
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].rem != fracs[j].rem {
+			return fracs[i].rem > fracs[j].rem
+		}
+		si, sj := score(fracs[i].g), score(fracs[j].g)
+		if si != sj {
+			return si > sj
+		}
+		return fracs[i].g < fracs[j].g
+	})
+	for i := 0; i < rest-assigned; i++ {
+		counts[fracs[i%k].g]++
+	}
+	return counts
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

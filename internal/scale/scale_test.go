@@ -1,0 +1,336 @@
+package scale
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wats/internal/counters"
+)
+
+func testCfg(t *testing.T, mut func(*Config)) Config {
+	t.Helper()
+	cfg := Config{
+		Weights:    []int{2, 2},
+		Min:        2,
+		Max:        16,
+		GrowAt:     2,
+		ShrinkAt:   0.25,
+		GrowHold:   10 * time.Millisecond,
+		ShrinkHold: 50 * time.Millisecond,
+		Cooldown:   20 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := cfg.Defaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func at(ms int) time.Time { return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond) }
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestDecideGrowsOnSustainedBacklog(t *testing.T) {
+	c, err := NewController(testCfg(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := Signal{Queued: 40, Workers: 4, Shape: []int{2, 2}}
+	if _, ok := c.Decide(at(0), over); ok {
+		t.Fatal("grew before GrowHold elapsed")
+	}
+	counts, ok := c.Decide(at(15), over)
+	if !ok {
+		t.Fatal("no grow after sustained overload")
+	}
+	if got := sum(counts); got != 8 {
+		t.Fatalf("grow target = %v (total %d), want doubling to 8", counts, got)
+	}
+}
+
+func TestDecideOverloadMustPersist(t *testing.T) {
+	c, _ := NewController(testCfg(t, nil))
+	over := Signal{Queued: 40, Workers: 4, Shape: []int{2, 2}}
+	calm := Signal{Queued: 4, Workers: 4, Shape: []int{2, 2}}
+	c.Decide(at(0), over)
+	c.Decide(at(8), calm) // blip resets the overload clock
+	if _, ok := c.Decide(at(15), over); ok {
+		t.Fatal("grew although overload was interrupted")
+	}
+}
+
+func TestDecideRespectsCooldownAndMax(t *testing.T) {
+	c, _ := NewController(testCfg(t, nil))
+	over := Signal{Queued: 400, Workers: 4, Shape: []int{2, 2}}
+	c.Decide(at(0), over)
+	counts, ok := c.Decide(at(15), over)
+	if !ok || sum(counts) != 8 {
+		t.Fatalf("first grow = %v, %v", counts, ok)
+	}
+	over8 := Signal{Queued: 400, Workers: 8, Shape: counts}
+	if _, ok := c.Decide(at(25), over8); ok {
+		t.Fatal("resized inside cooldown")
+	}
+	// The overload clock kept running through the cooldown, so the next
+	// doubling fires as soon as the cooldown expires — and clamps at Max.
+	counts, ok = c.Decide(at(40), over8)
+	if !ok || sum(counts) != 16 {
+		t.Fatalf("second grow = %v, %v", counts, ok)
+	}
+	over16 := Signal{Queued: 4000, Workers: 16, Shape: counts}
+	c.Decide(at(80), over16)
+	if _, ok := c.Decide(at(95), over16); ok {
+		t.Fatal("grew past Max")
+	}
+}
+
+func TestDecideShrinksOnIdle(t *testing.T) {
+	c, _ := NewController(testCfg(t, nil))
+	idle := Signal{Queued: 0, Workers: 16, Shape: []int{8, 8}}
+	if _, ok := c.Decide(at(0), idle); ok {
+		t.Fatal("shrank before ShrinkHold")
+	}
+	counts, ok := c.Decide(at(60), idle)
+	if !ok {
+		t.Fatal("no shrink after sustained idle")
+	}
+	if got := sum(counts); got != 8 {
+		t.Fatalf("shrink target = %v (total %d), want halving to 8", counts, got)
+	}
+	// Keeps halving down to Min, never below.
+	idle4 := Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}}
+	c.lastResize = time.Time{}
+	c.Decide(at(100), idle4)
+	counts, ok = c.Decide(at(160), idle4)
+	if !ok || sum(counts) != 2 {
+		t.Fatalf("shrink to Min = %v, %v", counts, ok)
+	}
+	idleMin := Signal{Queued: 0, Workers: 2, Shape: []int{1, 1}}
+	c.lastResize = time.Time{}
+	c.Decide(at(200), idleMin)
+	if _, ok := c.Decide(at(260), idleMin); ok {
+		t.Fatal("shrank below Min")
+	}
+}
+
+func TestDecideLatencySLO(t *testing.T) {
+	c, _ := NewController(testCfg(t, func(cfg *Config) { cfg.LatencySLO = 100 * time.Millisecond }))
+	// Short queue but a blown tail: still overload.
+	hot := Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}, P99: 200 * time.Millisecond}
+	c.Decide(at(0), hot)
+	counts, ok := c.Decide(at(15), hot)
+	if !ok || sum(counts) != 8 {
+		t.Fatalf("SLO breach did not grow: %v, %v", counts, ok)
+	}
+	// Idle queue but a warm tail (> SLO/2): shrink vetoed.
+	warm := Signal{Queued: 0, Workers: 8, Shape: counts, P99: 60 * time.Millisecond}
+	c.lastResize = time.Time{}
+	c.Decide(at(100), warm)
+	if _, ok := c.Decide(at(200), warm); ok {
+		t.Fatal("shrank with P99 above SLO/2")
+	}
+}
+
+func TestShapeForProperties(t *testing.T) {
+	weights := []int{2, 4, 2}
+	for total := 1; total <= 32; total++ {
+		counts := ShapeFor(total, weights, nil, counters.EnergyModel{})
+		want := total
+		if want < len(weights) {
+			want = len(weights)
+		}
+		if sum(counts) != want {
+			t.Fatalf("ShapeFor(%d) = %v, sums to %d want %d", total, counts, sum(counts), want)
+		}
+		for g, n := range counts {
+			if n < 1 {
+				t.Fatalf("ShapeFor(%d) = %v leaves group %d empty", total, counts, g)
+			}
+		}
+	}
+	// At the weight sum, the shape is exactly proportional.
+	counts := ShapeFor(8, weights, nil, counters.EnergyModel{})
+	if counts[0] != 2 || counts[1] != 4 || counts[2] != 2 {
+		t.Fatalf("proportional shape = %v, want [2 4 2]", counts)
+	}
+}
+
+func TestShapeForEnergyTieBreak(t *testing.T) {
+	// Equal weights and one surplus worker: the cubic power model makes
+	// the slow group the better joules-per-work deal, so it wins the tie.
+	em := counters.EnergyModel{DynCoeff: 1, StaticPower: 0.1}
+	counts := ShapeFor(3, []int{1, 1}, []float64{2.0, 1.0}, em)
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("energy tie-break gave %v, want surplus on the efficient slow group", counts)
+	}
+	// Without a model, the fast group wins instead.
+	counts = ShapeFor(3, []int{1, 1}, nil, counters.EnergyModel{})
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("fastest-first tie-break gave %v", counts)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{}).Defaults(); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+	if _, err := (Config{Weights: []int{1, 0}}).Defaults(); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := (Config{Weights: []int{1}, Min: 8, Max: 4}).Defaults(); err == nil {
+		t.Fatal("Max < Min accepted")
+	}
+	if _, err := (Config{Weights: []int{1}, GrowAt: 1, ShrinkAt: 2}).Defaults(); err == nil {
+		t.Fatal("inverted hysteresis band accepted")
+	}
+	c, err := (Config{Weights: []int{1, 1}, Min: 1}).Defaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Min != 2 {
+		t.Fatalf("Min not clamped to group count: %d", c.Min)
+	}
+}
+
+// fakePool is a deterministic Pool for Runner tests.
+type fakePool struct {
+	mu      sync.Mutex
+	queued  int
+	shape   []int
+	resizes [][]int
+	err     error
+}
+
+func (f *fakePool) QueuedTasks() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.queued
+}
+func (f *fakePool) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return sum(f.shape)
+}
+func (f *fakePool) Shape() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.shape...)
+}
+func (f *fakePool) BusyNanos() int64 { return 0 }
+func (f *fakePool) Resize(counts []int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	f.shape = append([]int(nil), counts...)
+	f.resizes = append(f.resizes, f.shape)
+	return nil
+}
+
+func TestRunnerGrowsLivePool(t *testing.T) {
+	ctl, err := NewController(Config{
+		Weights: []int{1, 1}, Min: 2, Max: 8,
+		GrowHold: time.Millisecond, ShrinkHold: time.Hour, Cooldown: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &fakePool{queued: 100, shape: []int{1, 1}}
+	r := NewRunner(ctl, pool, time.Millisecond, nil)
+	r.Start()
+	defer r.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if pool.Workers() == 8 {
+			if r.Resizes() < 2 {
+				t.Fatalf("reached 8 workers in %d resizes, want stepwise doubling", r.Resizes())
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("runner never grew the pool: shape %v after %d resizes", pool.Shape(), r.Resizes())
+}
+
+func TestRunnerStopIdempotent(t *testing.T) {
+	ctl, _ := NewController(Config{Weights: []int{1}})
+	r := NewRunner(ctl, &fakePool{shape: []int{1}}, time.Millisecond, nil)
+	r.Start()
+	r.Stop()
+	r.Stop() // must not panic or hang
+}
+
+func TestDecideUtilizationVetoesShrink(t *testing.T) {
+	c, _ := NewController(testCfg(t, nil)) // UtilFloor defaults to 0.4
+	// A latency-bound pool: the queue reads empty while the 4 workers
+	// are ~90% busy. Observations 50ms apart; BusyNanos advances by
+	// 4 workers x 50ms x 0.9 per tick.
+	busyPerTick := int64(4 * 50 * time.Millisecond.Nanoseconds() * 9 / 10)
+	var busy int64
+	for ms := 0; ms <= 200; ms += 50 {
+		busy += busyPerTick
+		sig := Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}, BusyNanos: busy}
+		if counts, ok := c.Decide(at(ms), sig); ok {
+			t.Fatalf("shrank a 90%%-utilized pool at t=%dms: %v", ms, counts)
+		}
+	}
+	// Load stops at t=200ms: busy stays flat, so utilization collapses
+	// and the idle clock runs from the last vetoed tick; the shrink
+	// fires once ShrinkHold has passed.
+	if _, ok := c.Decide(at(230), Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}, BusyNanos: busy}); ok {
+		t.Fatal("shrank before ShrinkHold after load stopped")
+	}
+	counts, ok := c.Decide(at(260), Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}, BusyNanos: busy})
+	if !ok || sum(counts) != 2 {
+		t.Fatalf("idle pool did not shrink after the veto lifted: %v, %v", counts, ok)
+	}
+}
+
+// TestDecideUtilizationWindowAbsorbsQuantization: BusyNanos advances in
+// whole-task chunks at completion time, so at light load a short
+// observation window containing one completion reads as saturated (one
+// 10ms task in a 5ms window on 4 workers = 0.5 "utilization" against a
+// true 0.125). Measured over the growing idle window, the veto must not
+// starve the shrink.
+func TestDecideUtilizationWindowAbsorbsQuantization(t *testing.T) {
+	c, _ := NewController(testCfg(t, nil))
+	for ms := 0; ms <= 300; ms += 5 {
+		// One 10ms task completes every 20ms: true utilization 0.125.
+		busy := int64(ms/20) * (10 * time.Millisecond).Nanoseconds()
+		sig := Signal{Queued: 0, Workers: 4, Shape: []int{2, 2}, BusyNanos: busy}
+		if counts, ok := c.Decide(at(ms), sig); ok {
+			if sum(counts) != 2 {
+				t.Fatalf("shrink target = %v, want Min 2", counts)
+			}
+			return
+		}
+	}
+	t.Fatal("busy quantization starved the shrink: lightly loaded pool never reached Min")
+}
+
+func TestConfigRejectsNegativeUtilFloor(t *testing.T) {
+	if _, err := NewController(testCfg2(func(cfg *Config) { cfg.UtilFloor = -1 })); err == nil {
+		t.Fatal("negative UtilFloor accepted")
+	}
+}
+
+// testCfg2 is testCfg without the *testing.T fail-fast, for tests that
+// expect validation to fail.
+func testCfg2(mut func(*Config)) Config {
+	cfg := Config{Weights: []int{2, 2}, Min: 2, Max: 16}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}

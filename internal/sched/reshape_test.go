@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"wats/internal/amc"
+)
+
+// TestReshapeSameShapeFamily: every strategy implements Reshaper, accepts
+// a same-family resize (same K, same speeds, different Ni) and publishes
+// it to its allocator, so the next reorganization re-scores against the
+// new per-group capacities.
+func TestReshapeSameShapeFamily(t *testing.T) {
+	arch := amc.MustNew("bound", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	next, err := arch.Resize([]int{6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindWATS, KindCilk} {
+		s, err := NewStrategy(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Bind(arch)
+		rs, ok := s.(Reshaper)
+		if !ok {
+			t.Fatalf("%s does not implement Reshaper", kind)
+		}
+		if err := rs.Reshape(next); err != nil {
+			t.Fatalf("%s: same-family reshape rejected: %v", kind, err)
+		}
+		if got := s.Allocator().Arch(); got != next {
+			t.Fatalf("%s: allocator arch not updated (got %v)", kind, got)
+		}
+		// K is immutable online; the cluster structure must not change.
+		if got := s.Clusters(); (kind == KindWATS && got != 2) || (kind == KindCilk && got != 1) {
+			t.Fatalf("%s: clusters = %d after reshape", kind, got)
+		}
+	}
+}
+
+// TestReshapeRejectsForeignShapes: reshapes that change K or any group
+// speed are not online resizes and must be rejected before anything is
+// published.
+func TestReshapeRejectsForeignShapes(t *testing.T) {
+	arch := amc.MustNew("bound", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	s, err := NewStrategy(KindWATS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Bind(arch)
+	rs := s.(Reshaper)
+
+	if err := rs.Reshape(nil); err == nil {
+		t.Fatal("nil architecture accepted")
+	}
+	oneGroup := amc.MustNew("k1", amc.CGroup{Freq: 2, N: 4})
+	if err := rs.Reshape(oneGroup); err == nil {
+		t.Fatal("K change accepted")
+	}
+	slower := amc.MustNew("speeds", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 0.5, N: 2})
+	if err := rs.Reshape(slower); err == nil {
+		t.Fatal("group-speed change accepted")
+	}
+	// A rejected reshape must leave the bound architecture in place.
+	if got := s.Allocator().Arch(); got != arch {
+		t.Fatalf("rejected reshape moved the allocator arch to %v", got)
+	}
+}

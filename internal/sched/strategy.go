@@ -126,6 +126,20 @@ type Strategy interface {
 	Allocator() *history.Allocator
 }
 
+// Reshaper is the optional elastic-capacity extension of Strategy: a
+// policy that can re-score its partition when the machine shape changes
+// online (Ni of some c-group grows or shrinks; K and the group speeds are
+// immutable for the lifetime of a run). The live runtime asserts for it
+// during Resize; policies that never consult per-group capacities need not
+// implement it.
+type Reshaper interface {
+	// Reshape publishes a new architecture shape. The next reorganization
+	// re-partitions task classes against the new per-group capacities even
+	// if no class statistics changed. The new shape must have the same
+	// c-group count and speeds as the bound architecture.
+	Reshape(arch *amc.Arch) error
+}
+
 // NewStrategy constructs a fresh, unbound strategy for the given policy
 // kind. It is the single construction point both engines share: the
 // simulator wraps the result in a sim.Policy adapter (see New), the live
@@ -215,6 +229,35 @@ func (b *base) NoteSpawn(parent, child string)     {}
 func (b *base) Observe(class string, m, c float64) { b.reg.Recorder(0).Observe(class, m, c) }
 func (b *base) Recorder(w int) Recorder            { return b.reg.Recorder(w) }
 func (b *base) Reorganizes() bool                  { return false }
+
+// Reshape implements Reshaper. The history-less policies have a single
+// pool column whatever the shape, so only the allocator's notion of the
+// architecture is refreshed (for introspection surfaces).
+func (b *base) Reshape(arch *amc.Arch) error {
+	if err := checkSameShapeFamily(b.arch, arch); err != nil {
+		return err
+	}
+	b.alloc.SetArch(arch)
+	return nil
+}
+
+// checkSameShapeFamily validates that next is a legal online reshape of
+// bound: same c-group count, same speeds, only Ni differing.
+func checkSameShapeFamily(bound, next *amc.Arch) error {
+	if next == nil {
+		return fmt.Errorf("sched: reshape to nil architecture")
+	}
+	if next.K() != bound.K() {
+		return fmt.Errorf("sched: reshape changes c-group count %d -> %d; K is immutable online", bound.K(), next.K())
+	}
+	for i := range bound.Groups {
+		if bound.Groups[i].Freq != next.Groups[i].Freq {
+			return fmt.Errorf("sched: reshape changes c-group %d speed %.3f -> %.3f; speeds are immutable online",
+				i, bound.Groups[i].Freq, next.Groups[i].Freq)
+		}
+	}
+	return nil
+}
 func (b *base) Reorganize() bool                   { return false }
 func (b *base) Registry() *task.Registry           { return b.reg }
 func (b *base) Allocator() *history.Allocator      { return b.alloc }

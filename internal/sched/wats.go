@@ -240,8 +240,33 @@ func (p *WATS) Observe(class string, measured, cmpi float64) {
 	p.recs[0].Observe(class, measured, cmpi)
 }
 
-// Recorder returns worker w's owner-only completion sink.
-func (p *WATS) Recorder(w int) Recorder { return p.recs[w] }
+// Recorder returns worker w's owner-only completion sink. Workers beyond
+// the slots pre-built at Bind (hot-added by an elastic runtime) get a sink
+// constructed on the fly from the registry's growable shard set; p.recs
+// itself stays immutable after Bind, so this is race-free against
+// concurrent readers.
+func (p *WATS) Recorder(w int) Recorder {
+	if w >= 0 && w < len(p.recs) {
+		return p.recs[w]
+	}
+	if p.ReorgEveryCompletion {
+		return &reorgRecorder{rec: p.reg.Recorder(w), p: p}
+	}
+	return p.reg.Recorder(w)
+}
+
+// Reshape implements Reshaper: publish the new shape to the allocator so
+// the next Reorganize re-scores the partition against the new per-group
+// capacities (Algorithm 1 with updated Fi*Ni). K and the group speeds are
+// immutable, so p.arch (read concurrently by Clusters/ClusterOf for K
+// only) intentionally keeps pointing at the bound architecture.
+func (p *WATS) Reshape(arch *amc.Arch) error {
+	if err := checkSameShapeFamily(p.arch, arch); err != nil {
+		return err
+	}
+	p.alloc.SetArch(arch)
+	return nil
+}
 
 // Reorganizes implements Strategy: WATS has a helper-thread step.
 func (p *WATS) Reorganizes() bool { return true }

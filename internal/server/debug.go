@@ -32,7 +32,13 @@ func NewDebugMux(rt func() *runtime.Runtime, jobs func() *obs.JobMetrics) *http.
 		},
 		func() []obs.WorkerCounters {
 			if r := rt(); r != nil {
-				return ToWorkerCounters(r.Stats())
+				rows := ToWorkerCounters(r.Stats())
+				if r.RetiredWorkers() > 0 {
+					// One aggregate row (worker -1) keeps energy and task
+					// totals exact after shrinks retire workers.
+					rows = append(rows, ToWorkerCounters([]runtime.WorkerStats{r.RetiredStats()})...)
+				}
+				return rows
 			}
 			return nil
 		},
@@ -48,7 +54,7 @@ func ToWorkerCounters(stats []runtime.WorkerStats) []obs.WorkerCounters {
 			Worker: ws.Worker, Group: ws.Group, TasksRun: ws.TasksRun,
 			Steals: ws.Steals, StealAttempts: ws.StealAttempts,
 			Snatches: ws.Snatches, Cancelled: ws.Cancelled, BusyNanos: ws.BusyNanos,
-			Panics: ws.Panics,
+			Panics: ws.Panics, EnergyJoules: ws.EnergyJoules, Retiring: ws.Retiring,
 		}
 	}
 	return out

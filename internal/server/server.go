@@ -37,6 +37,7 @@ import (
 
 	"wats/internal/obs"
 	"wats/internal/runtime"
+	"wats/internal/scale"
 )
 
 // Config configures a Server.
@@ -85,7 +86,12 @@ type JobView struct {
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	// ExecMS is the root task's wall-clock execution time.
 	ExecMS float64 `json:"exec_ms,omitempty"`
-	Result any     `json:"result,omitempty"`
+	// EnergyJ is a modeled per-job energy estimate: the root task's
+	// execution time priced at a fastest-group core's power draw (the
+	// DVFS model of counters.EnergyModel). An upper bound — a job run on
+	// a slower group burned less.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	Result  any     `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
 	// Detail carries the panic message (class, worker, value) for
 	// panicked jobs: the body reads {"error":"panic","detail":...}.
@@ -178,6 +184,7 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/resize", s.handleResize)
 	mux.Handle("/metrics", dbg)
 	mux.Handle("/debug/", dbg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +199,7 @@ func (s *Server) Handler() *http.ServeMux {
   GET  /v1/version   build info
   GET  /v1/healthz   liveness + admission state
   GET  /v1/readyz    readiness (503 while draining or wedged)
+  POST /v1/resize    resize the worker pool {"workers":N} or {"shape":[n1,..,nK]}
   GET  /metrics      Prometheus metrics (scheduler + per-job histograms)
   GET  /debug/wats   scheduler snapshot; /debug/pprof/, /debug/vars, /debug/wats/trace
 `)
@@ -475,7 +483,10 @@ func (s *Server) view(j *job) JobView {
 		v.QueueWaitMS = ms(j.finished.Sub(j.submitted))
 	}
 	if !j.finished.IsZero() && !j.started.IsZero() {
-		v.ExecMS = ms(j.finished.Sub(j.started))
+		exec := j.finished.Sub(j.started)
+		v.ExecMS = ms(exec)
+		f1 := s.rt.BaseArch().Groups[0].Freq
+		v.EnergyJ = s.rt.EnergyModel().Power(f1) * exec.Seconds()
 	}
 	return v
 }
@@ -529,6 +540,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":          s.rt.QueuedTasks(),
 		"max_queued":      s.rt.MaxQueuedTasks(),
 		"stalled_workers": len(s.rt.StalledWorkers()),
+		"workers":         s.rt.Workers(),
+		"shape":           s.rt.Shape(),
+		"energy_joules":   s.rt.EnergyJoules(),
+	})
+}
+
+// resizeRequest is the POST /v1/resize body: either a total worker
+// count (split across c-groups proportionally to the bound machine's
+// asymmetry, energy-ranked ties) or an explicit per-group shape.
+type resizeRequest struct {
+	Workers int   `json:"workers,omitempty"`
+	Shape   []int `json:"shape,omitempty"`
+}
+
+// handleResize applies an online pool resize and reports the resulting
+// shape. Explicit shapes are passed through (amc validates the group
+// count and per-group minimums); a bare worker count is apportioned via
+// scale.ShapeFor so operators can think in totals.
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req resizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	counts := req.Shape
+	switch {
+	case len(counts) > 0 && req.Workers > 0:
+		httpError(w, http.StatusBadRequest, "give either workers or shape, not both")
+		return
+	case len(counts) == 0 && req.Workers <= 0:
+		httpError(w, http.StatusBadRequest, "need workers >= 1 or a non-empty shape")
+		return
+	case len(counts) == 0:
+		base := s.rt.BaseArch()
+		freqs := make([]float64, base.K())
+		for i, g := range base.Groups {
+			freqs[i] = g.Freq
+		}
+		counts = scale.ShapeFor(req.Workers, base.Counts(), freqs, s.rt.EnergyModel())
+	}
+	start := time.Now()
+	if err := s.rt.Resize(counts); err != nil {
+		httpError(w, http.StatusBadRequest, "resize: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"workers":   s.rt.Workers(),
+		"shape":     s.rt.Shape(),
+		"resize_ms": ms(time.Since(start)),
 	})
 }
 

@@ -60,14 +60,27 @@ type Registry struct {
 	// without locking.
 	epoch atomic.Uint64
 
-	// shards are the per-worker lock-free recorders; consumed[i] tracks
-	// how much of shard i has been folded into classes (guarded by mu).
-	// consumedTotal mirrors the folded observation count so the pending
-	// check stays a handful of atomic loads.
-	shards        []*shard
-	recorders     []Recorder
+	// set holds the per-worker lock-free recorders. It is published
+	// RCU-style (copy-on-write under mu, atomic pointer swap) so the
+	// lock-free readers — Epoch, the record path handing out recorders —
+	// never block while an elastic runtime grows the shard set for a
+	// joining worker. Shards are only ever added, never removed: a retiring
+	// worker's shard stays behind with its monotone totals, so its history
+	// folds into the canonical table exactly like a live worker's.
+	// consumed[i] tracks how much of shard i has been folded into classes
+	// (guarded by mu; grown lazily to match the set). consumedTotal mirrors
+	// the folded observation count so the pending check stays a handful of
+	// atomic loads.
+	set           atomic.Pointer[shardSet]
 	consumed      []map[string]cursor
 	consumedTotal atomic.Int64
+}
+
+// shardSet is the immutable published view of the shard recorders; Grow
+// copies and republishes it.
+type shardSet struct {
+	shards []*shard
+	recs   []*Recorder
 }
 
 // NewRegistry returns an empty class registry with a single shard
@@ -82,25 +95,63 @@ func NewSharded(n int) *Registry {
 		n = 1
 	}
 	r := &Registry{classes: make(map[string]*Class)}
-	r.shards = make([]*shard, n)
-	r.recorders = make([]Recorder, n)
+	set := &shardSet{
+		shards: make([]*shard, n),
+		recs:   make([]*Recorder, n),
+	}
+	for i := range set.shards {
+		set.shards[i] = &shard{}
+		set.recs[i] = &Recorder{sh: set.shards[i]}
+	}
+	r.set.Store(set)
 	r.consumed = make([]map[string]cursor, n)
-	for i := range r.shards {
-		r.shards[i] = &shard{}
-		r.recorders[i] = Recorder{sh: r.shards[i]}
+	for i := range r.consumed {
 		r.consumed[i] = make(map[string]cursor)
 	}
 	return r
 }
 
-// Recorder returns shard w's owner-only sink. Exactly one goroutine may
-// use a given recorder; the returned pointer is stable across calls.
+// Recorder returns shard w's owner-only sink, growing the shard set when
+// w is beyond it — the entry point an elastic runtime uses to hand a
+// joining worker a fresh history shard. Exactly one goroutine may use a
+// given recorder; the returned pointer is stable across calls (slot ids
+// reused for successive workers share one recorder, which is safe because
+// the runtime retires the old owner before the new one starts).
 func (r *Registry) Recorder(w int) *Recorder {
-	return &r.recorders[w]
+	if w < 0 {
+		w = 0
+	}
+	if set := r.set.Load(); w < len(set.recs) {
+		return set.recs[w]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.set.Load()
+	if w < len(set.recs) {
+		return set.recs[w]
+	}
+	next := &shardSet{
+		shards: append(append([]*shard(nil), set.shards...), make([]*shard, w+1-len(set.shards))...),
+		recs:   append(append([]*Recorder(nil), set.recs...), make([]*Recorder, w+1-len(set.recs))...),
+	}
+	for i := len(set.shards); i <= w; i++ {
+		next.shards[i] = &shard{}
+		next.recs[i] = &Recorder{sh: next.shards[i]}
+	}
+	r.set.Store(next)
+	return next.recs[w]
 }
 
 // Shards returns the number of shard recorders.
-func (r *Registry) Shards() int { return len(r.shards) }
+func (r *Registry) Shards() int { return len(r.set.Load().shards) }
+
+// growConsumedLocked extends the cursor table to cover every published
+// shard. Called with mu held before any cursor access.
+func (r *Registry) growConsumedLocked(n int) {
+	for len(r.consumed) < n {
+		r.consumed = append(r.consumed, make(map[string]cursor))
+	}
+}
 
 // SetEWMA switches the registry to exponential moving averages with the
 // given weight in (0,1] for the newest observation; 0 restores the
@@ -162,7 +213,7 @@ func (r *Registry) ObserveFull(function string, workload, cmpi float64) bool {
 // where staleness is harmless).
 func (r *Registry) pendingLocked() bool {
 	var t int64
-	for _, sh := range r.shards {
+	for _, sh := range r.set.Load().shards {
 		t += sh.count()
 	}
 	return t > r.consumedTotal.Load()
@@ -172,7 +223,9 @@ func (r *Registry) pendingLocked() bool {
 // table — the merge step the helper thread performs at reorganization
 // time. Called with mu held.
 func (r *Registry) foldLocked() {
-	for i, sh := range r.shards {
+	shards := r.set.Load().shards
+	r.growConsumedLocked(len(shards))
+	for i, sh := range shards {
 		mp := sh.slots.Load()
 		if mp == nil {
 			continue
@@ -251,7 +304,7 @@ func (r *Registry) Len() int {
 // shard × class), never the registry mutex.
 func (r *Registry) Epoch() uint64 {
 	e := r.epoch.Load()
-	for _, sh := range r.shards {
+	for _, sh := range r.set.Load().shards {
 		e += uint64(sh.count())
 	}
 	return e
@@ -288,7 +341,9 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.classes = make(map[string]*Class)
-	for i, sh := range r.shards {
+	shards := r.set.Load().shards
+	r.growConsumedLocked(len(shards))
+	for i, sh := range shards {
 		mp := sh.slots.Load()
 		if mp == nil {
 			continue

@@ -195,3 +195,42 @@ func TestShardedConcurrentRecorders(t *testing.T) {
 		t.Fatalf("Epoch: got %d, want %d", e, shards*perRec)
 	}
 }
+
+func TestRecorderGrowsShardSet(t *testing.T) {
+	// Recorder(w) beyond the constructed shard count is the entry point an
+	// elastic runtime uses to hand a joining worker a fresh history shard:
+	// the set must grow copy-on-write, keep old recorders valid, return a
+	// stable pointer, and fold the grown shard's observations exactly.
+	reg := NewSharded(2)
+	if got := reg.Shards(); got != 2 {
+		t.Fatalf("constructed shards = %d, want 2", got)
+	}
+	rec := reg.Recorder(5)
+	if got := reg.Shards(); got != 6 {
+		t.Fatalf("shards after Recorder(5) = %d, want 6", got)
+	}
+	if reg.Recorder(5) != rec {
+		t.Fatal("grown recorder pointer not stable across calls")
+	}
+	if reg.Recorder(1) == nil || reg.Recorder(3) == nil {
+		t.Fatal("growth lost intermediate recorders")
+	}
+
+	reg.Recorder(0).Observe("a", 1, 0)
+	rec.Observe("b", 2, 0)
+	rec.Observe("b", 4, 0)
+	cl, ok := reg.Lookup("b")
+	if !ok || cl.Count != 2 {
+		t.Fatalf("grown shard's class after merge: %+v ok=%v", cl, ok)
+	}
+	if cl.AvgWork != 3 {
+		t.Fatalf("grown shard's AvgWork = %v, want 3", cl.AvgWork)
+	}
+	total := 0
+	for _, c := range reg.Snapshot() {
+		total += c.Count
+	}
+	if total != 3 {
+		t.Fatalf("merged observation count = %d, want 3 (old + grown shards)", total)
+	}
+}
