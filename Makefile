@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo scale-demo vulncheck
+.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo scale-demo twin-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./cmd/watsd/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./internal/trace/... ./cmd/watsd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -32,9 +32,11 @@ figures:
 	$(GO) run ./cmd/watsbench -experiment all -seeds 5
 
 # trace-demo writes a sample Chrome trace of the forkjoin example's
-# island-GA run — load trace-demo.json in ui.perfetto.dev.
+# island-GA run — load out/trace-demo.json in ui.perfetto.dev. Demo
+# artifacts live under the gitignored out/ directory, not the repo root.
 trace-demo:
-	$(GO) run ./examples/forkjoin -trace trace-demo.json
+	mkdir -p out
+	$(GO) run ./examples/forkjoin -trace out/trace-demo.json
 
 # serve-demo is the service-layer smoke test: build watsd + watsload with
 # build info stamped in, start the daemon, throw a 2s open-loop burst at
@@ -77,6 +79,38 @@ chaos-demo:
 # is this run's artifact.
 scale-demo:
 	$(GO) run ./cmd/scaledemo -check -out /tmp/BENCH_elastic.json
+
+# twin-demo is the digital-twin acceptance run (DESIGN.md §11): watsd
+# serves a 3s open-loop run with the decision ledger streaming to
+# out/twin-capture.ndjson, then watstwin replays the capture under all
+# eight policies (plus swept WATS parameters) twice with the same seed.
+# The gates: the twin's p99 under the live policy must land within 15%
+# of the live ledger's, the two reports must be byte-identical
+# (determinism), and the report must name a best policy. The committed
+# BENCH_twin.json is this run's ranked-deltas artifact.
+#
+# The load rate is deliberately modest (40 jobs/s): the twin models the
+# emulated 2+2 asymmetric machine, not the CI host's real core count, so
+# the live side must stay below the host's saturation point or its p99
+# becomes host-queueing time the twin cannot (and should not) reproduce.
+# DESIGN.md §11 covers this fidelity-envelope argument.
+twin-demo:
+	$(GO) build -o /tmp/watsd ./cmd/watsd
+	$(GO) build -o /tmp/watsload ./cmd/watsload
+	$(GO) build -o /tmp/watstwin ./cmd/watstwin
+	mkdir -p out
+	/tmp/watsd -listen 127.0.0.1:18082 -capture out/twin-capture.ndjson & echo $$! > /tmp/watsd-twin.pid; \
+	  trap 'kill $$(cat /tmp/watsd-twin.pid) 2>/dev/null || true' EXIT; \
+	  for i in $$(seq 50); do curl -sf http://127.0.0.1:18082/v1/healthz >/dev/null && break; sleep 0.1; done; \
+	  curl -sf http://127.0.0.1:18082/v1/healthz | grep -o '"capture":[^,]*' && \
+	  /tmp/watsload -addr http://127.0.0.1:18082 -rate 40 -duration 3s && \
+	  kill -TERM $$(cat /tmp/watsd-twin.pid) && wait $$(cat /tmp/watsd-twin.pid) || exit 1
+	/tmp/watstwin -trace out/twin-capture.ndjson -seed 1 -out out -max-fidelity-gap 15
+	cp out/twin-report.json out/twin-report.first.json
+	/tmp/watstwin -trace out/twin-capture.ndjson -seed 1 -out out -quiet
+	cmp out/twin-report.first.json out/twin-report.json
+	grep -q '"best": "' out/twin-report.json
+	cp out/twin-report.json BENCH_twin.json
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

@@ -24,7 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +38,7 @@ import (
 	"wats/internal/scale"
 	"wats/internal/sched"
 	"wats/internal/server"
+	"wats/internal/trace"
 )
 
 // options is the parsed and validated command line. Parsing is split
@@ -61,6 +62,9 @@ type options struct {
 	minWorkers   int
 	maxWorkers   int
 	autoscaleSLO time.Duration
+
+	capture   string
+	logFormat string
 
 	arch  *amc.Arch
 	kind  sched.Kind
@@ -88,6 +92,8 @@ func parseOptions(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.minWorkers, "min-workers", 2, "autoscale lower bound on total workers (>= number of c-groups)")
 	fs.IntVar(&o.maxWorkers, "max-workers", 16, "autoscale upper bound on total workers")
 	fs.DurationVar(&o.autoscaleSLO, "autoscale-slo", 0, "p99 job-latency SLO the autoscaler defends (0 = backlog-only scaling)")
+	fs.StringVar(&o.capture, "capture", "", "start a decision-ledger capture to this NDJSON path at boot (replay with watstwin)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -139,20 +145,41 @@ func (o *options) validate() error {
 	if o.maxInflight <= 0 {
 		return fmt.Errorf("bad -max-inflight: %d (must be > 0)", o.maxInflight)
 	}
+	if o.logFormat != "text" && o.logFormat != "json" {
+		return fmt.Errorf("bad -log-format: %q (want text or json)", o.logFormat)
+	}
 	return nil
 }
 
+// newLogger builds the structured logger behind -log-format: text for
+// operators at a terminal, JSON for log pipelines (capture start/stop,
+// resizes and shed events become machine-parseable alongside the ledger).
+func newLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h)
+}
+
 func main() {
-	logger := log.New(os.Stderr, "watsd ", log.LstdFlags|log.Lmsgprefix)
 	opts, err := parseOptions(flag.CommandLine, os.Args[1:])
 	if err != nil {
-		logger.Fatal(err)
+		newLogger("text").Error("bad flags", "err", err)
+		os.Exit(1)
+	}
+	logger := newLogger(opts.logFormat)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
 	}
 
 	var injector *fault.Injector
 	if opts.fault.Enabled() {
 		injector = fault.New(opts.fault)
-		logger.Printf("fault injection armed: %s", opts.fault)
+		logger.Info("fault injection armed", "spec", opts.fault.String())
 	}
 	rt, err := runtime.New(runtime.Config{
 		Arch:                  opts.arch,
@@ -166,7 +193,7 @@ func main() {
 		StallThreshold:        opts.stallThresh,
 	})
 	if err != nil {
-		logger.Fatalf("runtime: %v", err)
+		fatal("runtime", "err", err)
 	}
 	srv, err := server.New(server.Config{
 		Runtime:         rt,
@@ -174,7 +201,14 @@ func main() {
 		DefaultDeadline: opts.deadline,
 	})
 	if err != nil {
-		logger.Fatalf("server: %v", err)
+		fatal("server", "err", err)
+	}
+	if opts.capture != "" {
+		stats, err := srv.StartCapture(trace.CaptureConfig{Path: opts.capture})
+		if err != nil {
+			fatal("capture", "err", err)
+		}
+		logger.Info("capture started", "path", stats.Path)
 	}
 
 	var scaler *scale.Runner
@@ -192,19 +226,19 @@ func main() {
 			LatencySLO: opts.autoscaleSLO,
 		})
 		if err != nil {
-			logger.Fatalf("autoscale: %v", err)
+			fatal("autoscale", "err", err)
 		}
-			// The rolling window, not the cumulative p99: the SLO veto must
+		// The rolling window, not the cumulative p99: the SLO veto must
 		// lift once a burst's tail ages out, or the pool never shrinks.
 		scaler = scale.NewRunner(ctl, rt, 0, srv.Metrics().RecentP99Latency)
 		scaler.Start()
-		logger.Printf("autoscale on: %d..%d workers (SLO %v)", ctl.Config().Min, ctl.Config().Max, opts.autoscaleSLO)
+		logger.Info("autoscale on", "min", ctl.Config().Min, "max", ctl.Config().Max, "slo", opts.autoscaleSLO)
 	}
 
 	b := server.Build()
-	logger.Printf("version %s commit %s (%s)", b.Version, b.Commit, b.GoVersion)
-	logger.Printf("serving on %s: %s under policy %s, max-inflight %d, shed depth %d",
-		opts.listen, opts.arch, opts.kind, opts.maxInflight, rt.MaxQueuedTasks())
+	logger.Info("starting", "version", b.Version, "commit", b.Commit, "go", b.GoVersion)
+	logger.Info("serving", "listen", opts.listen, "arch", opts.arch.String(), "policy", string(opts.kind),
+		"max_inflight", opts.maxInflight, "shed_depth", rt.MaxQueuedTasks())
 
 	httpSrv := &http.Server{Addr: opts.listen, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -214,21 +248,21 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		logger.Printf("%v: draining (in-flight %d)", sig, srv.Inflight())
+		logger.Info("draining", "signal", sig.String(), "inflight", srv.Inflight())
 	case err := <-errc:
 		if scaler != nil {
 			scaler.Stop()
 		}
 		rt.Shutdown()
-		logger.Fatalf("listener: %v", err)
+		fatal("listener", "err", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		logger.Printf("drain incomplete: %v (in-flight %d)", err, srv.Inflight())
+		logger.Warn("drain incomplete", "err", err, "inflight", srv.Inflight())
 	} else {
-		logger.Printf("drained: all in-flight jobs finished")
+		logger.Info("drained", "msg", "all in-flight jobs finished")
 	}
 	// Stop the listener after the drain so late pollers of async jobs
 	// still get answers while jobs finish; stop the autoscaler before the
@@ -238,16 +272,28 @@ func main() {
 	_ = httpSrv.Shutdown(shutCtx)
 	if scaler != nil {
 		scaler.Stop()
-		logger.Printf("autoscaler: %d resizes, final shape %v (%d workers, %d retired)",
-			scaler.Resizes(), rt.Shape(), rt.Workers(), rt.RetiredWorkers())
+		logger.Info("autoscaler stopped", "resizes", scaler.Resizes(), "shape", fmt.Sprint(rt.Shape()),
+			"workers", rt.Workers(), "retired", rt.RetiredWorkers())
+	}
+	// Seal a still-running capture (started via -capture or the HTTP API)
+	// before the workers stop, so the footer carries the final energy and
+	// task totals of the drained run.
+	if srv.CaptureStatus() != nil {
+		if stats, err := srv.StopCapture(); err != nil {
+			logger.Warn("capture stop", "err", err)
+		} else {
+			logger.Info("capture sealed", "path", stats.Path, "decisions", stats.Decisions,
+				"ends", stats.Ends, "dropped", stats.Dropped, "bytes", stats.Bytes)
+		}
 	}
 	rt.Shutdown()
 	c := srv.Metrics().Counters()
-	logger.Printf("final: %d submitted, %d completed, %d expired, %d failed, %d panicked, %d shed, %d tasks cancelled, %d panics recovered, %.1f J",
-		c.Submitted, c.Completed, c.Expired, c.Failed, c.Panicked, c.Shed, rt.Cancelled(), rt.Panics(), rt.EnergyJoules())
+	logger.Info("final", "submitted", c.Submitted, "completed", c.Completed, "expired", c.Expired,
+		"failed", c.Failed, "panicked", c.Panicked, "shed", c.Shed,
+		"tasks_cancelled", rt.Cancelled(), "panics_recovered", rt.Panics(), "energy_joules", rt.EnergyJoules())
 	if injector != nil {
 		fc := injector.Counts()
-		logger.Printf("faults injected: %d panics, %d delays, %d cancels", fc.Panics, fc.Delays, fc.Cancels)
+		logger.Info("faults injected", "panics", fc.Panics, "delays", fc.Delays, "cancels", fc.Cancels)
 	}
 	fmt.Println("watsd: bye")
 }

@@ -28,6 +28,19 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.minWorkers != 2 || o.maxWorkers != 16 {
 		t.Fatalf("default worker bounds: %d..%d", o.minWorkers, o.maxWorkers)
 	}
+	if o.logFormat != "text" || o.capture != "" {
+		t.Fatalf("observability defaults: log-format=%q capture=%q", o.logFormat, o.capture)
+	}
+}
+
+func TestParseOptionsCaptureAndLogFormat(t *testing.T) {
+	o, err := parse(t, "-capture", "out/cap.ndjson", "-log-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.capture != "out/cap.ndjson" || o.logFormat != "json" {
+		t.Fatalf("options: %+v", o)
+	}
 }
 
 func TestParseOptionsRejectsBadValues(t *testing.T) {
@@ -52,6 +65,8 @@ func TestParseOptionsRejectsBadValues(t *testing.T) {
 		{"zero fast and slow", []string{"-fast", "0", "-slow", "0"}, "-fast/-slow"},
 		{"bad policy", []string{"-policy", "FIFO"}, "-policy"},
 		{"zero max inflight", []string{"-max-inflight", "0"}, "-max-inflight"},
+		{"bad log format", []string{"-log-format", "xml"}, "-log-format"},
+		{"empty log format", []string{"-log-format", ""}, "-log-format"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -60,19 +61,34 @@ func main() {
 		retries  = flag.Int("retries", 0, "retry budget per job for shed (429) and unavailable (503) responses")
 		chaos    = flag.Bool("chaos", false, "chaos mode: expect injected faults; defaults -retries to 3 and tightens backoff")
 		profile  = flag.String("profile", "", `stepped-rate profile "rate:dur,rate:dur,..." overriding -rate/-duration (e.g. "50:2s,800:4s,50:2s")`)
+		logFmt   = flag.String("log-format", "text", "structured log format for status lines: text or json (results stay on stdout)")
 	)
 	flag.Parse()
 
+	// Status and error lines go through slog on stderr so a pipeline can
+	// parse them next to watsd's logs; the end-of-run results report stays
+	// plain text on stdout.
+	var lh slog.Handler
+	if *logFmt == "json" {
+		lh = slog.NewJSONHandler(os.Stderr, nil)
+	} else if *logFmt == "text" {
+		lh = slog.NewTextHandler(os.Stderr, nil)
+	} else {
+		fmt.Fprintf(os.Stderr, "watsload: bad -log-format %q (want text or json)\n", *logFmt)
+		os.Exit(2)
+	}
+	logger := slog.New(lh)
+
 	names, weights, err := parseMix(*mix)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "watsload:", err)
+		logger.Error("bad -mix", "err", err)
 		os.Exit(2)
 	}
 	phases := []phase{{rate: *rate, dur: *duration}}
 	if *profile != "" {
 		phases, err = parseProfile(*profile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "watsload:", err)
+			logger.Error("bad -profile", "err", err)
 			os.Exit(2)
 		}
 	}
@@ -98,19 +114,19 @@ func main() {
 	}
 	cl, err := client.New(ccfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "watsload:", err)
+		logger.Error("client", "err", err)
 		os.Exit(2)
 	}
 
 	if *profile != "" {
-		fmt.Printf("open-loop load: %s for %v stepped %s, mix %s, deadline %dms, retries %d\n",
-			*addr, total, *profile, *mix, *deadline, ccfg.MaxRetries)
+		logger.Info("open-loop load", "addr", *addr, "total", total, "profile", *profile,
+			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	} else {
-		fmt.Printf("open-loop load: %s for %v at %.0f jobs/s, mix %s, deadline %dms, retries %d\n",
-			*addr, total, *rate, *mix, *deadline, ccfg.MaxRetries)
+		logger.Info("open-loop load", "addr", *addr, "total", total, "rate", *rate,
+			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	}
 	if *chaos {
-		fmt.Println("chaos mode: counting panicked jobs separately; breaker armed")
+		logger.Info("chaos mode", "msg", "counting panicked jobs separately; breaker armed")
 	}
 
 	r := rng.New(*seed)
@@ -204,7 +220,7 @@ func main() {
 	fmt.Printf("  client    %d attempts / %d requests, %d retries, %d retry-after honored, %d breaker opens, %d breaker rejects\n",
 		st.Attempts, st.Requests, st.Retries, st.RetryAfterHonored, st.BreakerOpens, st.BreakerRejects)
 	if completed == 0 {
-		fmt.Fprintln(os.Stderr, "watsload: zero completed jobs")
+		logger.Error("zero completed jobs")
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,81 @@
+// Command watstwin is the digital twin: it ingests a decision-ledger
+// capture taken from a live watsd (-capture or POST /v1/trace/start),
+// replays the exact captured traffic through the discrete-event simulator
+// under every scheduling policy plus swept WATS parameters, and writes a
+// deterministic JSON + markdown report ranking the counterfactuals by
+// p99/mean/energy against the live baseline — including a fidelity line
+// that validates the twin against the live run before you trust it.
+//
+// Usage:
+//
+//	watstwin -trace out/capture.ndjson
+//	watstwin -trace out/capture.ndjson -out out -seed 1 -max-fidelity-gap 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wats/internal/trace"
+	"wats/internal/twin"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "decision-ledger capture to replay (NDJSON, required)")
+		outDir    = flag.String("out", "out", "directory for twin-report.json and twin-report.md")
+		seed      = flag.Uint64("seed", 1, "simulator seed (one fixed seed = byte-identical reports)")
+		sweep     = flag.Bool("sweep", true, "also sweep WATS helper-period and EWMA parameters")
+		maxGap    = flag.Float64("max-fidelity-gap", 0, "fail (exit 1) if the twin-fidelity p99 gap exceeds this percent (0 = report only)")
+		quiet     = flag.Bool("quiet", false, "suppress the markdown report on stdout")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "watstwin: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := trace.ParseCaptureFile(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := twin.Run(filepath.Base(*tracePath), c, twin.Options{Seed: *seed, Sweep: *sweep})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+	md := rep.Markdown()
+	jsonPath := filepath.Join(*outDir, "twin-report.json")
+	mdPath := filepath.Join(*outDir, "twin-report.md")
+	if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "watstwin: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(md)
+		fmt.Printf("\nwrote %s and %s\n", jsonPath, mdPath)
+	}
+	if *maxGap > 0 && rep.FidelityPct > *maxGap {
+		fmt.Fprintf(os.Stderr, "watstwin: twin fidelity gap %.1f%% exceeds -max-fidelity-gap %.1f%%: counterfactuals not trustworthy\n",
+			rep.FidelityPct, *maxGap)
+		os.Exit(1)
+	}
+}

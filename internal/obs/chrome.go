@@ -142,6 +142,11 @@ func toChrome(e Event, pid, tid int) chromeEvent {
 	case EvRepartition:
 		ce.Scope = "p" // process scope: the map change affects every worker
 		ce.Args = map[string]any{"duration_ns": e.Dur, "partition": e.Part}
+	case EvResize:
+		ce.Scope = "p" // pool resize is visible to every worker
+		ce.Args = map[string]any{
+			"old_workers": e.Victim, "new_workers": e.N, "duration_ns": e.Dur,
+		}
 	}
 	return ce
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestToChromeResize(t *testing.T) {
+	ce := toChrome(Event{
+		TS: 2_000_000, Kind: EvResize, Worker: -1, Cluster: -1,
+		Victim: 4, N: 8, Dur: 1500,
+	}, 1, 0)
+	if ce.Ph != "i" || ce.Scope != "p" {
+		t.Fatalf("resize should render as a process-scoped instant: %+v", ce)
+	}
+	if ce.Name != EvResize.String() {
+		t.Fatalf("name: %q", ce.Name)
+	}
+	if ce.Args["old_workers"] != int32(4) || ce.Args["new_workers"] != int32(8) {
+		t.Fatalf("args: %+v", ce.Args)
+	}
+	if ce.Args["duration_ns"] != int64(1500) {
+		t.Fatalf("duration arg: %+v", ce.Args)
+	}
+	if ce.Ts != 2000 { // 2ms in microseconds
+		t.Fatalf("ts: %v", ce.Ts)
+	}
+}
+
+func TestToChromeCancel(t *testing.T) {
+	ce := toChrome(Event{TS: 1000, Kind: EvCancel, Worker: 3, Class: "sha1"}, 1, 3)
+	if ce.Ph != "i" || ce.Scope != "t" {
+		t.Fatalf("cancel should render as a thread-scoped instant: %+v", ce)
+	}
+	if ce.Args["class"] != "sha1" {
+		t.Fatalf("args: %+v", ce.Args)
+	}
+}
+
+func TestWriteChromeRendersResizeAndCancel(t *testing.T) {
+	events := []Event{
+		{TS: 100, Kind: EvCancel, Worker: 0, Cluster: -1, Victim: -1, Class: "f"},
+		{TS: 200, Kind: EvResize, Worker: -1, Cluster: -1, Victim: 2, N: 4, Dur: 50},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, Stream{Name: "test", Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var gotCancel, gotResize bool
+	for _, e := range out.TraceEvents {
+		switch e.Name {
+		case EvCancel.String():
+			gotCancel = true
+		case EvResize.String():
+			gotResize = true
+			if e.Args["old_workers"] != float64(2) || e.Args["new_workers"] != float64(4) {
+				t.Fatalf("resize args lost in serialization: %+v", e.Args)
+			}
+		}
+	}
+	if !gotCancel || !gotResize {
+		t.Fatalf("missing events: cancel=%v resize=%v", gotCancel, gotResize)
+	}
+}

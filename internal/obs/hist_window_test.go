@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowedHistogramRotationForgets(t *testing.T) {
+	w := &WindowedHistogram{Period: 5 * time.Millisecond}
+	w.Observe(100)
+	if w.Snapshot().Count != 1 {
+		t.Fatal("sample should be visible within the window")
+	}
+	// After >= 2 periods with no new samples, both generations predate
+	// the window and the snapshot must come back empty.
+	time.Sleep(12 * time.Millisecond)
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("stale samples survived double rotation: count=%d", got)
+	}
+	// The histogram keeps working after a full reset.
+	w.Observe(200)
+	if w.Snapshot().Count != 1 {
+		t.Fatal("histogram dead after empty-generation rotation")
+	}
+}
+
+func TestWindowedHistogramSingleRotationKeepsPrevious(t *testing.T) {
+	w := &WindowedHistogram{Period: 25 * time.Millisecond}
+	w.Observe(100)
+	// One period later the sample has moved to the old generation but is
+	// still inside the 1-2 period window the snapshot covers.
+	time.Sleep(30 * time.Millisecond)
+	w.Observe(200)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("previous generation dropped too early: count=%d", got)
+	}
+}
+
+func TestWindowedHistogramQuantileFewSamples(t *testing.T) {
+	var w WindowedHistogram // default period: 1s, no rotation during test
+	if got := w.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty p99 = %d, want 0", got)
+	}
+	w.Observe(1000)
+	s := w.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count=%d", s.Count)
+	}
+	// With one sample every quantile is that sample's bucket bound, and
+	// the log2 bound is within 2x of the sample.
+	p99 := s.Quantile(0.99)
+	if p99 < 1000 || p99 >= 2048 {
+		t.Fatalf("single-sample p99 = %d, want bucket bound in [1000, 2048)", p99)
+	}
+	if s.Quantile(0) != p99 || s.Quantile(1) != p99 {
+		t.Fatal("all quantiles of a single sample must agree")
+	}
+}
+
+func TestWindowedHistogramRotationRace(t *testing.T) {
+	// Rotate aggressively while observers and snapshotters hammer the
+	// histogram; the -race build verifies the locking.
+	w := &WindowedHistogram{Period: time.Millisecond}
+	var wg sync.WaitGroup
+	stop := time.Now().Add(50 * time.Millisecond)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				if g%2 == 0 {
+					w.Observe(int64(i))
+				} else {
+					s := w.Snapshot()
+					if s.Count > 0 && s.Quantile(0.99) == 0 && s.MaxBucket() > 0 {
+						t.Error("inconsistent snapshot")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

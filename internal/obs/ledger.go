@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"wats/internal/trace"
+)
+
+// The decision ledger is the second observability channel next to the
+// event rings: typed per-task records (trace.Decision / trace.TaskEnd)
+// streamed to an attached trace.Sink instead of sampled into drop-oldest
+// rings. It shares the tracer's nil-check discipline twice over — the
+// runtime only reaches the tracer when Config.Obs was set, and the tracer
+// only builds records when a sink is attached — so both disabled layers
+// cost one predictable branch.
+
+// ledgerRef wraps the sink so the tracer can publish/unpublish it with a
+// single atomic pointer swap (atomic.Pointer needs a concrete type, and a
+// nil *ledgerRef means "ledger off").
+type ledgerRef struct{ sink trace.Sink }
+
+// SetLedger attaches sink as the decision-ledger destination (nil
+// detaches). Safe to call while the runtime is live: emissions racing the
+// swap land in whichever sink the atomic load saw.
+func (t *Tracer) SetLedger(sink trace.Sink) {
+	if sink == nil {
+		t.ledger.Store(nil)
+		return
+	}
+	t.ledger.Store(&ledgerRef{sink: sink})
+}
+
+// LedgerOn reports whether a decision-ledger sink is attached. The
+// runtime checks it before assembling a record so the ledger-off path
+// stays one atomic load.
+func (t *Tracer) LedgerOn() bool { return t.ledger.Load() != nil }
+
+// NextTaskID issues the next ledger task ID (never 0, so 0 means "not in
+// the ledger" on the runtime side).
+func (t *Tracer) NextTaskID() uint64 { return t.taskSeq.Add(1) }
+
+// Decision records one scheduling decision, stamping the ledger
+// timestamp. The caller fills everything else (trace.Decision).
+func (t *Tracer) Decision(d trace.Decision) {
+	ref := t.ledger.Load()
+	if ref == nil {
+		return
+	}
+	d.TS = t.now()
+	ref.sink.RecordDecision(d)
+}
+
+// TaskEnd closes the decision with id: the task ran for elapsed (stall
+// included) on worker, doing work Eq.2-normalized nanoseconds. Start is
+// derived as now-elapsed so the runtime does not re-read the clock.
+func (t *Tracer) TaskEnd(id uint64, worker, cluster int, work, elapsed int64) {
+	ref := t.ledger.Load()
+	if ref == nil {
+		return
+	}
+	end := t.now()
+	ref.sink.RecordTaskEnd(trace.TaskEnd{
+		ID: id, Worker: int32(worker), Cluster: int32(cluster),
+		Start: end - elapsed, End: end, Work: work,
+	})
+}
+
+// TaskCancelled closes the decision with id as dropped-cancelled: the
+// task never ran.
+func (t *Tracer) TaskCancelled(id uint64, worker int) {
+	ref := t.ledger.Load()
+	if ref == nil {
+		return
+	}
+	end := t.now()
+	ref.sink.RecordTaskEnd(trace.TaskEnd{
+		ID: id, Worker: int32(worker), Cluster: -1,
+		Start: end, End: end, Cancelled: true,
+	})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"wats/internal/trace"
+)
+
+// memSink collects ledger records in memory.
+type memSink struct {
+	mu      sync.Mutex
+	decs    []trace.Decision
+	ends    []trace.TaskEnd
+	reparts []trace.RepartitionRecord
+	resizes []trace.ResizeRecord
+}
+
+func (s *memSink) RecordDecision(d trace.Decision) {
+	s.mu.Lock()
+	s.decs = append(s.decs, d)
+	s.mu.Unlock()
+}
+func (s *memSink) RecordTaskEnd(e trace.TaskEnd) {
+	s.mu.Lock()
+	s.ends = append(s.ends, e)
+	s.mu.Unlock()
+}
+func (s *memSink) RecordRepartition(r trace.RepartitionRecord) {
+	s.mu.Lock()
+	s.reparts = append(s.reparts, r)
+	s.mu.Unlock()
+}
+func (s *memSink) RecordResize(r trace.ResizeRecord) {
+	s.mu.Lock()
+	s.resizes = append(s.resizes, r)
+	s.mu.Unlock()
+}
+
+func TestLedgerAttachDetach(t *testing.T) {
+	tr := NewTracer(2, 64)
+	if tr.LedgerOn() {
+		t.Fatal("ledger should start detached")
+	}
+	// Emissions with no sink are silently dropped.
+	tr.Decision(trace.Decision{ID: 1})
+	tr.TaskEnd(1, 0, 0, 100, 150)
+
+	sink := &memSink{}
+	tr.SetLedger(sink)
+	if !tr.LedgerOn() {
+		t.Fatal("ledger should be on after SetLedger")
+	}
+	tr.Decision(trace.Decision{ID: 2, Class: "f", Rule: "history-partition"})
+	tr.TaskEnd(2, 1, 0, 100, 150)
+	tr.TaskCancelled(3, 1)
+
+	tr.SetLedger(nil)
+	if tr.LedgerOn() {
+		t.Fatal("ledger should be off after SetLedger(nil)")
+	}
+	tr.Decision(trace.Decision{ID: 4})
+
+	if len(sink.decs) != 1 || sink.decs[0].ID != 2 {
+		t.Fatalf("decisions: %+v", sink.decs)
+	}
+	if sink.decs[0].TS < 0 {
+		t.Fatalf("Decision must stamp TS: %+v", sink.decs[0])
+	}
+	if len(sink.ends) != 2 {
+		t.Fatalf("ends: %+v", sink.ends)
+	}
+	e := sink.ends[0]
+	if e.ID != 2 || e.End-e.Start != 150 || e.Work != 100 || e.Cancelled {
+		t.Fatalf("end: %+v", e)
+	}
+	c := sink.ends[1]
+	if c.ID != 3 || !c.Cancelled || c.Start != c.End {
+		t.Fatalf("cancel end: %+v", c)
+	}
+}
+
+func TestLedgerForwardsRepartitionAndResize(t *testing.T) {
+	tr := NewTracer(2, 64)
+	sink := &memSink{}
+	tr.SetLedger(sink)
+	tr.Repartition(42, map[string]int{"sha1": 0, "lzw": 1})
+	tr.Resize(2, 4, 42)
+	if len(sink.reparts) != 1 || sink.reparts[0].Classes["lzw"] != 1 {
+		t.Fatalf("repartitions: %+v", sink.reparts)
+	}
+	if len(sink.resizes) != 1 || sink.resizes[0].Old != 2 || sink.resizes[0].New != 4 {
+		t.Fatalf("resizes: %+v", sink.resizes)
+	}
+}
+
+func TestNextTaskIDNeverZero(t *testing.T) {
+	tr := NewTracer(1, 64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := tr.NextTaskID()
+		if id == 0 {
+			t.Fatal("NextTaskID returned 0 (the runtime's not-in-ledger sentinel)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wats/internal/trace"
 )
 
 // DefaultRingSize is the per-worker event capacity when NewTracer is
@@ -49,6 +51,11 @@ type Tracer struct {
 	// nanoseconds (the live analogue of the paper's per-class cycle
 	// counts feeding Algorithm 2).
 	classWork sync.Map
+
+	// ledger is the optional decision-ledger sink (nil = off) and taskSeq
+	// issues the IDs joining decisions with their ends; see ledger.go.
+	ledger  atomic.Pointer[ledgerRef]
+	taskSeq atomic.Uint64
 }
 
 // NewTracer returns a tracer for the given worker count. ringSize is the
@@ -169,6 +176,11 @@ func (t *Tracer) Repartition(dur time.Duration, part map[string]int) {
 		TS: t.now(), Kind: EvRepartition, Worker: -1, Cluster: -1, Victim: -1,
 		Dur: dur.Nanoseconds(), Part: part,
 	})
+	if ref := t.ledger.Load(); ref != nil {
+		ref.sink.RecordRepartition(trace.RepartitionRecord{
+			TS: t.now(), Dur: dur.Nanoseconds(), Classes: part,
+		})
+	}
 }
 
 // Cancel records a task dropped without running because its job context
@@ -210,6 +222,11 @@ func (t *Tracer) Resize(oldWorkers, newWorkers int, dur time.Duration) {
 		TS: t.now(), Kind: EvResize, Worker: -1, Cluster: -1,
 		Victim: int32(oldWorkers), N: int32(newWorkers), Dur: dur.Nanoseconds(),
 	})
+	if ref := t.ledger.Load(); ref != nil {
+		ref.sink.RecordResize(trace.ResizeRecord{
+			TS: t.now(), Old: oldWorkers, New: newWorkers,
+		})
+	}
 }
 
 // CurrentWorkers returns the worker-pool size gauge: the constructed

@@ -90,6 +90,41 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Markdown renders the table as a GitHub-flavored markdown table, with
+// the title as a bold line above it. Pipes in cells are escaped; the
+// first column is left-aligned and the rest right-aligned, matching
+// String's convention for label + numbers.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(esc(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	b.WriteByte('|')
+	for i := range t.Headers {
+		if i == 0 {
+			b.WriteString(":---|")
+		} else {
+			b.WriteString("---:|")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
 // CSV renders the table as comma-separated values (RFC-4180-ish; cells
 // containing commas or quotes are quoted).
 func (t *Table) CSV() string {

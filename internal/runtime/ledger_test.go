@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wats/internal/obs"
+	"wats/internal/trace"
+)
+
+// collectSink gathers ledger records emitted by the live runtime.
+type collectSink struct {
+	mu   sync.Mutex
+	decs []trace.Decision
+	ends []trace.TaskEnd
+}
+
+func (s *collectSink) RecordDecision(d trace.Decision) {
+	s.mu.Lock()
+	s.decs = append(s.decs, d)
+	s.mu.Unlock()
+}
+func (s *collectSink) RecordTaskEnd(e trace.TaskEnd) {
+	s.mu.Lock()
+	s.ends = append(s.ends, e)
+	s.mu.Unlock()
+}
+func (s *collectSink) RecordRepartition(trace.RepartitionRecord) {}
+func (s *collectSink) RecordResize(trace.ResizeRecord)           {}
+
+// TestLedgerCapturesLiveDecisions runs real traffic with a ledger sink
+// attached and checks the tentpole invariants: every spawn gets a
+// decision with a rule label, every decision joins a task end by ID, and
+// the end's timing is consistent with the decision's.
+func TestLedgerCapturesLiveDecisions(t *testing.T) {
+	arch := obsArch()
+	tr := obs.NewTracer(arch.NumCores(), 0)
+	rt, err := New(Config{Arch: arch, Policy: "WATS", Seed: 3,
+		DisableSpeedEmulation: true, Obs: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	tr.SetLedger(sink)
+	const roots = 8
+	for i := 0; i < roots; i++ {
+		rt.Spawn("parent", func(ctx *Ctx) {
+			spin(500 * time.Microsecond)
+			ctx.Spawn("child", func(ctx *Ctx) { spin(100 * time.Microsecond) })
+		})
+	}
+	rt.Wait()
+	tr.SetLedger(nil)
+	rt.Shutdown()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.decs) != 2*roots {
+		t.Fatalf("decisions: %d, want %d (roots + children)", len(sink.decs), 2*roots)
+	}
+	if len(sink.ends) != 2*roots {
+		t.Fatalf("ends: %d, want %d", len(sink.ends), 2*roots)
+	}
+	ends := map[uint64]trace.TaskEnd{}
+	for _, e := range sink.ends {
+		if e.ID == 0 {
+			t.Fatal("end with zero ledger ID")
+		}
+		ends[e.ID] = e
+	}
+	var externals, workers int
+	for _, d := range sink.decs {
+		if d.Rule == "" {
+			t.Fatalf("decision without rule: %+v", d)
+		}
+		if d.Worker == -1 {
+			externals++
+		} else {
+			workers++
+		}
+		e, ok := ends[d.ID]
+		if !ok {
+			t.Fatalf("decision %d has no end", d.ID)
+		}
+		if e.Cancelled {
+			t.Fatalf("unexpected cancellation: %+v", e)
+		}
+		if e.End < e.Start || e.End < d.TS {
+			t.Fatalf("inconsistent timing: decision %+v end %+v", d, e)
+		}
+		if e.Work <= 0 {
+			t.Fatalf("end without measured work: %+v", e)
+		}
+	}
+	// Root spawns come from outside the pool (worker -1); child spawns
+	// from a worker.
+	if externals != roots || workers != roots {
+		t.Fatalf("externals=%d workers=%d, want %d each", externals, workers, roots)
+	}
+}
+
+// TestLedgerOffNoRecords double-checks the disabled path: a tracer
+// without a sink must emit nothing and the runtime must not fail.
+func TestLedgerOffNoRecords(t *testing.T) {
+	arch := obsArch()
+	tr := obs.NewTracer(arch.NumCores(), 0)
+	rt, err := New(Config{Arch: arch, Policy: "WATS", Seed: 3,
+		DisableSpeedEmulation: true, Obs: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Spawn("f", func(ctx *Ctx) { spin(100 * time.Microsecond) })
+	rt.Wait()
+	rt.Shutdown()
+	if tr.LedgerOn() {
+		t.Fatal("ledger should be off")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"wats/internal/amc"
 	"wats/internal/obs"
+	"wats/internal/trace"
 )
 
 // obsArch is a small asymmetric machine for the tracing tests.
@@ -216,4 +217,42 @@ func BenchmarkObsHook(b *testing.B) {
 			h.withHook(0)
 		}
 	})
+	// The decision ledger adds a second gate behind the first: when no
+	// sink is attached the extra cost is one atomic pointer load; with a
+	// sink, the record is assembled and handed to it.
+	b.Run("ledger-off", func(b *testing.B) {
+		h := &hookProbe{obs: obs.NewTracer(1, 1024)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.withLedger(i)
+		}
+	})
+	b.Run("ledger-on", func(b *testing.B) {
+		h := &hookProbe{obs: obs.NewTracer(1, 1024)}
+		h.obs.SetLedger(discardSink{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.withLedger(i)
+		}
+	})
+}
+
+// discardSink is the cheapest possible ledger sink: the benchmark
+// measures record assembly + dispatch, not I/O.
+type discardSink struct{}
+
+func (discardSink) RecordDecision(trace.Decision)             {}
+func (discardSink) RecordTaskEnd(trace.TaskEnd)               {}
+func (discardSink) RecordRepartition(trace.RepartitionRecord) {}
+func (discardSink) RecordResize(trace.ResizeRecord)           {}
+
+//go:noinline
+func (h *hookProbe) withLedger(w int) {
+	h.count.Add(1)
+	if h.obs != nil && h.obs.LedgerOn() {
+		h.obs.Decision(trace.Decision{
+			ID: uint64(w), Class: "bench", Worker: int32(w),
+			Rule: "history-partition", EstWork: 0.001, EstCount: 10,
+		})
+	}
 }

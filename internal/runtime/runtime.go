@@ -73,6 +73,7 @@ import (
 	"wats/internal/rng"
 	"wats/internal/sched"
 	"wats/internal/task"
+	"wats/internal/trace"
 )
 
 // Config configures a Runtime.
@@ -155,6 +156,9 @@ type liveTask struct {
 	// calls — several tasks of one job may panic; context.CancelCauseFunc
 	// already does (first cause wins).
 	abort func(error)
+	// ledgerID joins this task's decision record with its end record when
+	// the decision ledger is capturing; 0 = not in the ledger.
+	ledgerID uint64
 }
 
 // Ctx is passed to every task function; it identifies the executing
@@ -616,6 +620,11 @@ type Runtime struct {
 	// obs, when non-nil, receives scheduler events; every emission is
 	// behind one nil-check so disabled tracing costs a single branch.
 	obs *obs.Tracer
+	// explain is the strategy's optional allocation introspection
+	// (sched.Explainer), asserted once at construction and consulted only
+	// on the ledger-enabled path; nil when the strategy cannot explain
+	// itself.
+	explain sched.Explainer
 	// base anchors task timing: measuring with two monotonic-only
 	// time.Since(base) reads instead of time.Now()+time.Since skips the
 	// wall-clock read, which is a measurable share of a no-op task.
@@ -659,6 +668,9 @@ func New(cfg Config) (*Runtime, error) {
 		base:      time.Now(),
 	}
 	rt.arch.Store(cfg.Arch)
+	if ex, ok := strat.(sched.Explainer); ok {
+		rt.explain = ex
+	}
 	if cfg.Energy != nil {
 		rt.energy = *cfg.Energy
 	}
@@ -707,7 +719,7 @@ func (rt *Runtime) newWorker(id, grp int) *worker {
 		rel:     freq / rt.f1,
 		order:   append([]int(nil), rt.strat.AcquireOrder(grp)...),
 		rec:     rt.strat.Recorder(id),
-		helpRng: rng.New(rt.cfg.Seed^0xABCD + uint64(id)*7919 + 3),
+		helpRng: rng.New(rt.cfg.Seed ^ 0xABCD + uint64(id)*7919 + 3),
 		gone:    make(chan struct{}),
 	}
 	w.pools = make([]taskPool, rt.k)
@@ -791,6 +803,9 @@ func (rt *Runtime) spawnRoot(t *liveTask) error {
 	rt.inbox.push(t)
 	if rt.obs != nil {
 		rt.obs.Spawn(-1, -1, t.class, rt.inbox.size())
+		if rt.obs.LedgerOn() {
+			rt.recordDecision(t, -1, rt.inbox.size())
+		}
 	}
 	rt.wakeOne(-1)
 	if int64(rt.inbox.size()) >= rt.maxQueued {
@@ -833,6 +848,9 @@ func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 		rt.inbox.push(t)
 		if rt.obs != nil {
 			rt.obs.Spawn(w.id, 0, t.class, rt.inbox.size())
+			if rt.obs.LedgerOn() {
+				rt.recordDecision(t, w.id, rt.inbox.size())
+			}
 		}
 		rt.wakeOne(-1)
 	} else {
@@ -842,6 +860,9 @@ func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 		queued := rt.clusterWork[cl].v.Add(1)
 		if rt.obs != nil {
 			rt.obs.Spawn(w.id, cl, t.class, p.size())
+			if rt.obs.LedgerOn() {
+				rt.recordDecision(t, w.id, p.size())
+			}
 		}
 		rt.wakeOne(cl)
 		if queued >= rt.maxQueued {
@@ -852,6 +873,36 @@ func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 			stdruntime.Gosched()
 		}
 	}
+}
+
+// recordDecision assembles and emits one decision-ledger record for t:
+// the chosen routing (worker, cluster, observed queue depth), the
+// allocation rule that fired, and the class's TC(f, n, w) history at this
+// instant. Called only on the ledger-enabled path (callers check
+// rt.obs.LedgerOn() first), so the record assembly — including one
+// cold-path registry lookup in the explainer — costs nothing when
+// capture is off.
+func (rt *Runtime) recordDecision(t *liveTask, worker, depth int) {
+	id := rt.obs.NextTaskID()
+	t.ledgerID = id
+	d := trace.Decision{
+		ID:     id,
+		Class:  t.class,
+		Worker: int32(worker),
+		Depth:  int32(depth),
+	}
+	if rt.explain != nil {
+		ad := rt.explain.ExplainAllocation(t.class)
+		d.Cluster = int32(ad.Cluster)
+		d.Rule = ad.Rule
+		d.EstWork = ad.EstWork
+		d.EstCount = ad.EstCount
+	} else {
+		d.Cluster = int32(rt.clusterOf(t.class))
+		d.Rule = "unexplained"
+		d.EstWork = rt.strat.EstimateWork(t.class)
+	}
+	rt.obs.Decision(d)
 }
 
 // QueuedTasks returns the current number of queued (spawned but not yet
@@ -1049,6 +1100,9 @@ func (rt *Runtime) execute(w *worker, t *liveTask) {
 		w.cancelled.Add(1)
 		if rt.obs != nil {
 			rt.obs.Cancel(w.id, t.class)
+			if t.ledgerID != 0 {
+				rt.obs.TaskCancelled(t.ledgerID, w.id)
+			}
 		}
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
@@ -1108,8 +1162,9 @@ func (rt *Runtime) execute(w *worker, t *liveTask) {
 		}
 	}
 	b.busy += int64(d)
+	var stall time.Duration
 	if !rt.cfg.DisableSpeedEmulation && w.rel < 1 {
-		stall := time.Duration(float64(d) * (1/w.rel - 1))
+		stall = time.Duration(float64(d) * (1/w.rel - 1))
 		rt.sleepUnlessShutdown(stall)
 		b.busy += int64(stall)
 		b.timeValid = false
@@ -1122,7 +1177,11 @@ func (rt *Runtime) execute(w *worker, t *liveTask) {
 	w.rec.Observe(t.class, d.Seconds(), 0)
 	b.tasks++
 	if rt.obs != nil {
-		rt.obs.Complete(w.id, rt.clusterOf(t.class), t.class, d)
+		cl := rt.clusterOf(t.class)
+		rt.obs.Complete(w.id, cl, t.class, d)
+		if t.ledgerID != 0 {
+			rt.obs.TaskEnd(t.ledgerID, w.id, cl, d.Nanoseconds(), int64(d+stall))
+		}
 	}
 	if t.group != nil && t.group.pending.Add(-1) == 0 {
 		// The group drained: wake workers parked in Group.Wait (sweep —
@@ -1253,6 +1312,17 @@ func (rt *Runtime) Strategy() sched.Strategy { return rt.strat }
 // Tracer returns the attached observability tracer, or nil when tracing
 // is disabled.
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.obs }
+
+// HelperPeriod returns the helper-thread cadence the runtime was
+// configured with (after defaulting). Capture headers record it so the
+// twin replays the same reorganization rhythm.
+func (rt *Runtime) HelperPeriod() time.Duration { return rt.cfg.HelperPeriod }
+
+// SpeedEmulation reports whether the asymmetry emulation stalls are on.
+// A capture taken without them is flagged in its header: the live run
+// served at raw core speed, so a twin replay with per-group speeds will
+// not match it.
+func (rt *Runtime) SpeedEmulation() bool { return !rt.cfg.DisableSpeedEmulation }
 
 // Registry exposes the learned task-class statistics.
 func (rt *Runtime) Registry() *task.Registry { return rt.strat.Registry() }

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/sim"
+)
+
+// TestExplainAllocationWATS checks that the explained decision mirrors
+// ClusterOf branch by branch: history partition for known classes,
+// fastest-cluster default for unknown ones, CMPI routing under WATS-Mem,
+// and the recursion fallback.
+func TestExplainAllocationWATS(t *testing.T) {
+	arch := amc.MustNew("3g", amc.CGroup{Freq: 3, N: 1}, amc.CGroup{Freq: 2, N: 1}, amc.CGroup{Freq: 1, N: 1})
+	p := NewWATS()
+	p.Init(sim.New(arch, p, sim.Config{Seed: 1}))
+	reg := p.Allocator().Registry()
+	for i := 0; i < 3; i++ {
+		reg.Observe("big", 9)
+	}
+	for i := 0; i < 40; i++ {
+		reg.Observe("small", 1)
+	}
+	p.Allocator().Reorganize()
+
+	d := p.ExplainAllocation("big")
+	if d.Rule != RuleHistory || d.Cluster != p.ClusterOf("big") {
+		t.Fatalf("known class: %+v (ClusterOf=%d)", d, p.ClusterOf("big"))
+	}
+	if d.EstWork <= 0 || d.EstCount != 3 {
+		t.Fatalf("TC(f,n,w) missing from explanation: %+v", d)
+	}
+
+	d = p.ExplainAllocation("never-seen")
+	if d.Rule != RuleDefaultFastest || d.Cluster != p.ClusterOf("never-seen") {
+		t.Fatalf("unknown class: %+v", d)
+	}
+	if d.EstWork >= 0 || d.EstCount != 0 {
+		t.Fatalf("unknown class should have negative EstWork: %+v", d)
+	}
+}
+
+func TestExplainAllocationMemAware(t *testing.T) {
+	arch := amc.MustNew("2g", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	p := NewWATSMem()
+	p.Init(sim.New(arch, p, sim.Config{Seed: 1}))
+	reg := p.Allocator().Registry()
+	for i := 0; i < 5; i++ {
+		reg.ObserveFull("membound", 1, 0.5) // CMPI far above the 0.05 default
+		reg.ObserveFull("compute", 1, 0.0)
+	}
+	p.Allocator().Reorganize()
+
+	d := p.ExplainAllocation("membound")
+	if d.Rule != RuleMemBound || d.Cluster != arch.K()-1 {
+		t.Fatalf("memory-bound class should route to the slowest cluster: %+v", d)
+	}
+	if got := p.ClusterOf("membound"); got != d.Cluster {
+		t.Fatalf("explanation (%d) disagrees with ClusterOf (%d)", d.Cluster, got)
+	}
+	if d := p.ExplainAllocation("compute"); d.Rule != RuleHistory {
+		t.Fatalf("compute class: %+v", d)
+	}
+}
+
+func TestExplainAllocationRecursionFallback(t *testing.T) {
+	arch := amc.MustNew("2g", amc.CGroup{Freq: 2, N: 2}, amc.CGroup{Freq: 1, N: 2})
+	p := NewWATS()
+	p.Init(sim.New(arch, p, sim.Config{Seed: 1}))
+	p.recursionDetected.Store(true)
+	d := p.ExplainAllocation("fib")
+	if d.Rule != RuleRecursion || d.Cluster != 0 {
+		t.Fatalf("recursion fallback: %+v", d)
+	}
+	if got := p.ClusterOf("fib"); got != 0 {
+		t.Fatalf("ClusterOf under recursion = %d, want 0", got)
+	}
+}
+
+// TestExplainAllocationBase checks the history-less policies: the rule is
+// a constant of the kind, with the class history riding along.
+func TestExplainAllocationBase(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindCilk:  RuleSinglePool,
+		KindShare: RuleCentral,
+	} {
+		s, err := NewStrategy(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, ok := s.(Explainer)
+		if !ok {
+			t.Fatalf("%s does not implement Explainer", kind)
+		}
+		d := ex.ExplainAllocation("f")
+		if d.Rule != want || d.Cluster != 0 {
+			t.Fatalf("%s: %+v, want rule %s", kind, d, want)
+		}
+	}
+}
+
+// TestAllStrategiesExplain asserts every registered kind implements
+// Explainer so ledger records always carry a rule label.
+func TestAllStrategiesExplain(t *testing.T) {
+	for _, kind := range Kinds {
+		s, err := NewStrategy(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.(Explainer); !ok {
+			t.Errorf("%s does not implement Explainer", kind)
+		}
+	}
+}

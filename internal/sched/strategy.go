@@ -126,6 +126,52 @@ type Strategy interface {
 	Allocator() *history.Allocator
 }
 
+// Allocation rule labels: which branch of the allocation axis fired for
+// one class at one decision instant. They name the paper's cases —
+// history-based partition (Algorithm 1), the unknown-class default
+// (fastest c-group), WATS-Mem's CMPI routing (§IV-E), and the
+// divide-and-conquer fallback (§IV-E) — plus the two degenerate layouts
+// of the history-less policies.
+const (
+	// RuleHistory: the class was in the published Algorithm 1 partition.
+	RuleHistory = "history-partition"
+	// RuleDefaultFastest: class unknown to the history, routed to the
+	// fastest c-group by default.
+	RuleDefaultFastest = "default-fastest"
+	// RuleMemBound: WATS-Mem saw AvgCMPI above the threshold and routed
+	// the class to the slowest c-group.
+	RuleMemBound = "memaware-slowest"
+	// RuleRecursion: the recursion detector collapsed allocation to
+	// cluster 0 (divide-and-conquer fallback).
+	RuleRecursion = "recursion-fallback"
+	// RuleSinglePool: history-less per-core-pool policy; everything is
+	// cluster 0 by construction.
+	RuleSinglePool = "single-pool"
+	// RuleCentral: the task-sharing baseline's one global FIFO.
+	RuleCentral = "central-fifo"
+)
+
+// AllocationDecision is an explained allocation: the cluster ClusterOf
+// would choose for a class right now, the rule that chooses it, and the
+// class history backing the choice (TC(f, n, w) at decision time; EstWork
+// < 0 when the class is unknown).
+type AllocationDecision struct {
+	Cluster  int
+	Rule     string
+	EstWork  float64
+	EstCount int64
+}
+
+// Explainer is the optional introspection extension of Strategy consumed
+// by the decision ledger: ClusterOf plus the why. Implementations must
+// be safe for concurrent use after Bind and must mirror ClusterOf's
+// logic exactly (same inputs, same cluster). The runtime asserts for it
+// once at construction; strategies without it still get ledger records,
+// just without a rule label.
+type Explainer interface {
+	ExplainAllocation(class string) AllocationDecision
+}
+
 // Reshaper is the optional elastic-capacity extension of Strategy: a
 // policy that can re-score its partition when the machine shape changes
 // online (Ni of some c-group grows or shrinks; K and the group speeds are
@@ -258,9 +304,9 @@ func checkSameShapeFamily(bound, next *amc.Arch) error {
 	}
 	return nil
 }
-func (b *base) Reorganize() bool                   { return false }
-func (b *base) Registry() *task.Registry           { return b.reg }
-func (b *base) Allocator() *history.Allocator      { return b.alloc }
+func (b *base) Reorganize() bool              { return false }
+func (b *base) Registry() *task.Registry      { return b.reg }
+func (b *base) Allocator() *history.Allocator { return b.alloc }
 
 // EstimateWork reports the class average even for history-less kinds: RTS
 // snatches randomly and never consults it, but a uniform answer keeps the
@@ -270,4 +316,21 @@ func (b *base) EstimateWork(class string) float64 {
 		return cl.AvgWork
 	}
 	return -1
+}
+
+// ExplainAllocation implements Explainer. The history-less policies have
+// exactly one layout each, so the rule is a constant of the kind; the
+// class history still rides along for the ledger.
+func (b *base) ExplainAllocation(class string) AllocationDecision {
+	d := AllocationDecision{Rule: RuleSinglePool, EstWork: -1}
+	if b.central {
+		d.Rule = RuleCentral
+	}
+	if b.reg == nil { // not yet bound to an engine
+		return d
+	}
+	if cl, ok := b.reg.Lookup(class); ok {
+		d.EstWork, d.EstCount = cl.AvgWork, int64(cl.Count)
+	}
+	return d
 }

@@ -191,6 +191,45 @@ func (p *WATS) ClusterOf(class string) int {
 	return p.alloc.ClusterOf(class)
 }
 
+// ExplainAllocation implements Explainer: ClusterOf with the rule that
+// fired and the class's TC(f, n, w) record at decision time. The branch
+// order mirrors ClusterOf exactly — recursion fallback, then CMPI
+// routing, then the published partition — so the explained cluster is the
+// one a concurrent ClusterOf call would return (modulo a repartition
+// racing in between, which moves both the same way).
+func (p *WATS) ExplainAllocation(class string) AllocationDecision {
+	d := AllocationDecision{EstWork: -1}
+	if p.reg == nil { // not yet bound to an engine
+		d.Rule = RuleDefaultFastest
+		return d
+	}
+	cl, known := p.reg.Lookup(class)
+	if known {
+		d.EstWork, d.EstCount = cl.AvgWork, int64(cl.Count)
+	}
+	if p.recursionDetected.Load() {
+		d.Rule = RuleRecursion
+		return d // cluster 0: plain random stealing
+	}
+	if p.MemAware {
+		th := p.CMPIThreshold
+		if th == 0 {
+			th = 0.05
+		}
+		if known && cl.AvgCMPI > th {
+			d.Cluster, d.Rule = p.arch.K()-1, RuleMemBound
+			return d
+		}
+	}
+	d.Cluster = p.alloc.ClusterOf(class)
+	if known {
+		d.Rule = RuleHistory
+	} else {
+		d.Rule = RuleDefaultFastest
+	}
+	return d
+}
+
 // AcquireOrder implements Algorithm 3's cluster walk: the c-group's "rob
 // the weaker first" preference list (Fig. 4), truncated to the own cluster
 // under NoPreference (WATS-NP).

@@ -38,6 +38,7 @@ import (
 	"wats/internal/obs"
 	"wats/internal/runtime"
 	"wats/internal/scale"
+	"wats/internal/trace"
 )
 
 // Config configures a Server.
@@ -78,9 +79,9 @@ const (
 
 // JobView is the wire representation of one job.
 type JobView struct {
-	ID       string  `json:"id"`
-	Workload string  `json:"workload"`
-	Status   string  `json:"status"`
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Status   string `json:"status"`
 	// QueueWaitMS is the time from admission to the root task starting
 	// (for expired-while-queued jobs: to the deadline firing).
 	QueueWaitMS float64 `json:"queue_wait_ms"`
@@ -92,7 +93,7 @@ type JobView struct {
 	// a slower group burned less.
 	EnergyJ float64 `json:"energy_j,omitempty"`
 	Result  any     `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	Error   string  `json:"error,omitempty"`
 	// Detail carries the panic message (class, worker, value) for
 	// panicked jobs: the body reads {"error":"panic","detail":...}.
 	Detail string `json:"detail,omitempty"`
@@ -128,6 +129,10 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // finalized job ids, oldest first (eviction order)
+
+	// capMu guards the single decision-ledger capture (see capture.go).
+	capMu   sync.Mutex
+	capture *trace.Capture
 }
 
 // keepFinished bounds the finalized-job table; the oldest records are
@@ -185,6 +190,8 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/resize", s.handleResize)
+	mux.HandleFunc("/v1/trace/start", s.handleTraceStart)
+	mux.HandleFunc("/v1/trace/stop", s.handleTraceStop)
 	mux.Handle("/metrics", dbg)
 	mux.Handle("/debug/", dbg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -200,6 +207,8 @@ func (s *Server) Handler() *http.ServeMux {
   GET  /v1/healthz   liveness + admission state
   GET  /v1/readyz    readiness (503 while draining or wedged)
   POST /v1/resize    resize the worker pool {"workers":N} or {"shape":[n1,..,nK]}
+  POST /v1/trace/start  start a decision-ledger capture {"path":..} (replay with watstwin)
+  POST /v1/trace/stop   stop the capture and seal the file
   GET  /metrics      Prometheus metrics (scheduler + per-job histograms)
   GET  /debug/wats   scheduler snapshot; /debug/pprof/, /debug/vars, /debug/wats/trace
 `)
@@ -543,6 +552,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":         s.rt.Workers(),
 		"shape":           s.rt.Shape(),
 		"energy_joules":   s.rt.EnergyJoules(),
+		"capture":         s.CaptureStatus(),
 	})
 }
 

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/task"
+)
+
+// arrivalWorkload schedules tasks at fixed future offsets via InjectAt.
+type arrivalWorkload struct {
+	at    []float64
+	tasks []*task.Task
+}
+
+func (w *arrivalWorkload) Name() string { return "arrivals" }
+func (w *arrivalWorkload) Start(e *Engine) {
+	for i, t := range w.tasks {
+		e.InjectAt(w.at[i], t)
+	}
+}
+func (w *arrivalWorkload) OnQuiescent(e *Engine) bool { return e.PendingArrivals() > 0 }
+
+func TestInjectAtDelaysExecution(t *testing.T) {
+	a := amc.MustNew("1c", amc.CGroup{Freq: 1, N: 1})
+	e := New(a, &fifoPolicy{}, Config{Seed: 1, CollectTasks: true})
+	w := &arrivalWorkload{
+		at:    []float64{0, 5},
+		tasks: leafTasks("f", 1, 1),
+	}
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 2 {
+		t.Fatalf("tasks done: %d", res.TasksDone)
+	}
+	// First task runs [0,1]; the machine then idles until the second
+	// arrival at t=5, which runs [5,6]. An engine that injected both at
+	// t=0 would finish at 2.
+	if math.Abs(res.Makespan-6) > 1e-9 {
+		t.Fatalf("makespan=%v want 6 (arrival at t=5 must wait)", res.Makespan)
+	}
+	for _, tk := range res.Completed {
+		if tk.Class == "f" && tk.EndT > 5 && math.Abs(tk.EndT-6) > 1e-9 {
+			t.Fatalf("late task end: %v", tk.EndT)
+		}
+	}
+}
+
+func TestInjectAtPastClampsToNow(t *testing.T) {
+	a := amc.MustNew("1c", amc.CGroup{Freq: 1, N: 1})
+	e := New(a, &fifoPolicy{}, Config{Seed: 1})
+	res, err := e.Run(&arrivalWorkload{
+		at:    []float64{-3, 0},
+		tasks: leafTasks("f", 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 2 || math.Abs(res.Makespan-2) > 1e-9 {
+		t.Fatalf("res=%+v, want both tasks at t=0 finishing at 2", res)
+	}
+}
+
+// TestArrivalsKeepEngineAlive checks the finish condition: a run with
+// only future arrivals must not end at the first quiescent moment.
+func TestArrivalsKeepEngineAlive(t *testing.T) {
+	a := amc.MustNew("2c", amc.CGroup{Freq: 1, N: 2})
+	e := New(a, &fifoPolicy{}, Config{Seed: 1})
+	var at []float64
+	var works []float64
+	for i := 0; i < 10; i++ {
+		at = append(at, float64(i)*2) // gaps guarantee idle periods
+		works = append(works, 0.5)
+	}
+	res, err := e.Run(&arrivalWorkload{at: at, tasks: leafTasks("f", works...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 10 {
+		t.Fatalf("engine stopped early: %d/10 tasks", res.TasksDone)
+	}
+	if math.Abs(res.Makespan-18.5) > 1e-9 {
+		t.Fatalf("makespan=%v want 18.5 (last arrival at 18 + 0.5 work)", res.Makespan)
+	}
+	if e.PendingArrivals() != 0 {
+		t.Fatalf("pending arrivals left: %d", e.PendingArrivals())
+	}
+}

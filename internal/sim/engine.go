@@ -168,6 +168,12 @@ type Engine struct {
 	// mainQ holds injected Main tasks; only the fastest core (core 0)
 	// executes them, per §IV-E.
 	mainQ []*task.Task
+	// arrivals holds tasks pre-registered by InjectAt for future
+	// injection (open-loop trace replay); pendingArrivals counts the ones
+	// whose evArrival has not fired yet, keeping the run alive while the
+	// system is drained between arrivals.
+	arrivals        []*task.Task
+	pendingArrivals int
 
 	// --- run statistics ---
 	tasksDone   int
@@ -244,6 +250,26 @@ func (e *Engine) Inject(t *task.Task) {
 	e.Policy.Inject(origin, t)
 	e.WakeIdle()
 }
+
+// InjectAt schedules t for injection at virtual time at (clamped to the
+// current time when in the past) — the open-loop arrival primitive for
+// trace replay. Unlike a Main root task fanning children out, arrivals
+// occupy no core until their time comes, so the simulated machine idles
+// between arrivals exactly like the live service did. Call it from
+// Workload.Start (or any point before the run finishes); the engine
+// keeps running while arrivals are pending even when fully drained.
+func (e *Engine) InjectAt(at float64, t *task.Task) {
+	if at < e.now {
+		at = e.now
+	}
+	e.arrivals = append(e.arrivals, t)
+	e.pendingArrivals++
+	e.schedule(at, evArrival, 0, int64(len(e.arrivals)-1))
+}
+
+// PendingArrivals returns the number of InjectAt arrivals not yet
+// injected.
+func (e *Engine) PendingArrivals() int { return e.pendingArrivals }
 
 // prepare assigns IDs and initial state to a task (not its spawn-tree
 // descendants; those are prepared when their spawn point fires).
@@ -399,7 +425,7 @@ func (e *Engine) Run(w Workload) (*Result, error) {
 	e.workload = w
 	e.Policy.Init(e)
 	w.Start(e)
-	if e.outstanding == 0 {
+	if e.outstanding == 0 && e.pendingArrivals == 0 {
 		return nil, fmt.Errorf("sim: workload %q injected no tasks", w.Name())
 	}
 	for _, c := range e.cores {
@@ -438,6 +464,9 @@ func (e *Engine) Run(w Workload) (*Result, error) {
 			e.helperTicks++
 			e.Policy.OnHelperTick(e)
 			e.schedule(e.now+e.Cfg.HelperPeriod, evHelper, 0, 0)
+		case evArrival:
+			e.pendingArrivals--
+			e.Inject(e.arrivals[ev.token])
 		case evSpeed:
 			e.applySpeed(e.Cfg.DVFS[ev.token])
 		}
@@ -528,7 +557,7 @@ func (e *Engine) handleSegEnd(c *Core) {
 		e.injectCore = c
 		more := e.workload.OnQuiescent(e)
 		e.injectCore = nil
-		if !more && e.outstanding == 0 {
+		if !more && e.outstanding == 0 && e.pendingArrivals == 0 {
 			e.finished = true
 			return
 		}

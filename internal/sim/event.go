@@ -14,6 +14,9 @@ const (
 	evHelper
 	// evSpeed applies a scheduled DVFS speed change to a core.
 	evSpeed
+	// evArrival injects a pre-registered open-loop task at its arrival
+	// time (trace replay; the token indexes Engine.arrivals).
+	evArrival
 )
 
 // event is one entry in the virtual-time event queue. Events at equal time

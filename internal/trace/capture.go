@@ -1,0 +1,483 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// This file is the durable half of the decision ledger: typed per-task
+// decision/lifecycle records (emitted by the live runtime through
+// obs.Tracer's ledger hook), a bounded rotating NDJSON sink that streams
+// them from a running watsd, and the parser the digital twin
+// (cmd/watstwin) ingests captures with. The record types live here — not
+// in package obs — because obs already imports trace for the Chrome
+// exporter, and the capture sink must not create an import cycle.
+
+// Decision is one scheduling decision: where a task of a class was routed
+// at spawn time, why, and what the class history knew at that instant —
+// the paper's TC(f, n, w) record as the allocator saw it when the rule
+// fired.
+type Decision struct {
+	// ID joins the decision with its TaskEnd; unique per tracer lifetime.
+	ID uint64 `json:"id"`
+	// TS is nanoseconds since the tracer's start (the arrival timestamp
+	// the twin replays the task at).
+	TS int64 `json:"ts"`
+	// Class is the task's class (function name f).
+	Class string `json:"class"`
+	// Worker is the spawning worker, or -1 for external submissions.
+	Worker int32 `json:"worker"`
+	// Cluster is the c-group cluster the allocation rule chose.
+	Cluster int32 `json:"cluster"`
+	// Depth is the destination queue depth observed at the decision.
+	Depth int32 `json:"depth"`
+	// Rule names the allocation rule that fired (sched.Rule* constants).
+	Rule string `json:"rule"`
+	// EstWork is the class's average normalized workload (w of TC(f,n,w))
+	// at decision time, in fastest-core seconds; negative when the class
+	// was unknown to the history.
+	EstWork float64 `json:"est_work"`
+	// EstCount is n of TC(f,n,w): completed tasks folded into the class
+	// record at decision time.
+	EstCount int64 `json:"est_n"`
+}
+
+// TaskEnd closes one decision: when the task started executing, when it
+// finished, and its Eq.2-normalized work — or that it was dropped
+// cancelled without running.
+type TaskEnd struct {
+	ID      uint64 `json:"id"`
+	Worker  int32  `json:"worker"`
+	Cluster int32  `json:"cluster"`
+	// Start/End are nanoseconds since the tracer's start. End-Start is
+	// wall execution (emulation stall included); End minus the decision's
+	// TS is the task's sojourn time.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Work is the Eq.2-normalized execution time in nanoseconds
+	// (fastest-core work), the ground truth the twin replays.
+	Work      int64 `json:"work"`
+	Cancelled bool  `json:"cancelled,omitempty"`
+}
+
+// RepartitionRecord is one helper-thread rebuild of the class-to-cluster
+// map, with the new assignment.
+type RepartitionRecord struct {
+	TS      int64          `json:"ts"`
+	Dur     int64          `json:"dur"`
+	Classes map[string]int `json:"classes"`
+}
+
+// ResizeRecord is one elastic worker-pool resize.
+type ResizeRecord struct {
+	TS  int64 `json:"ts"`
+	Old int   `json:"old"`
+	New int   `json:"new"`
+}
+
+// Sink receives ledger records. Implementations must be safe for
+// concurrent use and must not block the caller: the emitting side is the
+// runtime's spawn/complete hot path.
+type Sink interface {
+	RecordDecision(Decision)
+	RecordTaskEnd(TaskEnd)
+	RecordRepartition(RepartitionRecord)
+	RecordResize(ResizeRecord)
+}
+
+// CaptureHeader describes the live run a capture was taken from: enough
+// for the twin to rebuild the same architecture and scheduler settings.
+// It is the first NDJSON line of every capture file (repeated after each
+// rotation so every file is self-describing).
+type CaptureHeader struct {
+	Version int `json:"version"`
+	// Policy is the live sched.Kind — the twin's fidelity baseline.
+	Policy string `json:"policy"`
+	// GroupCounts/GroupFreqs describe the AMC shape (one entry per
+	// c-group).
+	GroupCounts []int     `json:"group_counts"`
+	GroupFreqs  []float64 `json:"group_freqs"`
+	// HelperPeriodNS is the live helper-thread cadence.
+	HelperPeriodNS int64 `json:"helper_period_ns"`
+	// SpeedEmulation reports whether asymmetry stalls were on; a capture
+	// taken without them replays with distorted per-group speeds.
+	SpeedEmulation bool `json:"speed_emulation"`
+	// StartUnixNS anchors the tracer-relative timestamps to wall time.
+	StartUnixNS int64 `json:"start_unix_ns"`
+}
+
+// CaptureFooter is the last line of a stopped capture: live-side totals
+// the twin report quotes as context.
+type CaptureFooter struct {
+	EnergyJoules float64 `json:"energy_joules"`
+	TasksRun     int64   `json:"tasks_run"`
+	Decisions    uint64  `json:"decisions"`
+	Ends         uint64  `json:"ends"`
+	Dropped      uint64  `json:"dropped"`
+}
+
+// CaptureVersion is the capture file format version written by this
+// package.
+const CaptureVersion = 1
+
+// CaptureConfig configures a Capture sink.
+type CaptureConfig struct {
+	// Path is the NDJSON file to stream to. Required.
+	Path string
+	// MaxBytes rotates the file when it exceeds this size (default 64 MiB).
+	MaxBytes int64
+	// MaxFiles bounds rotated files kept as Path.1 (newest) .. Path.N
+	// (default 4); older ones are deleted, so total disk usage stays under
+	// (MaxFiles+1) x MaxBytes.
+	MaxFiles int
+	// Buffer is the record-channel depth between the emitting hot path and
+	// the writer goroutine (default 8192). When the writer falls behind and
+	// the buffer fills, records are dropped and counted, never blocked on.
+	Buffer int
+}
+
+func (c CaptureConfig) withDefaults() CaptureConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.MaxFiles <= 0 {
+		c.MaxFiles = 4
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 8192
+	}
+	return c
+}
+
+// CaptureStats is a point-in-time view of a capture sink.
+type CaptureStats struct {
+	Path      string `json:"path"`
+	Active    bool   `json:"active"`
+	Decisions uint64 `json:"decisions"`
+	Ends      uint64 `json:"ends"`
+	// Dropped counts records lost because the writer's buffer was full —
+	// nonzero means the capture undercounts (the twin still works; it just
+	// sees a sample).
+	Dropped   uint64 `json:"dropped"`
+	Bytes     int64  `json:"bytes"`
+	Rotations int64  `json:"rotations"`
+}
+
+// Capture streams ledger records to a rotating, bounded NDJSON file. The
+// Record* methods enqueue onto a buffered channel and never block (full
+// buffer = counted drop); a single writer goroutine marshals and writes.
+// Attach it to a live runtime with obs.Tracer.SetLedger and detach before
+// Close.
+type Capture struct {
+	cfg    CaptureConfig
+	header CaptureHeader
+
+	ch     chan any
+	closed atomic.Bool
+
+	decisions atomic.Uint64
+	ends      atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Int64
+	rotations atomic.Int64
+
+	// Writer-goroutine-only state.
+	f       *os.File
+	w       *bufio.Writer
+	written int64
+}
+
+// closeMsg asks the writer goroutine to append the footer, flush, and
+// exit. It travels on the same channel as records, so everything enqueued
+// before Close is written first.
+type closeMsg struct {
+	footer CaptureFooter
+	ack    chan error
+}
+
+// Wire line wrappers: one NDJSON object per record, tagged by "ev".
+type headerLine struct {
+	Ev string `json:"ev"`
+	CaptureHeader
+}
+type decisionLine struct {
+	Ev string `json:"ev"`
+	Decision
+}
+type endLine struct {
+	Ev string `json:"ev"`
+	TaskEnd
+}
+type repartitionLine struct {
+	Ev string `json:"ev"`
+	RepartitionRecord
+}
+type resizeLine struct {
+	Ev string `json:"ev"`
+	ResizeRecord
+}
+type footerLine struct {
+	Ev string `json:"ev"`
+	CaptureFooter
+}
+
+// NewCapture opens the capture file, writes the header line, and starts
+// the writer goroutine.
+func NewCapture(cfg CaptureConfig, h CaptureHeader) (*Capture, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("trace: CaptureConfig.Path is required")
+	}
+	h.Version = CaptureVersion
+	c := &Capture{cfg: cfg, header: h, ch: make(chan any, cfg.Buffer)}
+	if err := c.open(); err != nil {
+		return nil, err
+	}
+	go c.writeLoop()
+	return c, nil
+}
+
+// Header returns the header the capture was opened with.
+func (c *Capture) Header() CaptureHeader { return c.header }
+
+// open is called from NewCapture and, on rotation, from the writer
+// goroutine.
+func (c *Capture) open() error {
+	f, err := os.Create(c.cfg.Path)
+	if err != nil {
+		return fmt.Errorf("trace: capture: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriterSize(f, 64<<10)
+	c.written = 0
+	return c.writeLine(headerLine{Ev: "header", CaptureHeader: c.header})
+}
+
+// RecordDecision implements Sink.
+func (c *Capture) RecordDecision(d Decision) {
+	if c.enqueue(d) {
+		c.decisions.Add(1)
+	}
+}
+
+// RecordTaskEnd implements Sink.
+func (c *Capture) RecordTaskEnd(e TaskEnd) {
+	if c.enqueue(e) {
+		c.ends.Add(1)
+	}
+}
+
+// RecordRepartition implements Sink.
+func (c *Capture) RecordRepartition(r RepartitionRecord) { c.enqueue(r) }
+
+// RecordResize implements Sink.
+func (c *Capture) RecordResize(r ResizeRecord) { c.enqueue(r) }
+
+func (c *Capture) enqueue(rec any) bool {
+	if c.closed.Load() {
+		return false
+	}
+	select {
+	case c.ch <- rec:
+		return true
+	default:
+		c.dropped.Add(1)
+		return false
+	}
+}
+
+// Stats snapshots the capture counters.
+func (c *Capture) Stats() CaptureStats {
+	return CaptureStats{
+		Path:      c.cfg.Path,
+		Active:    !c.closed.Load(),
+		Decisions: c.decisions.Load(),
+		Ends:      c.ends.Load(),
+		Dropped:   c.dropped.Load(),
+		Bytes:     c.bytes.Load(),
+		Rotations: c.rotations.Load(),
+	}
+}
+
+// Close drains everything enqueued so far, appends the footer line
+// (filling in the record counts), flushes, and closes the file. Detach
+// the sink from the tracer before calling; records arriving after Close
+// are dropped. Idempotent: later calls return nil without rewriting.
+func (c *Capture) Close(footer CaptureFooter) error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	ack := make(chan error, 1)
+	c.ch <- closeMsg{footer: footer, ack: ack}
+	return <-ack
+}
+
+func (c *Capture) writeLoop() {
+	for rec := range c.ch {
+		switch m := rec.(type) {
+		case Decision:
+			c.handleWrite(decisionLine{Ev: "decision", Decision: m})
+		case TaskEnd:
+			c.handleWrite(endLine{Ev: "end", TaskEnd: m})
+		case RepartitionRecord:
+			c.handleWrite(repartitionLine{Ev: "repartition", RepartitionRecord: m})
+		case ResizeRecord:
+			c.handleWrite(resizeLine{Ev: "resize", ResizeRecord: m})
+		case closeMsg:
+			m.footer.Decisions = c.decisions.Load()
+			m.footer.Ends = c.ends.Load()
+			m.footer.Dropped = c.dropped.Load()
+			err := c.writeLine(footerLine{Ev: "footer", CaptureFooter: m.footer})
+			if ferr := c.w.Flush(); err == nil {
+				err = ferr
+			}
+			if cerr := c.f.Close(); err == nil {
+				err = cerr
+			}
+			m.ack <- err
+			return
+		}
+	}
+}
+
+func (c *Capture) handleWrite(line any) {
+	if err := c.writeLine(line); err != nil {
+		// Disk trouble: count the loss and keep going; Close reports the
+		// terminal error when flushing.
+		c.dropped.Add(1)
+		return
+	}
+	if c.written >= c.cfg.MaxBytes {
+		c.rotate()
+	}
+}
+
+func (c *Capture) writeLine(line any) error {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n, err := c.w.Write(b)
+	c.written += int64(n)
+	c.bytes.Add(int64(n))
+	return err
+}
+
+// rotate shifts Path -> Path.1 -> ... -> Path.MaxFiles (oldest dropped)
+// and reopens Path with a fresh header, bounding total disk usage.
+func (c *Capture) rotate() {
+	_ = c.w.Flush()
+	_ = c.f.Close()
+	_ = os.Remove(fmt.Sprintf("%s.%d", c.cfg.Path, c.cfg.MaxFiles))
+	for i := c.cfg.MaxFiles - 1; i >= 1; i-- {
+		_ = os.Rename(fmt.Sprintf("%s.%d", c.cfg.Path, i), fmt.Sprintf("%s.%d", c.cfg.Path, i+1))
+	}
+	_ = os.Rename(c.cfg.Path, c.cfg.Path+".1")
+	c.rotations.Add(1)
+	if err := c.open(); err != nil {
+		// Could not reopen: further writes will fail and be counted as
+		// drops through handleWrite.
+		c.w = bufio.NewWriter(io.Discard)
+		c.f, _ = os.Open(os.DevNull)
+	}
+}
+
+// Captured is a parsed capture file.
+type Captured struct {
+	Header       CaptureHeader
+	Decisions    []Decision
+	Ends         []TaskEnd
+	Repartitions []RepartitionRecord
+	Resizes      []ResizeRecord
+	// Footer is nil when the capture was cut off before a clean stop.
+	Footer *CaptureFooter
+}
+
+// ParseCapture parses one NDJSON capture stream (a single file; rotated
+// predecessors can be concatenated in age order first). Unknown "ev" tags
+// are skipped so older readers survive newer writers.
+func ParseCapture(r io.Reader) (*Captured, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	out := &Captured{}
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+		}
+		switch probe.Ev {
+		case "header":
+			var h headerLine
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			// Rotation repeats the header; keep the first.
+			if !sawHeader {
+				out.Header = h.CaptureHeader
+				sawHeader = true
+			}
+		case "decision":
+			var d decisionLine
+			if err := json.Unmarshal(raw, &d); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			out.Decisions = append(out.Decisions, d.Decision)
+		case "end":
+			var e endLine
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			out.Ends = append(out.Ends, e.TaskEnd)
+		case "repartition":
+			var rp repartitionLine
+			if err := json.Unmarshal(raw, &rp); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			out.Repartitions = append(out.Repartitions, rp.RepartitionRecord)
+		case "resize":
+			var rs resizeLine
+			if err := json.Unmarshal(raw, &rs); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			out.Resizes = append(out.Resizes, rs.ResizeRecord)
+		case "footer":
+			var f footerLine
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, fmt.Errorf("trace: capture line %d: %w", lineNo, err)
+			}
+			ft := f.CaptureFooter
+			out.Footer = &ft
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: capture: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: capture has no header line")
+	}
+	return out, nil
+}
+
+// ParseCaptureFile parses one capture file from disk.
+func ParseCaptureFile(path string) (*Captured, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ParseCapture(f)
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader() CaptureHeader {
+	return CaptureHeader{
+		Policy:      "WATS",
+		GroupCounts: []int{2, 2}, GroupFreqs: []float64{2.0, 0.8},
+		HelperPeriodNS: 1e6, SpeedEmulation: true, StartUnixNS: 12345,
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.ndjson")
+	c, err := NewCapture(CaptureConfig{Path: path}, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RecordDecision(Decision{ID: 1, Class: "sha1", Worker: -1, Cluster: 0, Depth: 3, Rule: "history-partition", EstWork: 0.004, EstCount: 17})
+	c.RecordDecision(Decision{ID: 2, Class: "md5", Worker: 1, Cluster: 1, Rule: "default-fastest", EstWork: -1})
+	c.RecordTaskEnd(TaskEnd{ID: 1, Worker: 0, Cluster: 0, Start: 100, End: 4100, Work: 4000})
+	c.RecordTaskEnd(TaskEnd{ID: 2, Worker: 1, Cluster: 1, Cancelled: true})
+	c.RecordRepartition(RepartitionRecord{TS: 50, Dur: 10, Classes: map[string]int{"sha1": 0}})
+	c.RecordResize(ResizeRecord{TS: 60, Old: 4, New: 6})
+	if err := c.Close(CaptureFooter{EnergyJoules: 1.5, TasksRun: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := c.Close(CaptureFooter{}); err != nil {
+		t.Fatal(err)
+	}
+	// Records after Close are dropped, not written.
+	c.RecordDecision(Decision{ID: 3})
+
+	got, err := ParseCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Version != CaptureVersion || got.Header.Policy != "WATS" || len(got.Header.GroupCounts) != 2 {
+		t.Fatalf("header: %+v", got.Header)
+	}
+	if len(got.Decisions) != 2 || len(got.Ends) != 2 || len(got.Repartitions) != 1 || len(got.Resizes) != 1 {
+		t.Fatalf("counts: %d decisions %d ends %d reparts %d resizes",
+			len(got.Decisions), len(got.Ends), len(got.Repartitions), len(got.Resizes))
+	}
+	d := got.Decisions[0]
+	if d.ID != 1 || d.Class != "sha1" || d.Rule != "history-partition" || d.EstWork != 0.004 || d.EstCount != 17 {
+		t.Fatalf("decision: %+v", d)
+	}
+	if !got.Ends[1].Cancelled || got.Ends[0].Work != 4000 {
+		t.Fatalf("ends: %+v", got.Ends)
+	}
+	if got.Footer == nil {
+		t.Fatal("missing footer")
+	}
+	if got.Footer.Decisions != 2 || got.Footer.Ends != 2 || got.Footer.EnergyJoules != 1.5 {
+		t.Fatalf("footer: %+v", got.Footer)
+	}
+	st := c.Stats()
+	if st.Active || st.Decisions != 2 || st.Ends != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCaptureRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.ndjson")
+	// Tiny MaxBytes forces rotation after nearly every record.
+	c, err := NewCapture(CaptureConfig{Path: path, MaxBytes: 256, MaxFiles: 2}, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.RecordDecision(Decision{ID: uint64(i + 1), Class: "f", Rule: "history-partition"})
+	}
+	if err := c.Close(CaptureFooter{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Rotations == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+	// Only Path, Path.1, Path.2 may exist — older generations deleted.
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("missing first rotated file: %v", err)
+	}
+	if _, err := os.Stat(fmt.Sprintf("%s.%d", path, 3)); err == nil {
+		t.Fatal("rotation kept more than MaxFiles files")
+	}
+	// Every surviving file is self-describing: it parses on its own.
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		got, err := ParseCaptureFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.Header.Policy != "WATS" {
+			t.Fatalf("%s: header not repeated after rotation", p)
+		}
+	}
+}
+
+func TestCaptureDropCounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.ndjson")
+	c, err := NewCapture(CaptureConfig{Path: path, Buffer: 1}, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the 1-slot buffer far faster than the writer can drain it;
+	// with 100k attempts at least one must find the buffer full.
+	for i := 0; i < 100000; i++ {
+		c.RecordDecision(Decision{ID: uint64(i + 1), Class: "burst"})
+	}
+	if err := c.Close(CaptureFooter{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("expected drops with a 1-slot buffer")
+	}
+	if st.Decisions+st.Dropped != 100000 {
+		t.Fatalf("accepted %d + dropped %d != 100000", st.Decisions, st.Dropped)
+	}
+	got, err := ParseCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Footer == nil || got.Footer.Dropped != st.Dropped {
+		t.Fatalf("footer does not report drops: %+v", got.Footer)
+	}
+}
+
+func TestParseCaptureErrors(t *testing.T) {
+	if _, err := ParseCapture(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream should fail: no header")
+	}
+	if _, err := ParseCapture(strings.NewReader(`{"ev":"decision","id":1}` + "\n")); err == nil {
+		t.Fatal("headerless stream should fail")
+	}
+	if _, err := ParseCapture(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line should fail")
+	}
+	// Unknown event tags are skipped for forward compatibility.
+	in := `{"ev":"header","version":1,"policy":"WATS"}` + "\n" +
+		`{"ev":"hologram","x":1}` + "\n" +
+		`{"ev":"decision","id":7,"class":"f"}` + "\n"
+	got, err := ParseCapture(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Decisions) != 1 || got.Decisions[0].ID != 7 {
+		t.Fatalf("decisions: %+v", got.Decisions)
+	}
+	if got.Footer != nil {
+		t.Fatal("truncated capture should have nil footer")
+	}
+	if _, err := NewCapture(CaptureConfig{}, CaptureHeader{}); err == nil {
+		t.Fatal("empty path should fail")
+	}
+}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"math"
@@ -8,11 +8,12 @@ import (
 	"wats/internal/amc"
 	"wats/internal/sched"
 	"wats/internal/sim"
+	"wats/internal/trace"
 	"wats/internal/workload"
 )
 
-func record(t *testing.T) (*Recorder, *sim.Result) {
-	rec := New()
+func record(t *testing.T) (*trace.Recorder, *sim.Result) {
+	rec := trace.New()
 	w := workload.GA(5)
 	w.Batches = 2
 	res, err := sim.New(amc.AMC2, sched.MustNew(sched.KindWATS),
@@ -48,7 +49,7 @@ func TestRecorderConsistency(t *testing.T) {
 
 func TestSegmentsNonOverlappingPerCore(t *testing.T) {
 	rec, _ := record(t)
-	byCore := map[int][]Segment{}
+	byCore := map[int][]trace.Segment{}
 	for _, s := range rec.Segments {
 		if s.End < s.Start {
 			t.Fatalf("segment with negative duration: %+v", s)
@@ -124,7 +125,7 @@ func TestGanttAndCSV(t *testing.T) {
 }
 
 func TestEmptyRecorder(t *testing.T) {
-	rec := New()
+	rec := trace.New()
 	if rec.Makespan() != 0 || rec.NumCores() != 0 {
 		t.Fatal("empty recorder not zeroed")
 	}

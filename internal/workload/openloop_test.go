@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wats/internal/amc"
+	"wats/internal/sched"
+	"wats/internal/sim"
+	"wats/internal/trace"
+)
+
+func TestOpenLoopReplaysArrivalProcess(t *testing.T) {
+	w := &OpenLoop{
+		TraceName: "ol",
+		Arrivals: []Arrival{
+			{At: 4, Class: "b", Work: 1}, // deliberately out of order
+			{At: 0, Class: "a", Work: 1},
+			{At: 8, Class: "a", Work: 1},
+		},
+	}
+	e := sim.New(amc.MustNew("1c", amc.CGroup{Freq: 1, N: 1}),
+		sched.MustNew(sched.KindWATS), sim.Config{Seed: 1, CollectTasks: true})
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 3 {
+		t.Fatalf("tasks: %d", res.TasksDone)
+	}
+	if math.Abs(res.Makespan-9) > 1e-9 {
+		t.Fatalf("makespan=%v want 9 (last arrival at 8 + 1 work)", res.Makespan)
+	}
+	soj := w.Sojourns(res.Completed)
+	if len(soj) != 3 {
+		t.Fatalf("sojourns: %v", soj)
+	}
+	for _, s := range soj {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("an uncontended single-core arrival should sojourn exactly its work: %v", soj)
+		}
+	}
+	if _, ok := w.ArrivalOf(res.Completed[0]); !ok {
+		t.Fatal("ArrivalOf lost a task built by Start")
+	}
+}
+
+func capFixture() *trace.Captured {
+	ms := int64(1e6)
+	return &trace.Captured{
+		Header: trace.CaptureHeader{
+			Policy: "WATS", GroupCounts: []int{1, 1}, GroupFreqs: []float64{2, 1},
+		},
+		Decisions: []trace.Decision{
+			{ID: 1, TS: 10 * ms, Class: "sha1", Rule: "history-partition"},
+			{ID: 2, TS: 12 * ms, Class: "md5", Rule: "default-fastest"},
+			{ID: 3, TS: 14 * ms, Class: "lzw"},  // cancelled below
+			{ID: 4, TS: 20 * ms, Class: "sha1"}, // no matching end
+		},
+		Ends: []trace.TaskEnd{
+			{ID: 1, Work: 4 * ms},
+			{ID: 2, Work: 2 * ms},
+			{ID: 3, Cancelled: true},
+			{ID: 99, Work: ms}, // end with no decision
+		},
+	}
+}
+
+func TestFromCapture(t *testing.T) {
+	ol, skipped, err := FromCapture("cap", capFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined: 1 and 2. Skipped: cancelled 3, unmatched decision 4,
+	// orphaned end 99.
+	if len(ol.Arrivals) != 2 {
+		t.Fatalf("arrivals: %+v", ol.Arrivals)
+	}
+	if skipped != 3 {
+		t.Fatalf("skipped=%d want 3", skipped)
+	}
+	// Offsets are rebased to the first decision; work is in simulator
+	// seconds of fastest-core time.
+	a := ol.Arrivals[0]
+	if a.Class != "sha1" || math.Abs(a.At) > 1e-9 || math.Abs(a.Work-0.004) > 1e-9 {
+		t.Fatalf("first arrival: %+v", a)
+	}
+	b := ol.Arrivals[1]
+	if b.Class != "md5" || math.Abs(b.At-0.002) > 1e-9 {
+		t.Fatalf("second arrival: %+v", b)
+	}
+}
+
+func TestFromCaptureErrors(t *testing.T) {
+	if _, _, err := FromCapture("x", &trace.Captured{}); err == nil {
+		t.Fatal("empty capture must fail")
+	}
+	// Decisions but nothing joinable: all cancelled.
+	c := &trace.Captured{
+		Decisions: []trace.Decision{{ID: 1, Class: "f"}},
+		Ends:      []trace.TaskEnd{{ID: 1, Cancelled: true}},
+	}
+	if _, _, err := FromCapture("x", c); err == nil {
+		t.Fatal("capture with zero usable arrivals must fail")
+	}
+}

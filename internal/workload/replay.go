@@ -2,11 +2,13 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
 	"wats/internal/sim"
 	"wats/internal/task"
+	"wats/internal/trace"
 )
 
 // Replay is a workload loaded from a task listing — the adoption path for
@@ -144,3 +146,129 @@ func (r *Replay) TotalTasks() int {
 }
 
 var _ sim.Workload = (*Replay)(nil)
+
+// Arrival is one open-loop task arrival: a class instance of a measured
+// workload arriving At seconds into the trace. It is the arrival-time-
+// faithful counterpart of ReplayTask — where Replay batches tasks behind
+// barriers, OpenLoop reproduces the live service's arrival process.
+type Arrival struct {
+	At      float64
+	Class   string
+	Work    float64
+	MemFrac float64
+	CMPI    float64
+}
+
+// OpenLoop replays a recorded arrival process in the simulator: every
+// arrival is scheduled at its original offset via Engine.InjectAt, so the
+// simulated machine sees the same per-class work and the same bursts and
+// lulls the live service saw, independent of how fast the simulated
+// policy drains them (an open loop, like cmd/watsload). A fresh OpenLoop
+// is single-use: the engine mutates the tasks it builds.
+type OpenLoop struct {
+	// TraceName labels the workload in results.
+	TraceName string
+	// Arrivals is the arrival process, sorted by At in Start.
+	Arrivals []Arrival
+
+	// arriveAt remembers each constructed task's arrival offset so
+	// sojourn times (completion minus arrival) can be computed from
+	// Result.Completed without touching task.Task.
+	arriveAt map[*task.Task]float64
+}
+
+// Name implements sim.Workload.
+func (o *OpenLoop) Name() string { return o.TraceName }
+
+// Start implements sim.Workload: register every arrival with the engine.
+func (o *OpenLoop) Start(e *sim.Engine) {
+	sort.SliceStable(o.Arrivals, func(i, j int) bool { return o.Arrivals[i].At < o.Arrivals[j].At })
+	o.arriveAt = make(map[*task.Task]float64, len(o.Arrivals))
+	for _, a := range o.Arrivals {
+		t := task.New(a.Class, a.Work)
+		t.MemFrac = a.MemFrac
+		t.CMPI = a.CMPI
+		o.arriveAt[t] = a.At
+		e.InjectAt(a.At, t)
+	}
+}
+
+// OnQuiescent implements sim.Workload: the run is over only when no
+// arrival is still pending (draining between bursts is normal).
+func (o *OpenLoop) OnQuiescent(e *sim.Engine) bool { return e.PendingArrivals() > 0 }
+
+// ArrivalOf returns the arrival offset of a task built by Start.
+func (o *OpenLoop) ArrivalOf(t *task.Task) (float64, bool) {
+	at, ok := o.arriveAt[t]
+	return at, ok
+}
+
+// Sojourns maps completed tasks (Result.Completed under
+// Config.CollectTasks) to their sojourn times — completion minus arrival,
+// the simulated counterpart of the live service's job latency. Tasks not
+// built by this workload (policy-internal spawns) are skipped.
+func (o *OpenLoop) Sojourns(completed []*task.Task) []float64 {
+	out := make([]float64, 0, len(completed))
+	for _, t := range completed {
+		if at, ok := o.arriveAt[t]; ok && t.EndT >= at {
+			out = append(out, t.EndT-at)
+		}
+	}
+	return out
+}
+
+var _ sim.Workload = (*OpenLoop)(nil)
+
+// FromCapture converts a parsed live capture (trace.ParseCaptureFile)
+// into an open-loop workload: decisions joined with their task ends by
+// ledger ID, arrival offsets taken from decision timestamps (rebased to
+// the first decision), work taken from the end records' Eq.2-normalized
+// execution times. Cancelled and unmatched records are skipped and
+// counted. Live spawn trees arrive flattened: a worker-side child spawn
+// becomes an independent arrival at its decision time, which loses the
+// parent-child edge but preserves per-class work and timing — the
+// approximation the twin's fidelity line quantifies.
+func FromCapture(name string, c *trace.Captured) (*OpenLoop, int, error) {
+	if len(c.Decisions) == 0 {
+		return nil, 0, fmt.Errorf("workload: capture %q has no decision records", name)
+	}
+	ends := make(map[uint64]*trace.TaskEnd, len(c.Ends))
+	for i := range c.Ends {
+		ends[c.Ends[i].ID] = &c.Ends[i]
+	}
+	t0 := c.Decisions[0].TS
+	for _, d := range c.Decisions {
+		if d.TS < t0 {
+			t0 = d.TS
+		}
+	}
+	o := &OpenLoop{TraceName: name}
+	skipped := 0
+	matched := make(map[uint64]bool, len(c.Decisions))
+	for _, d := range c.Decisions {
+		end, ok := ends[d.ID]
+		if ok {
+			matched[d.ID] = true
+		}
+		if !ok || end.Cancelled {
+			skipped++
+			continue
+		}
+		o.Arrivals = append(o.Arrivals, Arrival{
+			At:    float64(d.TS-t0) / 1e9,
+			Class: d.Class,
+			Work:  float64(end.Work) / 1e9,
+		})
+	}
+	// Ends with no decision (records lost to capture-buffer drops) are
+	// skipped too: there is no arrival time to replay them at.
+	for id := range ends {
+		if !matched[id] {
+			skipped++
+		}
+	}
+	if len(o.Arrivals) == 0 {
+		return nil, skipped, fmt.Errorf("workload: capture %q has no completed tasks (%d skipped)", name, skipped)
+	}
+	return o, skipped, nil
+}
