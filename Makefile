@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched figures trace-demo serve-demo chaos-demo scale-demo twin-demo vulncheck
+.PHONY: check vet build test race bench bench-sched bench-serve serve-bench-demo profile-serve figures trace-demo serve-demo chaos-demo scale-demo twin-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -27,6 +27,28 @@ bench:
 bench-sched:
 	$(GO) test -run xxx -bench 'BenchmarkSpawnParallel' -benchmem -count=5 ./internal/runtime/
 	$(GO) test -run xxx -bench 'BenchmarkObserveParallel' -benchmem -count=5 ./internal/task/
+
+# bench-serve is the admission-path allocation gate (DESIGN.md §12): the
+# TestZeroAlloc* tests fail the build if a steady-state unary or batch
+# admission allocates at all, and the benchmarks print the ns/op +
+# allocs/op table the design doc quotes.
+bench-serve:
+	$(GO) test -run 'TestZeroAlloc' -count=1 -v ./internal/server/
+	$(GO) test -run xxx -bench 'BenchmarkUnaryAdmission|BenchmarkBatchAdmission16' -benchmem ./internal/server/
+
+# serve-bench-demo is the throughput acceptance run behind the committed
+# BENCH_serve.json: one in-process stack, the noop control workload,
+# unary vs batch vs streaming submission under equal concurrency.
+# -check enforces the headline: batch or stream >= 2x unary jobs/sec.
+serve-bench-demo:
+	$(GO) run ./cmd/servebench -check -out /tmp/BENCH_serve.json
+
+# profile-serve writes an alloc/heap profile of a servebench run to
+# out/serve.alloc.pprof — `go tool pprof -sample_index=alloc_objects`
+# it to hunt admission-path allocations.
+profile-serve:
+	mkdir -p out
+	$(GO) run ./cmd/servebench -duration 1s -memprofile out/serve.alloc.pprof
 
 figures:
 	$(GO) run ./cmd/watsbench -experiment all -seeds 5

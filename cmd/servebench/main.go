@@ -1,0 +1,391 @@
+// Command servebench is the admission-path throughput benchmark behind
+// BENCH_serve.json: it stands up one in-process watsd-equivalent stack
+// (real TCP listener, real HTTP server) and drives the noop control
+// workload through the three submission paths — unary POST /v1/jobs,
+// batched POST /v1/jobs:batch, and the wats-stream/1 persistent
+// connection — under the same closed-loop concurrency, reporting
+// jobs/sec and p50/p99 completion latency per mode.
+//
+// The noop workload completes in nanoseconds, so the measurement is the
+// serving machinery itself: HTTP framing, admission, the pooled job
+// lifecycle, and response encoding. That is exactly the path the
+// zero-alloc refactor targets, and the -check gate enforces its headline
+// claim: batch or streaming submission must clear at least 2x the unary
+// jobs/sec at the same concurrency.
+//
+// Usage:
+//
+//	servebench                                # print the comparison
+//	servebench -check -out BENCH_serve.json   # CI gate + committed artifact
+//	servebench -memprofile serve.alloc.pprof  # heap/alloc profile of the run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/client"
+	wrt "wats/internal/runtime"
+	"wats/internal/server"
+	"wats/internal/wire"
+)
+
+type options struct {
+	duration   time.Duration
+	workers    int
+	batch      int
+	conns      int
+	window     int
+	out        string
+	check      bool
+	memprofile string
+}
+
+// modeResult is one submission path's side of the comparison.
+type modeResult struct {
+	Mode       string  `json:"mode"`
+	Completed  int     `json:"completed"`
+	Errors     int     `json:"errors"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+type report struct {
+	Benchmark      string     `json:"benchmark"`
+	Generated      string     `json:"generated"`
+	DurationSec    float64    `json:"duration_sec"`
+	Workers        int        `json:"workers"`
+	BatchSize      int        `json:"batch_size"`
+	StreamConns    int        `json:"stream_conns"`
+	StreamWindow   int        `json:"stream_window"`
+	Unary          modeResult `json:"unary"`
+	Batch          modeResult `json:"batch"`
+	Stream         modeResult `json:"stream"`
+	BatchSpeedup   float64    `json:"batch_speedup"`
+	StreamSpeedup  float64    `json:"stream_speedup"`
+	AllocGate      string     `json:"alloc_gate"`
+	GoMaxProcs     int        `json:"gomaxprocs"`
+	RuntimeWorkers int        `json:"runtime_workers"`
+}
+
+func main() {
+	o := options{}
+	flag.DurationVar(&o.duration, "duration", 2*time.Second, "measured run per mode")
+	flag.IntVar(&o.workers, "workers", 32, "closed-loop submitters (unary and batch)")
+	flag.IntVar(&o.batch, "batch", 16, "jobs per batch request")
+	flag.IntVar(&o.conns, "conns", 4, "stream connections")
+	flag.IntVar(&o.window, "window", 128, "outstanding submissions per stream connection")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout only)")
+	flag.BoolVar(&o.check, "check", false, "enforce the acceptance gate: batch or stream >= 2x unary jobs/sec")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap/alloc profile after the run")
+	flag.Parse()
+
+	rt, err := wrt.New(wrt.Config{
+		Arch:                  amc.MustNew("bench", amc.CGroup{Freq: 2.0, N: 4}),
+		Policy:                "WATS",
+		Seed:                  7,
+		LockFree:              true,
+		DisableSpeedEmulation: true,
+		MaxQueuedTasks:        1 << 14,
+	})
+	if err != nil {
+		fatal("runtime: %v", err)
+	}
+	defer rt.Shutdown()
+	srv, err := server.New(server.Config{
+		Runtime:     rt,
+		MaxInflight: 1 << 13,
+		Workloads:   server.Builtins(),
+	})
+	if err != nil {
+		fatal("server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String()
+
+	fmt.Printf("serve-bench: %v per mode, %d workers, batch %d, %d streams x window %d\n",
+		o.duration, o.workers, o.batch, o.conns, o.window)
+
+	unary := runMode("unary", o, func(stop func() bool) *collector { return driveUnary(o, baseURL, stop) })
+	batch := runMode("batch", o, func(stop func() bool) *collector { return driveBatch(o, baseURL, stop) })
+	stream := runMode("stream", o, func(stop func() bool) *collector { return driveStream(o, baseURL, stop) })
+
+	r := report{
+		Benchmark:      "zero-alloc-admission",
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		DurationSec:    o.duration.Seconds(),
+		Workers:        o.workers,
+		BatchSize:      o.batch,
+		StreamConns:    o.conns,
+		StreamWindow:   o.window,
+		Unary:          *unary,
+		Batch:          *batch,
+		Stream:         *stream,
+		BatchSpeedup:   round2(batch.JobsPerSec / unary.JobsPerSec),
+		StreamSpeedup:  round2(stream.JobsPerSec / unary.JobsPerSec),
+		AllocGate:      "TestZeroAllocUnaryAdmission, TestZeroAllocBatchAdmission: 0 allocs/op (make bench-serve)",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		RuntimeWorkers: 4,
+	}
+	for _, m := range []*modeResult{unary, batch, stream} {
+		fmt.Printf("  %-7s %8d jobs  %9.0f jobs/s  p50 %7.3fms  p99 %7.3fms  max %7.1fms  %d errors\n",
+			m.Mode, m.Completed, m.JobsPerSec, m.P50Ms, m.P99Ms, m.MaxMs, m.Errors)
+	}
+	fmt.Printf("  batch %.2fx unary, stream %.2fx unary\n", r.BatchSpeedup, r.StreamSpeedup)
+
+	buf, _ := json.MarshalIndent(r, "", "  ")
+	buf = append(buf, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, buf, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  wrote %s\n", o.out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if o.memprofile != "" {
+		f, err := os.Create(o.memprofile)
+		if err != nil {
+			fatal("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("memprofile: %v", err)
+		}
+		f.Close()
+		fmt.Printf("  wrote %s\n", o.memprofile)
+	}
+
+	if o.check {
+		switch {
+		case unary.Errors > 0 || batch.Errors > 0 || stream.Errors > 0:
+			fatal("check: submission errors (unary %d, batch %d, stream %d)",
+				unary.Errors, batch.Errors, stream.Errors)
+		case unary.Completed == 0 || batch.Completed == 0 || stream.Completed == 0:
+			fatal("check: a mode completed nothing")
+		case r.BatchSpeedup < 2.0 && r.StreamSpeedup < 2.0:
+			fatal("check: neither batch (%.2fx) nor stream (%.2fx) reached 2x unary throughput",
+				r.BatchSpeedup, r.StreamSpeedup)
+		}
+		fmt.Println("  check: PASS")
+	}
+}
+
+// collector accumulates one driver goroutine's completions; drivers own
+// their slice and the mode merges them after the run (no contention on
+// the measured path).
+type collector struct {
+	latencies []time.Duration
+	errors    int
+}
+
+func runMode(name string, o options, drive func(stop func() bool) *collector) *modeResult {
+	deadline := time.Now().Add(o.duration)
+	stop := func() bool { return time.Now().After(deadline) }
+	start := time.Now()
+	col := drive(stop)
+	elapsed := time.Since(start)
+
+	sort.Slice(col.latencies, func(i, j int) bool { return col.latencies[i] < col.latencies[j] })
+	m := &modeResult{Mode: name, Completed: len(col.latencies), Errors: col.errors}
+	m.JobsPerSec = float64(m.Completed) / elapsed.Seconds()
+	if n := len(col.latencies); n > 0 {
+		m.P50Ms = msf(col.latencies[n/2])
+		m.P99Ms = msf(col.latencies[n*99/100])
+		m.MaxMs = msf(col.latencies[n-1])
+	}
+	return m
+}
+
+func merge(cols []*collector) *collector {
+	out := &collector{}
+	for _, c := range cols {
+		out.latencies = append(out.latencies, c.latencies...)
+		out.errors += c.errors
+	}
+	return out
+}
+
+// driveUnary: o.workers closed-loop submitters, one POST /v1/jobs each
+// iteration over shared keep-alive connections.
+func driveUnary(o options, baseURL string, stop func() bool) *collector {
+	c, err := client.New(client.Config{BaseURL: baseURL, MaxRetries: 0})
+	if err != nil {
+		fatal("unary client: %v", err)
+	}
+	body := []byte(`{"workload":"noop"}`)
+	cols := make([]*collector, o.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		col := &collector{}
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for !stop() {
+				t0 := time.Now()
+				res, err := c.SubmitJob(ctx, body)
+				if err != nil || res.StatusCode != http.StatusOK {
+					col.errors++
+					continue
+				}
+				col.latencies = append(col.latencies, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	return merge(cols)
+}
+
+// driveBatch: the same o.workers submitters, each sending o.batch jobs
+// per request. An item's latency is its batch's round trip — the honest
+// completion latency a batched client observes.
+func driveBatch(o options, baseURL string, stop func() bool) *collector {
+	c, err := client.New(client.Config{BaseURL: baseURL, MaxRetries: 0})
+	if err != nil {
+		fatal("batch client: %v", err)
+	}
+	jobs := make([]client.BatchJob, o.batch)
+	for i := range jobs {
+		jobs[i] = client.BatchJob{Workload: "noop"}
+	}
+	cols := make([]*collector, o.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		col := &collector{}
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for !stop() {
+				t0 := time.Now()
+				res, err := c.SubmitBatch(ctx, jobs)
+				if err != nil {
+					col.errors++
+					continue
+				}
+				rtt := time.Since(t0)
+				for i := range res {
+					if res[i].Code == http.StatusOK {
+						col.latencies = append(col.latencies, rtt)
+					} else {
+						col.errors++
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return merge(cols)
+}
+
+// driveStream: o.conns connections, each keeping o.window submissions
+// outstanding — submit the window, then one new submission per result.
+func driveStream(o options, baseURL string, stop func() bool) *collector {
+	cols := make([]*collector, o.conns)
+	var wg sync.WaitGroup
+	for k := 0; k < o.conns; k++ {
+		col := &collector{}
+		cols[k] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.New(client.Config{BaseURL: baseURL})
+			if err != nil {
+				col.errors++
+				return
+			}
+			sc, err := c.DialStream(context.Background())
+			if err != nil {
+				col.errors++
+				return
+			}
+			defer sc.Close()
+			noopID, ok := sc.WorkloadID("noop")
+			if !ok {
+				col.errors++
+				return
+			}
+			sent := make(map[uint64]time.Time, o.window)
+			var seq uint64
+			submit := func() bool {
+				seq++
+				sent[seq] = time.Now()
+				if err := sc.Submit(&wire.Submit{ID: seq, Workload: noopID}); err != nil {
+					col.errors++
+					return false
+				}
+				return true
+			}
+			for i := 0; i < o.window; i++ {
+				if !submit() {
+					return
+				}
+			}
+			if err := sc.Flush(); err != nil {
+				col.errors++
+				return
+			}
+			for res := range sc.Results() {
+				t0, ok := sent[res.ID]
+				if !ok {
+					col.errors++
+					continue
+				}
+				delete(sent, res.ID)
+				if res.Outcome == wire.OutcomeOK {
+					col.latencies = append(col.latencies, time.Since(t0))
+				} else {
+					col.errors++
+				}
+				if stop() {
+					if len(sent) == 0 {
+						return
+					}
+					continue // drain the remaining window
+				}
+				if !submit() {
+					return
+				}
+				if err := sc.Flush(); err != nil {
+					col.errors++
+					return
+				}
+			}
+			col.errors += len(sent)
+		}()
+	}
+	wg.Wait()
+	return merge(cols)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servebench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func msf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

@@ -15,12 +15,21 @@
 // short burst as a smoke test (see `make serve-demo` and
 // `make chaos-demo`).
 //
+// Three submission modes drive the same arrival process (-mode):
+// "unary" POSTs one /v1/jobs request per arrival; "batch" coalesces
+// arrivals into /v1/jobs:batch requests of up to -batch jobs (one
+// admission decision and one response per batch, item-level retries);
+// "stream" pipelines every arrival over one persistent wats-stream/1
+// connection (see internal/wire) — no per-job request at all.
+//
 // Usage:
 //
 //	watsload -addr http://localhost:8080 -rate 100 -duration 5s
 //	watsload -rate 2000 -duration 10s -mix sha1=6,lzw=3,bzip2=1 -deadline-ms 500
 //	watsload -rate 2000 -duration 5s -chaos -retries 3
 //	watsload -profile 50:2s,800:4s,50:2s   # stepped rates for autoscale tests
+//	watsload -rate 5000 -duration 5s -mode batch -batch 32
+//	watsload -rate 5000 -duration 5s -mode stream -mix noop
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"wats/internal/client"
 	"wats/internal/rng"
+	"wats/internal/wire"
 )
 
 type result struct {
@@ -62,6 +72,8 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "chaos mode: expect injected faults; defaults -retries to 3 and tightens backoff")
 		profile  = flag.String("profile", "", `stepped-rate profile "rate:dur,rate:dur,..." overriding -rate/-duration (e.g. "50:2s,800:4s,50:2s")`)
 		logFmt   = flag.String("log-format", "text", "structured log format for status lines: text or json (results stay on stdout)")
+		mode     = flag.String("mode", "unary", "submission mode: unary, batch, or stream")
+		batchN   = flag.Int("batch", 16, "batch mode: jobs coalesced per /v1/jobs:batch request")
 	)
 	flag.Parse()
 
@@ -119,10 +131,10 @@ func main() {
 	}
 
 	if *profile != "" {
-		logger.Info("open-loop load", "addr", *addr, "total", total, "profile", *profile,
+		logger.Info("open-loop load", "addr", *addr, "mode", *mode, "total", total, "profile", *profile,
 			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	} else {
-		logger.Info("open-loop load", "addr", *addr, "total", total, "rate", *rate,
+		logger.Info("open-loop load", "addr", *addr, "mode", *mode, "total", total, "rate", *rate,
 			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	}
 	if *chaos {
@@ -132,27 +144,21 @@ func main() {
 	r := rng.New(*seed)
 	results := make(chan result, 1<<16)
 	var wg sync.WaitGroup
-	sent := 0
-	start := time.Now()
-	next := start
-	var phaseEnd time.Duration
-	for _, ph := range phases {
-		phaseEnd += ph.dur
-		for {
-			// Poisson process: exponential inter-arrival times at mean
-			// 1/rate for the current phase.
-			next = next.Add(time.Duration(r.ExpFloat64() / ph.rate * float64(time.Second)))
-			if next.Sub(start) > phaseEnd {
-				break
-			}
-			time.Sleep(time.Until(next))
-			wl := names[pickWeighted(r, weights)]
+
+	// dispatch submits one arrival; flushFn pushes anything still
+	// coalesced (batch remainder, buffered stream frames) after the
+	// arrival loop; closeFn tears down mode state after the last result.
+	var dispatch func(wl string)
+	flushFn, closeFn := func() {}, func() {}
+
+	switch *mode {
+	case "unary":
+		dispatch = func(wl string) {
 			body, _ := json.Marshal(map[string]any{
 				"workload":    wl,
 				"deadline_ms": *deadline,
 				"params":      map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size},
 			})
-			sent++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -170,13 +176,134 @@ func main() {
 				}
 			}()
 		}
+	case "batch":
+		if *batchN < 1 {
+			*batchN = 1
+		}
+		var pend []client.BatchJob
+		var pendT0 []time.Time
+		flush := func() {
+			if len(pend) == 0 {
+				return
+			}
+			jobs, t0s := pend, pendT0
+			pend, pendT0 = nil, nil
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rs, err := cl.SubmitBatch(context.Background(), jobs)
+				if err != nil {
+					for range jobs {
+						results <- result{status: 0}
+					}
+					return
+				}
+				for i := range rs {
+					results <- result{
+						status:  rs[i].Code,
+						panicjb: rs[i].Code == http.StatusInternalServerError && rs[i].Error == "panic",
+						retried: rs[i].Attempts > 1,
+						latency: time.Since(t0s[i]),
+					}
+				}
+			}()
+		}
+		dispatch = func(wl string) {
+			params, _ := json.Marshal(map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size})
+			pend = append(pend, client.BatchJob{Workload: wl, Params: params, DeadlineMS: *deadline})
+			pendT0 = append(pendT0, time.Now())
+			if len(pend) >= *batchN {
+				flush()
+			}
+		}
+		flushFn = flush
+	case "stream":
+		sc, err := cl.DialStream(context.Background())
+		if err != nil {
+			logger.Error("stream dial", "err", err)
+			os.Exit(2)
+		}
+		var imu sync.Mutex
+		inflight := map[uint64]time.Time{}
+		var seq uint64
+		readerDone := make(chan struct{})
+		go func() {
+			defer close(readerDone)
+			for res := range sc.Results() {
+				imu.Lock()
+				t0, ok := inflight[res.ID]
+				delete(inflight, res.ID)
+				imu.Unlock()
+				if !ok {
+					continue
+				}
+				results <- result{
+					status:  streamStatus(res.Outcome),
+					panicjb: res.Outcome == wire.OutcomePanicked,
+					latency: time.Since(t0),
+				}
+				wg.Done()
+			}
+			// Connection gone: whatever never got a result is a failure.
+			imu.Lock()
+			for id := range inflight {
+				delete(inflight, id)
+				results <- result{status: 0}
+				wg.Done()
+			}
+			imu.Unlock()
+		}()
+		dispatch = func(wl string) {
+			wid, ok := sc.WorkloadID(wl)
+			if !ok {
+				results <- result{status: http.StatusBadRequest}
+				return
+			}
+			seq++
+			sub := wire.Submit{
+				ID: seq, Workload: wid, DeadlineMS: *deadline,
+				Size: int64(*size), Seed: r.Uint64()%1000 + 1,
+			}
+			imu.Lock()
+			inflight[seq] = time.Now()
+			imu.Unlock()
+			wg.Add(1)
+			_ = sc.Submit(&sub)
+			_ = sc.Flush()
+		}
+		flushFn = func() { _ = sc.Flush() }
+		closeFn = func() { _ = sc.Close(); <-readerDone }
+	default:
+		logger.Error("bad -mode (want unary, batch, or stream)", "mode", *mode)
+		os.Exit(2)
+	}
+
+	sent := 0
+	start := time.Now()
+	next := start
+	var phaseEnd time.Duration
+	for _, ph := range phases {
+		phaseEnd += ph.dur
+		for {
+			// Poisson process: exponential inter-arrival times at mean
+			// 1/rate for the current phase.
+			next = next.Add(time.Duration(r.ExpFloat64() / ph.rate * float64(time.Second)))
+			if next.Sub(start) > phaseEnd {
+				break
+			}
+			time.Sleep(time.Until(next))
+			sent++
+			dispatch(names[pickWeighted(r, weights)])
+		}
 		// Restart the arrival clock at the phase boundary so the next
 		// phase's rate applies from its own start, not from the previous
 		// phase's overshooting last arrival.
 		next = start.Add(phaseEnd)
 	}
+	flushFn()
 	elapsed := time.Since(start)
 	wg.Wait()
+	closeFn()
 	close(results)
 
 	var completed, shed, expired, panicked, failed int
@@ -222,6 +349,25 @@ func main() {
 	if completed == 0 {
 		logger.Error("zero completed jobs")
 		os.Exit(1)
+	}
+}
+
+// streamStatus maps a wire outcome to its HTTP-equivalent status so the
+// stream mode shares the unary accounting switch.
+func streamStatus(outcome byte) int {
+	switch outcome {
+	case wire.OutcomeOK:
+		return http.StatusOK
+	case wire.OutcomeExpired:
+		return http.StatusGatewayTimeout
+	case wire.OutcomeShed:
+		return http.StatusTooManyRequests
+	case wire.OutcomeDraining:
+		return http.StatusServiceUnavailable
+	case wire.OutcomeBadReq:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

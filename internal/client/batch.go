@@ -1,0 +1,141 @@
+// Batch submission with item-level retry. A batch response reports a
+// per-item code, so the retry unit is the item, never the whole batch:
+// completed jobs are final on the first round and only the shed/
+// unavailable remainder is resubmitted — resubmitting a succeeded item
+// would duplicate work the scheduler already accounted (and double-
+// count every metric downstream).
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// BatchJob is one job in a batch submission (mirrors the unary
+// /v1/jobs body; async is not supported in batches).
+type BatchJob struct {
+	Workload   string          `json:"workload"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+}
+
+// BatchItemResult is one item of a batch response. Code is the item's
+// HTTP-equivalent status (200/400/429/500/503/504); the JobView fields
+// are present for items that ran.
+type BatchItemResult struct {
+	Code        int             `json:"code"`
+	ID          string          `json:"id,omitempty"`
+	Workload    string          `json:"workload,omitempty"`
+	Status      string          `json:"status,omitempty"`
+	QueueWaitMS float64         `json:"queue_wait_ms,omitempty"`
+	ExecMS      float64         `json:"exec_ms,omitempty"`
+	EnergyJ     float64         `json:"energy_j,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Detail      string          `json:"detail,omitempty"`
+	// Attempts is how many submission rounds this item went through.
+	Attempts int `json:"-"`
+}
+
+type batchReqBody struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+type batchRespBody struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// SubmitBatch submits jobs via POST /v1/jobs:batch and retries only the
+// items that came back retryable (429 shed, 503 unavailable), up to the
+// client's MaxRetries rounds with the usual backoff/Retry-After policy.
+// The returned slice is indexed like jobs; err is non-nil only when no
+// batch outcome was reached at all (breaker open, context done, every
+// round failed in transport, or a malformed response).
+func (c *Client) SubmitBatch(ctx context.Context, jobs []BatchJob) ([]BatchItemResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	c.requests.Add(1)
+	results := make([]BatchItemResult, len(jobs))
+	pending := make([]int, len(jobs))
+	for i := range pending {
+		pending[i] = i
+	}
+	resend := make([]BatchJob, 0, len(jobs))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.br.allow(); err != nil {
+			c.breakerRejects.Add(1)
+			if lastErr != nil {
+				return results, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			}
+			return results, err
+		}
+		resend = resend[:0]
+		for _, idx := range pending {
+			resend = append(resend, jobs[idx])
+		}
+		body, err := json.Marshal(batchReqBody{Jobs: resend})
+		if err != nil {
+			return results, fmt.Errorf("client: encode batch: %w", err)
+		}
+		status, respBody, retryAfter, err := c.attempt(ctx, http.MethodPost, "/v1/jobs:batch", body)
+		c.attempts.Add(1)
+		if err != nil {
+			lastErr = err
+			c.br.record(false)
+			if ctx.Err() != nil {
+				return results, ctx.Err()
+			}
+			if attempt >= c.cfg.MaxRetries {
+				return results, fmt.Errorf("client: batch failed after %d rounds: %w", attempt+1, err)
+			}
+		} else {
+			c.br.record(status != http.StatusServiceUnavailable)
+			switch {
+			case status == http.StatusOK:
+				var resp batchRespBody
+				if uerr := json.Unmarshal(respBody, &resp); uerr != nil {
+					return results, fmt.Errorf("client: decode batch response: %w", uerr)
+				}
+				if len(resp.Results) != len(pending) {
+					return results, fmt.Errorf("client: batch response has %d results for %d jobs", len(resp.Results), len(pending))
+				}
+				// Item-level retry decision: keep only the retryable
+				// remainder pending; everything else is final.
+				next := pending[:0]
+				for k, idx := range pending {
+					r := resp.Results[k]
+					r.Attempts = results[idx].Attempts + 1
+					results[idx] = r
+					if retryable(r.Code) {
+						next = append(next, idx)
+					}
+				}
+				pending = next
+				if len(pending) == 0 || attempt >= c.cfg.MaxRetries {
+					return results, nil
+				}
+			case retryable(status):
+				// Whole-batch shed (429) or draining (503): every pending
+				// item was rejected; they are all individually retryable.
+				for _, idx := range pending {
+					results[idx].Code = status
+					results[idx].Attempts++
+					results[idx].Error = http.StatusText(status)
+				}
+				if attempt >= c.cfg.MaxRetries {
+					return results, nil
+				}
+			default:
+				return results, fmt.Errorf("client: batch submit: HTTP %d: %s", status, respBody)
+			}
+		}
+		c.retries.Add(1)
+		if serr := c.sleep(ctx, c.backoff(attempt, retryAfter)); serr != nil {
+			return results, serr
+		}
+	}
+}

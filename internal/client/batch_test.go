@@ -1,0 +1,174 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// batchScriptServer answers /v1/jobs:batch from a script of per-round
+// responder functions and records each round's request body.
+func batchScriptServer(t *testing.T, rounds ...func(jobs []BatchJob) any) (*httptest.Server, func() [][]BatchJob) {
+	t.Helper()
+	var mu sync.Mutex
+	var seen [][]BatchJob
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Jobs []BatchJob `json:"jobs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad batch body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		n := len(seen)
+		seen = append(seen, req.Jobs)
+		mu.Unlock()
+		if n >= len(rounds) {
+			t.Errorf("unexpected round %d", n)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		switch resp := rounds[n](req.Jobs).(type) {
+		case int:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(resp)
+		default:
+			json.NewEncoder(w).Encode(map[string]any{"results": resp})
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, func() [][]BatchJob {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen
+	}
+}
+
+// The core item-level retry contract: after a partial shed, only the
+// shed items are resubmitted — completed work is final on round one and
+// is never re-sent (resubmitting it would duplicate scheduler work).
+func TestSubmitBatchRetriesOnlyFailedItems(t *testing.T) {
+	ts, seen := batchScriptServer(t,
+		func(jobs []BatchJob) any {
+			if len(jobs) != 3 {
+				t.Errorf("round 1: %d jobs, want 3", len(jobs))
+			}
+			return []BatchItemResult{
+				{Code: 200, ID: "j000001", Status: "completed"},
+				{Code: 429, Error: "shed"},
+				{Code: 400, Error: "unknown workload"},
+			}
+		},
+		func(jobs []BatchJob) any {
+			if len(jobs) != 1 || jobs[0].Workload != "b" {
+				t.Errorf("round 2 resent %+v, want only the shed item b", jobs)
+			}
+			return []BatchItemResult{{Code: 200, ID: "j000002", Status: "completed"}}
+		},
+	)
+	c, err := New(fastCfg(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SubmitBatch(context.Background(), []BatchJob{
+		{Workload: "a"}, {Workload: "b"}, {Workload: "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(seen()); got != 2 {
+		t.Fatalf("server saw %d rounds, want 2", got)
+	}
+	// Results stay indexed like the input across rounds.
+	if res[0].Code != 200 || res[0].ID != "j000001" || res[0].Attempts != 1 {
+		t.Errorf("item a: %+v, want first-round completion", res[0])
+	}
+	if res[1].Code != 200 || res[1].ID != "j000002" || res[1].Attempts != 2 {
+		t.Errorf("item b: %+v, want second-round completion after shed", res[1])
+	}
+	if res[2].Code != 400 || res[2].Attempts != 1 {
+		t.Errorf("item c: %+v, want final 400 with no retry", res[2])
+	}
+}
+
+// A whole-batch 429 marks every pending item retryable and the next
+// round resends them all; the breaker does not trip on shed (429 is
+// backpressure, not server failure).
+func TestSubmitBatchWholeShedThenSuccess(t *testing.T) {
+	ts, seen := batchScriptServer(t,
+		func(jobs []BatchJob) any { return http.StatusTooManyRequests },
+		func(jobs []BatchJob) any {
+			if len(jobs) != 2 {
+				t.Errorf("round 2: %d jobs, want 2", len(jobs))
+			}
+			return []BatchItemResult{
+				{Code: 200, Status: "completed"},
+				{Code: 200, Status: "completed"},
+			}
+		},
+	)
+	cfg := fastCfg(ts.URL)
+	cfg.Breaker.Threshold = 1 // would open on the first "failure"
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SubmitBatch(context.Background(), []BatchJob{{Workload: "a"}, {Workload: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(seen()); got != 2 {
+		t.Fatalf("server saw %d rounds, want 2", got)
+	}
+	for i := range res {
+		if res[i].Code != 200 || res[i].Attempts != 2 {
+			t.Errorf("item %d: %+v, want completion on round 2", i, res[i])
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 0 {
+		t.Errorf("breaker opened on a 429 shed: %+v", st)
+	}
+}
+
+// Retry budget exhaustion: items still shed after the last round keep
+// their 429 in the indexed results, with no error (a batch outcome was
+// reached).
+func TestSubmitBatchExhaustsRetries(t *testing.T) {
+	alwaysShed := func(jobs []BatchJob) any {
+		out := make([]BatchItemResult, len(jobs))
+		for i := range out {
+			out[i] = BatchItemResult{Code: 429, Error: "shed"}
+		}
+		return out
+	}
+	ts, seen := batchScriptServer(t, alwaysShed, alwaysShed, alwaysShed, alwaysShed)
+	c, err := New(fastCfg(ts.URL)) // MaxRetries: 3 → 4 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SubmitBatch(context.Background(), []BatchJob{{Workload: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(seen()); got != 4 {
+		t.Fatalf("server saw %d rounds, want 4", got)
+	}
+	if res[0].Code != 429 || res[0].Attempts != 4 {
+		t.Errorf("item: %+v, want 429 after 4 rounds", res[0])
+	}
+}
+
+func TestSubmitBatchEmpty(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitBatch(context.Background(), nil); err == nil {
+		t.Error("empty batch did not error")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -138,9 +139,23 @@ func New(cfg Config) (*Client, error) {
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
+		// Explicit connection-reuse tuning: the default transport only
+		// keeps 2 idle conns per host, so a watsload fleet hammering one
+		// watsd would churn TCP handshakes. Keep-alives on, a deep idle
+		// pool pinned to the (single) target host, and a long idle
+		// timeout so open-loop bursts separated by quiet periods still
+		// reuse connections.
 		hc = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
 			MaxIdleConns:        512,
 			MaxIdleConnsPerHost: 512,
+			IdleConnTimeout:     90 * time.Second,
+			DisableKeepAlives:   false,
+			WriteBufferSize:     64 << 10,
+			ReadBufferSize:      64 << 10,
 		}}
 	}
 	return &Client{

@@ -1,0 +1,204 @@
+// Persistent streaming mode: one long-lived connection speaking
+// internal/wire frames, the client-side counterpart of the server's
+// /v1/stream handler. Submissions are pipelined (buffered writes, an
+// explicit Flush) and results arrive on a channel in completion order,
+// correlated by caller-chosen request ids — the caller owns the
+// id→context bookkeeping, the stream owns the connection.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"wats/internal/wire"
+)
+
+// StreamClient is one wats-stream/1 connection. Submit/Flush may be
+// called from multiple goroutines; Results delivers every outcome until
+// the connection closes.
+type StreamClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	sbuf []byte
+	werr error
+
+	workloads map[string]uint8
+	entries   []wire.HelloEntry
+
+	results chan wire.Result
+
+	errMu   sync.Mutex
+	readErr error
+}
+
+// DialStream opens a streaming connection to the client's BaseURL,
+// performs the wats-stream/1 upgrade, and consumes the HELLO workload
+// table. Close the returned stream to release the connection.
+func (c *Client) DialStream(ctx context.Context) (*StreamClient, error) {
+	u, err := url.Parse(c.cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad BaseURL: %w", err)
+	}
+	if u.Scheme != "http" {
+		return nil, fmt.Errorf("client: streaming requires an http BaseURL, got %q", u.Scheme)
+	}
+	host := u.Host
+	if _, _, err := net.SplitHostPort(host); err != nil {
+		host = net.JoinHostPort(host, "80")
+	}
+	d := net.Dialer{Timeout: c.cfg.RequestTimeout, KeepAlive: 30 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial stream: %w", err)
+	}
+	sc := &StreamClient{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		sbuf:    make([]byte, 0, 64),
+		results: make(chan wire.Result, 1024),
+	}
+	if err := sc.handshake(host); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go sc.readLoop()
+	return sc, nil
+}
+
+func (sc *StreamClient) handshake(host string) error {
+	req := "GET /v1/stream HTTP/1.1\r\nHost: " + host +
+		"\r\nConnection: Upgrade\r\nUpgrade: " + wire.Proto + "\r\n\r\n"
+	if _, err := sc.bw.WriteString(req); err != nil {
+		return fmt.Errorf("client: stream handshake write: %w", err)
+	}
+	if err := sc.bw.Flush(); err != nil {
+		return fmt.Errorf("client: stream handshake flush: %w", err)
+	}
+	resp, err := http.ReadResponse(sc.br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		return fmt.Errorf("client: stream handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		return fmt.Errorf("client: stream upgrade refused: HTTP %d: %s", resp.StatusCode, body)
+	}
+	ft, payload, _, err := wire.ReadFrame(sc.br, make([]byte, 0, 4<<10))
+	if err != nil {
+		return fmt.Errorf("client: stream hello: %w", err)
+	}
+	if ft != wire.FrameHello {
+		return fmt.Errorf("client: stream hello: unexpected frame type %d", ft)
+	}
+	entries, err := wire.ParseHello(payload)
+	if err != nil {
+		return fmt.Errorf("client: stream hello: %w", err)
+	}
+	sc.entries = entries
+	sc.workloads = make(map[string]uint8, len(entries))
+	for _, e := range entries {
+		sc.workloads[e.Name] = e.ID
+	}
+	return nil
+}
+
+// WorkloadID resolves a workload name to its wire id from the HELLO
+// table.
+func (sc *StreamClient) WorkloadID(name string) (uint8, bool) {
+	id, ok := sc.workloads[name]
+	return id, ok
+}
+
+// Workloads returns the server's HELLO table.
+func (sc *StreamClient) Workloads() []wire.HelloEntry { return sc.entries }
+
+// Submit buffers one SUBMIT frame. Nothing reaches the server until
+// Flush — pipeline a burst, then flush once; a submission left
+// unflushed never produces a result.
+func (sc *StreamClient) Submit(s *wire.Submit) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.werr != nil {
+		return sc.werr
+	}
+	sc.sbuf = wire.AppendSubmit(sc.sbuf[:0], s)
+	if _, err := sc.bw.Write(sc.sbuf); err != nil {
+		sc.werr = err
+		return err
+	}
+	return nil
+}
+
+// Flush pushes all buffered submissions to the server.
+func (sc *StreamClient) Flush() error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.werr != nil {
+		return sc.werr
+	}
+	if err := sc.bw.Flush(); err != nil {
+		sc.werr = err
+		return err
+	}
+	return nil
+}
+
+// Results delivers outcomes in completion order. The channel closes
+// when the connection does; check Err afterwards.
+func (sc *StreamClient) Results() <-chan wire.Result { return sc.results }
+
+// Err reports why the result stream ended: nil for a clean close (EOF
+// after Close or a server drain), the transport error otherwise. Only
+// meaningful after Results is closed.
+func (sc *StreamClient) Err() error {
+	sc.errMu.Lock()
+	defer sc.errMu.Unlock()
+	if sc.readErr == io.EOF {
+		return nil
+	}
+	return sc.readErr
+}
+
+// Close tears down the connection. In-flight submissions may or may not
+// execute server-side; a graceful shutdown flushes, waits for all
+// results on Results, then calls Close.
+func (sc *StreamClient) Close() error {
+	return sc.conn.Close()
+}
+
+func (sc *StreamClient) readLoop() {
+	defer close(sc.results)
+	buf := make([]byte, 0, 4<<10)
+	var res wire.Result
+	for {
+		ft, payload, nbuf, err := wire.ReadFrame(sc.br, buf[:cap(buf)])
+		buf = nbuf
+		if err != nil {
+			sc.errMu.Lock()
+			sc.readErr = err
+			sc.errMu.Unlock()
+			return
+		}
+		if ft != wire.FrameResult {
+			continue
+		}
+		if err := wire.ParseResult(payload, &res); err != nil {
+			sc.errMu.Lock()
+			sc.readErr = err
+			sc.errMu.Unlock()
+			return
+		}
+		sc.results <- res
+	}
+}

@@ -1,15 +1,26 @@
 package obs
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ring is a fixed-size drop-oldest event buffer. Writers reserve a slot
 // with one atomic fetch-add and publish the event through an atomic
-// pointer store, so the structure is safe for any number of concurrent
+// pointer swap, so the structure is safe for any number of concurrent
 // writers plus concurrent readers without locks; when the buffer wraps,
 // the oldest events are overwritten. Readers take a best-effort snapshot:
 // under concurrent writes a snapshot may miss an event that is mid-publish
 // or see slots from different laps, which snapshot() resolves by sequence
 // number.
+//
+// Event storage is recycled: put copies the caller's event into a pooled
+// *Event and the displaced event (the one the Swap evicted) goes back to
+// the pool, so steady-state emission performs no allocation. Ownership is
+// transferred only through atomic Swap/CompareAndSwap, never shared — a
+// writer recycles only events it displaced itself, and a reader copies
+// only events it swapped out itself — which is what keeps reuse race-free
+// without reader/writer coordination.
 //
 // The sequence counter sits alone on its cache line (pads on both sides)
 // so that workers hammering their own rings do not false-share it with a
@@ -20,6 +31,10 @@ type ring struct {
 	_     [56]byte
 	slots []atomic.Pointer[Event]
 	mask  uint64
+	// free recycles displaced events back to writers. Only events a
+	// writer's own Swap evicted are ever Put, so no pooled event can still
+	// be referenced by a concurrent reader.
+	free sync.Pool
 }
 
 // newRing returns a ring with the given power-of-two capacity.
@@ -27,12 +42,19 @@ func newRing(size int) *ring {
 	return &ring{slots: make([]atomic.Pointer[Event], size), mask: uint64(size - 1)}
 }
 
-// put records one event. The caller passes a fresh *Event that the ring
-// takes ownership of; its Seq field is assigned here.
-func (r *ring) put(e *Event) {
+// put records one event (by value; the ring owns the pooled copy). The
+// event's Seq field is assigned here.
+func (r *ring) put(e Event) {
+	ev, _ := r.free.Get().(*Event)
+	if ev == nil {
+		ev = new(Event)
+	}
+	*ev = e
 	i := r.seq.Add(1) - 1
-	e.Seq = i
-	r.slots[i&r.mask].Store(e)
+	ev.Seq = i
+	if old := r.slots[i&r.mask].Swap(ev); old != nil {
+		r.free.Put(old)
+	}
 }
 
 // written returns the total number of events ever put.
@@ -47,14 +69,21 @@ func (r *ring) dropped() uint64 {
 	return 0
 }
 
-// snapshot appends a copy of the currently buffered events to dst. Events
+// snapshot appends a copy of the currently buffered events to dst. Each
+// slot is claimed with an atomic Swap (so the copy cannot race a writer
+// recycling the event) and handed back with a CompareAndSwap; if a writer
+// claimed the slot in between, the newer event wins and the copied one is
+// abandoned to the GC — it was about to be dropped-oldest anyway. Events
 // from a torn lap (sequence ahead of the snapshot's view) are kept — they
 // are simply newer; nil slots (never written) are skipped.
 func (r *ring) snapshot(dst []Event) []Event {
 	for i := range r.slots {
-		if p := r.slots[i].Load(); p != nil {
-			dst = append(dst, *p)
+		p := r.slots[i].Swap(nil)
+		if p == nil {
+			continue
 		}
+		dst = append(dst, *p)
+		r.slots[i].CompareAndSwap(nil, p)
 	}
 	return dst
 }

@@ -92,7 +92,7 @@ func TestRingConcurrent(t *testing.T) {
 func TestRingDropOldest(t *testing.T) {
 	r := newRing(4)
 	for i := 0; i < 10; i++ {
-		r.put(&Event{TS: int64(i)})
+		r.put(Event{TS: int64(i)})
 	}
 	if got := r.written(); got != 10 {
 		t.Fatalf("written = %d, want 10", got)

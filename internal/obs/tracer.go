@@ -104,7 +104,7 @@ func (t *Tracer) ringFor(worker int) *ring {
 func (t *Tracer) Spawn(worker, cluster int, class string, depth int) {
 	t.spawns.Add(1)
 	t.queueDepth.Observe(int64(depth))
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvSpawn, Worker: int32(worker),
 		Cluster: int32(cluster), Victim: -1, N: int32(depth), Class: class,
 	})
@@ -113,7 +113,7 @@ func (t *Tracer) Spawn(worker, cluster int, class string, depth int) {
 // Pop records a local (own-pool) acquisition.
 func (t *Tracer) Pop(worker, cluster int, class string) {
 	t.pops.Add(1)
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvPop, Worker: int32(worker),
 		Cluster: int32(cluster), Victim: -1, Class: class,
 	})
@@ -123,7 +123,7 @@ func (t *Tracer) Pop(worker, cluster int, class string) {
 // cluster.
 func (t *Tracer) StealTry(worker, cluster, probes int) {
 	t.stealTry.Add(uint64(probes))
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvStealTry, Worker: int32(worker),
 		Cluster: int32(cluster), Victim: -1, N: int32(probes),
 	})
@@ -139,7 +139,7 @@ func (t *Tracer) Steal(worker, victim, cluster int, class string, probes int, la
 	t.stealTry.Add(uint64(probes))
 	t.steals.Add(1)
 	t.stealLatency.Observe(latency.Nanoseconds())
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvSteal, Worker: int32(worker),
 		Cluster: int32(cluster), Victim: int32(victim), N: int32(probes),
 		Dur: latency.Nanoseconds(), Class: class,
@@ -149,7 +149,7 @@ func (t *Tracer) Steal(worker, victim, cluster int, class string, probes int, la
 // Snatch records a preemption of victim's running task by worker.
 func (t *Tracer) Snatch(worker, victim int, class string) {
 	t.snatches.Add(1)
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvSnatch, Worker: int32(worker),
 		Cluster: -1, Victim: int32(victim), Class: class,
 	})
@@ -160,7 +160,7 @@ func (t *Tracer) Snatch(worker, victim int, class string) {
 func (t *Tracer) Complete(worker, cluster int, class string, work time.Duration) {
 	t.completes.Add(1)
 	t.classHist(class).Observe(work.Nanoseconds())
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvComplete, Worker: int32(worker),
 		Cluster: int32(cluster), Victim: -1,
 		Dur: work.Nanoseconds(), Class: class,
@@ -172,7 +172,7 @@ func (t *Tracer) Complete(worker, cluster int, class string, work time.Duration)
 func (t *Tracer) Repartition(dur time.Duration, part map[string]int) {
 	t.reparts.Add(1)
 	t.repartDur.Observe(dur.Nanoseconds())
-	t.ringFor(-1).put(&Event{
+	t.ringFor(-1).put(Event{
 		TS: t.now(), Kind: EvRepartition, Worker: -1, Cluster: -1, Victim: -1,
 		Dur: dur.Nanoseconds(), Part: part,
 	})
@@ -187,7 +187,7 @@ func (t *Tracer) Repartition(dur time.Duration, part map[string]int) {
 // was already done (deadline exceeded or caller cancellation).
 func (t *Tracer) Cancel(worker int, class string) {
 	t.cancels.Add(1)
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvCancel, Worker: int32(worker),
 		Cluster: -1, Victim: -1, Class: class,
 	})
@@ -197,7 +197,7 @@ func (t *Tracer) Cancel(worker int, class string) {
 // worker and the isolation layer contained it.
 func (t *Tracer) Panic(worker int, class string) {
 	t.panics.Add(1)
-	t.ringFor(worker).put(&Event{
+	t.ringFor(worker).put(Event{
 		TS: t.now(), Kind: EvPanic, Worker: int32(worker),
 		Cluster: -1, Victim: -1, Class: class,
 	})
@@ -207,7 +207,7 @@ func (t *Tracer) Panic(worker int, class string) {
 // running for age, past the stall threshold.
 func (t *Tracer) Stall(worker int, age time.Duration) {
 	t.stalls.Add(1)
-	t.ringFor(-1).put(&Event{
+	t.ringFor(-1).put(Event{
 		TS: t.now(), Kind: EvStall, Worker: int32(worker),
 		Cluster: -1, Victim: -1, Dur: age.Nanoseconds(),
 	})
@@ -218,7 +218,7 @@ func (t *Tracer) Stall(worker int, age time.Duration) {
 func (t *Tracer) Resize(oldWorkers, newWorkers int, dur time.Duration) {
 	t.resizes.Add(1)
 	t.curWorkers.Store(int64(newWorkers))
-	t.ringFor(-1).put(&Event{
+	t.ringFor(-1).put(Event{
 		TS: t.now(), Kind: EvResize, Worker: -1, Cluster: -1,
 		Victim: int32(oldWorkers), N: int32(newWorkers), Dur: dur.Nanoseconds(),
 	})

@@ -156,9 +156,39 @@ type liveTask struct {
 	// calls — several tasks of one job may panic; context.CancelCauseFunc
 	// already does (first cause wins).
 	abort func(error)
+	// release, when non-nil, is invoked exactly once when the runtime is
+	// finished with this task — after its body ran, or when it was dropped
+	// at a cancellation or shutdown point. Pooled callers (the server's
+	// job records) use it as the runtime-side unref of their record; the
+	// runtime guarantees it never touches the task or its cancel context
+	// again after release returns. Not inherited by children: it marks the
+	// root of a job tree, not every task in it.
+	release func()
 	// ledgerID joins this task's decision record with its end record when
 	// the decision ledger is capturing; 0 = not in the ledger.
 	ledgerID uint64
+}
+
+// getTask returns a pooled (or fresh) liveTask with zero-valued fields.
+func (rt *Runtime) getTask() *liveTask {
+	if t, ok := rt.taskFree.Get().(*liveTask); ok {
+		return t
+	}
+	return &liveTask{}
+}
+
+// retireTask is the single point where the runtime lets go of a task: the
+// struct returns to the pool first (so no field survives into the next
+// spawn) and the release callback runs last, after which the caller-owned
+// record may be recycled. Safe for tasks constructed outside the pool —
+// they simply join it.
+func (rt *Runtime) retireTask(t *liveTask) {
+	rel := t.release
+	*t = liveTask{}
+	rt.taskFree.Put(t)
+	if rel != nil {
+		rel()
+	}
 }
 
 // Ctx is passed to every task function; it identifies the executing
@@ -183,7 +213,9 @@ type Ctx struct {
 // the child is queued and the parent continues). The child inherits the
 // running task's job context, so cancelling the job stops the whole tree.
 func (c *Ctx) Spawn(class string, fn func(ctx *Ctx)) {
-	c.rt.spawnTask(c.w, c.class, &liveTask{class: class, fn: fn, cancel: c.cancel, abort: c.abort})
+	t := c.rt.getTask()
+	t.class, t.fn, t.cancel, t.abort = class, fn, c.cancel, c.abort
+	c.rt.spawnTask(c.w, c.class, t)
 }
 
 // Err reports whether the running task's job context has been cancelled
@@ -225,7 +257,9 @@ type Group struct {
 // Ctx.Spawn, the child inherits the spawning task's job context.
 func (g *Group) Spawn(ctx *Ctx, class string, fn func(ctx *Ctx)) {
 	g.pending.Add(1)
-	g.rt.spawnTask(ctx.w, ctx.class, &liveTask{class: class, fn: fn, group: g, cancel: ctx.cancel, abort: ctx.abort})
+	t := g.rt.getTask()
+	t.class, t.fn, t.group, t.cancel, t.abort = class, fn, g, ctx.cancel, ctx.abort
+	g.rt.spawnTask(ctx.w, ctx.class, t)
 }
 
 // Wait blocks until every task spawned into the group has completed.
@@ -630,6 +664,11 @@ type Runtime struct {
 	// wall-clock read, which is a measurable share of a no-op task.
 	base time.Time
 
+	// taskFree recycles liveTask structs between spawns so the steady-state
+	// spawn→execute path performs no allocation (DESIGN.md §12). Tasks are
+	// returned by retireTask at every point the runtime lets go of one.
+	taskFree sync.Pool
+
 	wg sync.WaitGroup
 }
 
@@ -767,7 +806,7 @@ var ErrShutdown = errors.New("runtime: Spawn after Shutdown")
 // retire at any time (elastic mode), so the inbox is the only safe
 // mailbox. After Shutdown it drops the task and returns ErrShutdown.
 func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
-	return rt.spawnRoot(&liveTask{class: class, fn: fn})
+	return rt.SpawnJobRelease(nil, nil, nil, class, fn)
 }
 
 // SpawnContext submits a root task bound to a job context: if ctx is done
@@ -778,7 +817,7 @@ func (rt *Runtime) Spawn(class string, fn func(ctx *Ctx)) error {
 // enqueues: the drop is accounted on a worker, visible in Stats, and
 // Wait's bookkeeping stays uniform.
 func (rt *Runtime) SpawnContext(ctx context.Context, class string, fn func(ctx *Ctx)) error {
-	return rt.spawnRoot(&liveTask{class: class, fn: fn, cancel: ctx})
+	return rt.SpawnJobRelease(ctx, nil, nil, class, fn)
 }
 
 // SpawnJob is SpawnContext plus a poison callback: when any task of the
@@ -792,20 +831,43 @@ func (rt *Runtime) SpawnContext(ctx context.Context, class string, fn func(ctx *
 // abort must tolerate being called more than once (several tasks of one
 // job may panic); context.CancelCauseFunc already does.
 func (rt *Runtime) SpawnJob(ctx context.Context, abort func(error), class string, fn func(ctx *Ctx)) error {
-	return rt.spawnRoot(&liveTask{class: class, fn: fn, cancel: ctx, abort: abort})
+	return rt.SpawnJobRelease(ctx, abort, nil, class, fn)
+}
+
+// SpawnJobRelease is SpawnJob plus a release callback: the runtime invokes
+// release exactly once when it is finished with the root task — after its
+// body ran, or when it was dropped at a cancellation point — and never
+// touches the task, its context or its callbacks again afterwards. Pooled
+// callers use it as the runtime-side unref of a recycled job record. When
+// ErrShutdown is returned the task was never accepted and release will NOT
+// be called; the caller keeps its reference. ctx, abort and release may
+// each be nil.
+func (rt *Runtime) SpawnJobRelease(ctx context.Context, abort func(error), release func(), class string, fn func(ctx *Ctx)) error {
+	if rt.shutdown.Load() {
+		return ErrShutdown
+	}
+	t := rt.getTask()
+	t.class, t.fn, t.cancel, t.abort, t.release = class, fn, ctx, abort, release
+	return rt.spawnRoot(t)
 }
 
 func (rt *Runtime) spawnRoot(t *liveTask) error {
 	if rt.shutdown.Load() {
+		t.release = nil // never accepted: the caller keeps its reference
+		rt.retireTask(t)
 		return ErrShutdown
 	}
+	class := t.class
 	rt.outstanding.Add(1)
+	// The ledger record (which assigns t.ledgerID) must be written BEFORE
+	// the push: once the task is visible in the inbox a worker may execute
+	// and retire it, after which t must not be touched.
+	if rt.obs != nil && rt.obs.LedgerOn() {
+		rt.recordDecision(t, -1, rt.inbox.size()+1)
+	}
 	rt.inbox.push(t)
 	if rt.obs != nil {
-		rt.obs.Spawn(-1, -1, t.class, rt.inbox.size())
-		if rt.obs.LedgerOn() {
-			rt.recordDecision(t, -1, rt.inbox.size())
-		}
+		rt.obs.Spawn(-1, -1, class, rt.inbox.size())
 	}
 	rt.wakeOne(-1)
 	if int64(rt.inbox.size()) >= rt.maxQueued {
@@ -825,6 +887,7 @@ func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
 		}
+		rt.retireTask(t)
 		return
 	}
 	if t.cancel != nil && t.cancel.Err() != nil {
@@ -838,31 +901,36 @@ func (rt *Runtime) spawnTask(w *worker, parentClass string, t *liveTask) {
 		if t.group != nil && t.group.pending.Add(-1) == 0 {
 			rt.wakeAll()
 		}
+		rt.retireTask(t)
 		return
 	}
+	class := t.class
 	if parentClass != "" {
-		rt.strat.NoteSpawn(parentClass, t.class)
+		rt.strat.NoteSpawn(parentClass, class)
 	}
 	rt.outstanding.Add(1)
+	// As in spawnRoot: the ledger record (which writes t.ledgerID) must
+	// precede the push — a worker may execute and retire the task the
+	// moment it becomes visible.
 	if rt.central {
+		if rt.obs != nil && rt.obs.LedgerOn() {
+			rt.recordDecision(t, w.id, rt.inbox.size()+1)
+		}
 		rt.inbox.push(t)
 		if rt.obs != nil {
-			rt.obs.Spawn(w.id, 0, t.class, rt.inbox.size())
-			if rt.obs.LedgerOn() {
-				rt.recordDecision(t, w.id, rt.inbox.size())
-			}
+			rt.obs.Spawn(w.id, 0, class, rt.inbox.size())
 		}
 		rt.wakeOne(-1)
 	} else {
-		cl := rt.clusterOf(t.class)
+		cl := rt.clusterOf(class)
 		p := w.pools[cl]
+		if rt.obs != nil && rt.obs.LedgerOn() {
+			rt.recordDecision(t, w.id, p.size()+1)
+		}
 		p.push(t)
 		queued := rt.clusterWork[cl].v.Add(1)
 		if rt.obs != nil {
-			rt.obs.Spawn(w.id, cl, t.class, p.size())
-			if rt.obs.LedgerOn() {
-				rt.recordDecision(t, w.id, p.size())
-			}
+			rt.obs.Spawn(w.id, cl, class, p.size())
 		}
 		rt.wakeOne(cl)
 		if queued >= rt.maxQueued {
@@ -1108,6 +1176,7 @@ func (rt *Runtime) execute(w *worker, t *liveTask) {
 			rt.wakeAll()
 		}
 		w.compl.done++
+		rt.retireTask(t)
 		return
 	}
 	// Reuse the worker's Ctx, saving the class and job context around the
@@ -1191,6 +1260,7 @@ func (rt *Runtime) execute(w *worker, t *liveTask) {
 	// Completion is batched: flush folds it into outstanding when the
 	// worker next runs dry (the only moment Wait() could be satisfied).
 	b.done++
+	rt.retireTask(t)
 }
 
 // sleepUnlessShutdown sleeps in small slices so Shutdown stays prompt.

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wats/internal/trace"
+)
+
+// batchItemView mirrors one entry of the batch response body.
+type batchItemView struct {
+	Code        int             `json:"code"`
+	ID          string          `json:"id"`
+	Workload    string          `json:"workload"`
+	Status      string          `json:"status"`
+	QueueWaitMS float64         `json:"queue_wait_ms"`
+	ExecMS      float64         `json:"exec_ms"`
+	Result      json.RawMessage `json:"result"`
+	Error       string          `json:"error"`
+}
+
+type batchView struct {
+	Results []batchItemView `json:"results"`
+}
+
+func (e *testEnv) submitBatch(t *testing.T, body string) (*http.Response, batchView) {
+	t.Helper()
+	resp, err := http.Post(e.ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v batchView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding batch response: %v", err)
+	}
+	return resp, v
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	e := newEnv(t, nil)
+	for _, tc := range []struct{ name, body string }{
+		{"empty jobs", `{"jobs":[]}`},
+		{"missing jobs", `{}`},
+		{"bad json", `{"jobs":`},
+	} {
+		resp, err := http.Post(e.ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(e.ts.URL + "/v1/jobs:batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Mixed batch: invalid items are rejected per-item with 400s in request
+// order, valid items still run to completion — one bad job never fails
+// its neighbors.
+func TestBatchMixedValidInvalid(t *testing.T) {
+	e := newEnv(t, nil)
+	resp, v := e.submitBatch(t, `{"jobs":[
+		{"workload":"sha1","params":{"size":2048,"seed":1}},
+		{"workload":"nope"},
+		{"workload":"sha1","params":{"size":999999999}},
+		{"workload":"sha1","async":true},
+		{"workload":"noop"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(v.Results) != 5 {
+		t.Fatalf("%d results, want 5", len(v.Results))
+	}
+	wantCodes := []int{200, 400, 400, 400, 200}
+	for i, want := range wantCodes {
+		if v.Results[i].Code != want {
+			t.Errorf("item %d: code %d, want %d (error %q)", i, v.Results[i].Code, want, v.Results[i].Error)
+		}
+	}
+	if v.Results[0].Status != StatusCompleted || v.Results[0].Result == nil {
+		t.Errorf("item 0: %+v, want completed with result", v.Results[0])
+	}
+	for i, wantErr := range map[int]string{1: "unknown workload", 2: "bad params", 3: "async"} {
+		if !strings.Contains(v.Results[i].Error, wantErr) {
+			t.Errorf("item %d: error %q, want %q", i, v.Results[i].Error, wantErr)
+		}
+	}
+	// Rejected items must not burn admission slots or job ids.
+	if v.Results[1].ID != "" {
+		t.Errorf("rejected item has job id %q", v.Results[1].ID)
+	}
+}
+
+// A batch wider than the in-flight headroom is truncated, not refused:
+// the admitted prefix completes (code 200), the rest sheds per-item
+// (code 429) under one Retry-After hint.
+func TestBatchPartialShed(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.MaxInflight = 2 })
+	resp, v := e.submitBatch(t, `{"jobs":[
+		{"workload":"sleep","params":{"n":10}},
+		{"workload":"sleep","params":{"n":10}},
+		{"workload":"noop"},
+		{"workload":"noop"},
+		{"workload":"noop"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 for a partial shed", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("partial shed without Retry-After")
+	}
+	var ok, shed int
+	for i, r := range v.Results {
+		switch r.Code {
+		case http.StatusOK:
+			ok++
+			if r.Status != StatusCompleted {
+				t.Errorf("item %d: admitted but status %q", i, r.Status)
+			}
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("item %d: unexpected code %d", i, r.Code)
+		}
+	}
+	if ok != 2 || shed != 3 {
+		t.Errorf("%d completed / %d shed, want 2/3", ok, shed)
+	}
+	// Admission is a prefix in request order: the first two slots win.
+	if v.Results[0].Code != 200 || v.Results[1].Code != 200 {
+		t.Errorf("admitted items not the request-order prefix: %v, %v", v.Results[0].Code, v.Results[1].Code)
+	}
+}
+
+// With zero headroom the whole batch sheds as a single 429 + Retry-After
+// — one decision, no per-item body.
+func TestBatchWholeShed429(t *testing.T) {
+	release := make(chan struct{})
+	e := newEnv(t, func(c *Config) {
+		c.MaxInflight = 1
+		c.Workloads["block"] = blockerWorkload(release)
+	})
+	if resp, _ := e.submit(t, `{"workload":"block","async":true}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("blocker not admitted")
+	}
+	resp, err := http.Post(e.ts.URL+"/v1/jobs:batch", "application/json",
+		strings.NewReader(`{"jobs":[{"workload":"noop"},{"workload":"noop"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("whole-batch 429 without Retry-After")
+	}
+	close(release)
+	waitInflightZero(t, e.srv)
+	// Headroom (one slot) is back: a batch sized to it now completes.
+	if resp, v := e.submitBatch(t, `{"jobs":[{"workload":"noop"}]}`); resp.StatusCode != http.StatusOK ||
+		v.Results[0].Code != 200 {
+		t.Errorf("post-release batch: status %d results %+v", resp.StatusCode, v.Results)
+	}
+}
+
+// Per-item deadlines ride the shared wheel: a slow item expires to a 504
+// mid-batch while its fast neighbor completes — one batch, two fates.
+func TestBatchPerItemDeadlineExpiry(t *testing.T) {
+	e := newEnv(t, nil)
+	resp, v := e.submitBatch(t, `{"jobs":[
+		{"workload":"sleep","params":{"n":2000},"deadline_ms":20},
+		{"workload":"noop"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if v.Results[0].Code != http.StatusGatewayTimeout || v.Results[0].Status != StatusExpired {
+		t.Errorf("slow item: code %d status %q, want 504 expired", v.Results[0].Code, v.Results[0].Status)
+	}
+	if v.Results[1].Code != http.StatusOK || v.Results[1].Status != StatusCompleted {
+		t.Errorf("fast item: code %d status %q, want 200 completed", v.Results[1].Code, v.Results[1].Status)
+	}
+	// The expired sleeper must not hold the batch for its full 2s body:
+	// the deadline, not the workload, bounds the response.
+	if v.Results[0].ExecMS > 1000 {
+		t.Errorf("expired item ran %vms; deadline did not cut it short", v.Results[0].ExecMS)
+	}
+}
+
+// Draining refuses whole batches with 503 before any admission work.
+func TestBatchWhileDraining(t *testing.T) {
+	e := newEnv(t, nil)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.ts.URL+"/v1/jobs:batch", "application/json",
+		strings.NewReader(`{"jobs":[{"workload":"noop"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// The decision ledger sees batch entry exactly like unary entry: one
+// decision + one task end per admitted job, none for rejected items.
+func TestBatchLedgerCaptureCounts(t *testing.T) {
+	e := newObsEnv(t)
+	path := t.TempDir() + "/batch-cap.ndjson"
+	if _, err := e.srv.StartCapture(trace.CaptureConfig{Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	resp, v := e.submitBatch(t, `{"jobs":[
+		{"workload":"noop"},
+		{"workload":"noop"},
+		{"workload":"nope"},
+		{"workload":"noop"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for i, want := range []int{200, 200, 400, 200} {
+		if v.Results[i].Code != want {
+			t.Fatalf("item %d: code %d, want %d", i, v.Results[i].Code, want)
+		}
+	}
+	e.rt.Wait()
+	if _, err := e.srv.StopCapture(); err != nil {
+		t.Fatal(err)
+	}
+	cap, err := trace.ParseCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// noop spawns no children: admitted jobs map 1:1 onto ledger records.
+	if len(cap.Decisions) != 3 || len(cap.Ends) != 3 {
+		t.Errorf("ledger: %d decisions / %d ends, want 3/3 for 3 admitted jobs",
+			len(cap.Decisions), len(cap.Ends))
+	}
+}

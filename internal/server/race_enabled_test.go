@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled gates the allocation-count tests: the race detector's
+// instrumentation allocates on its own, so allocs/op is only meaningful
+// in uninstrumented builds.
+const raceEnabled = true

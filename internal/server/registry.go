@@ -89,6 +89,15 @@ type Workload struct {
 func Builtins() map[string]Workload {
 	ws := []Workload{
 		{
+			// noop is the admission-path control workload: it does no work
+			// and allocates nothing, so benchmarks and the zero-alloc gate
+			// measure the serving machinery itself rather than a kernel.
+			Name: "noop", Class: "noop", Desc: "no-op control job (admission-path benchmarking)",
+			Run: func(ctx *runtime.Ctx, p Params) (any, error) {
+				return nil, ctx.Err()
+			},
+		},
+		{
 			Name: "sha1", Class: "sha1", Desc: "SHA-1 digest of a pseudo-random input (size bytes)",
 			Run: func(ctx *runtime.Ctx, p Params) (any, error) {
 				p = p.withDefaults(64<<10, 1)

@@ -25,7 +25,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -99,25 +98,13 @@ type JobView struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// job is the server-side record; fields are guarded by Server.mu except
-// the channels and the submission-time constants.
-type job struct {
-	id        string
-	workload  string
-	class     string
-	status    string
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	result    any
-	err       string
-	detail    string
-	finalized bool
-	done      chan struct{} // closed when the root task function returns
-}
-
 // Server is the HTTP job service. Create with New, mount Handler, and on
 // shutdown call Drain before Runtime.Shutdown.
+//
+// Job records are pooled (see job.go): synchronous jobs — unary, batch,
+// and streaming — run on recycled jobRecs and never enter the jobs map;
+// only async (submit-and-poll) jobs are registered there, since their
+// records must outlive the submitting request.
 type Server struct {
 	cfg      Config
 	rt       *runtime.Runtime
@@ -126,9 +113,12 @@ type Server struct {
 	draining atomic.Bool
 	idSeq    atomic.Uint64
 
+	recPool sync.Pool // pooled *jobRec for sync/batch/stream jobs
+	wheel   *dlWheel  // per-job deadlines (one goroutine, no per-job timer)
+
 	mu       sync.Mutex
-	jobs     map[string]*job
-	finished []string // finalized job ids, oldest first (eviction order)
+	jobs     map[string]*jobRec // async jobs only
+	finished []string           // finalized job ids, oldest first (eviction order)
 
 	// capMu guards the single decision-ledger capture (see capture.go).
 	capMu   sync.Mutex
@@ -160,12 +150,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &obs.JobMetrics{}
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		rt:      cfg.Runtime,
 		metrics: cfg.Metrics,
-		jobs:    map[string]*job{},
-	}, nil
+		jobs:    map[string]*jobRec{},
+		wheel:   newWheel(),
+	}
+	s.recPool.New = func() any { return s.newRecRaw() }
+	return s, nil
 }
 
 // Metrics returns the server's job-metrics collector (for mounting on a
@@ -184,6 +177,8 @@ func (s *Server) Handler() *http.ServeMux {
 	dbg := NewDebugMux(func() *runtime.Runtime { return s.rt }, func() *obs.JobMetrics { return s.metrics })
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs:batch", s.handleJobsBatch)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/version", s.handleVersion)
@@ -201,6 +196,8 @@ func (s *Server) Handler() *http.ServeMux {
 		}
 		fmt.Fprint(w, `watsd job service
   POST /v1/jobs      submit a job {"workload":..,"params":{..},"deadline_ms":..,"async":bool}
+  POST /v1/jobs:batch submit N jobs in one request {"jobs":[{..},..]} (per-item codes)
+  GET  /v1/stream    upgrade to the length-prefixed binary job stream (wats-stream/1)
   GET  /v1/jobs/{id} poll an async job
   GET  /v1/workloads list invocable workloads
   GET  /v1/version   build info
@@ -256,14 +253,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// on the runtime's own depth counters. Shedding here returns a cheap
 	// 429 instead of letting queues balloon and every admitted job's p99
 	// collapse.
-	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
-		s.inflight.Add(-1)
-		s.shed(w, "at max in-flight jobs (%d)", s.cfg.MaxInflight)
-		return
-	}
-	if q := s.rt.QueuedTasks(); q >= s.cfg.ShedQueueDepth {
-		s.inflight.Add(-1)
-		s.shed(w, "runtime queue depth %d at shed threshold %d", q, s.cfg.ShedQueueDepth)
+	if s.reserve(1) == 0 {
+		if q := s.rt.QueuedTasks(); q >= s.cfg.ShedQueueDepth {
+			s.shed(w, "runtime queue depth %d at shed threshold %d", q, s.cfg.ShedQueueDepth)
+		} else {
+			s.shed(w, "at max in-flight jobs (%d)", s.cfg.MaxInflight)
+		}
 		return
 	}
 
@@ -271,96 +266,39 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
-	// The job context is cancellable-with-cause so a task panic anywhere
-	// in the job's tree can poison it: the runtime's isolation layer
-	// recovers the panic and calls abort with a *runtime.TaskPanicError,
-	// which cancels jobCtx (retiring queued siblings at the runtime's
-	// cancellation points) and surfaces via context.Cause.
-	causeCtx, abort := context.WithCancelCause(context.Background())
-	jobCtx := context.Context(causeCtx)
-	cancel := context.CancelFunc(func() { abort(context.Canceled) })
-	if deadline > 0 {
-		tctx, tcancel := context.WithTimeout(causeCtx, deadline)
-		jobCtx = tctx
-		cancel = func() { tcancel(); abort(context.Canceled) }
-	}
-
-	j := &job{
-		id:        fmt.Sprintf("j%06d", s.idSeq.Add(1)),
-		workload:  wl.Name,
-		class:     wl.Class,
-		status:    StatusQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
-	}
-	s.mu.Lock()
-	s.jobs[j.id] = j
-	s.mu.Unlock()
 	s.metrics.Submitted()
 
-	spawnErr := s.rt.SpawnJob(jobCtx, abort, wl.Class, func(ctx *runtime.Ctx) {
-		defer close(j.done)
-		start := time.Now()
-		s.mu.Lock()
-		if !j.finalized {
-			j.status, j.started = StatusRunning, start
-		}
-		s.mu.Unlock()
-		// A panicking workload finalizes the job here (exact timings) and
-		// rethrows so the runtime's isolation layer still accounts the
-		// panic (wats_panics_total, EvPanic) and poisons jobCtx — the
-		// worker survives either way.
-		defer func() {
-			if r := recover(); r != nil {
-				s.finalize(j, nil, &runtime.TaskPanicError{
-					Class: wl.Class, Worker: ctx.Worker, Value: r,
-				}, start, time.Now())
-				panic(r)
-			}
-		}()
-		res, err := wl.Run(ctx, req.Params)
-		if err == nil && jobCtx.Err() != nil {
-			// The job was poisoned or cancelled while the root body ran
-			// to completion anyway; the cause, not the result, is the
-			// outcome.
-			err = jobCtx.Err()
-		}
-		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			// A root that returned ctx.Err() only sees the generic
-			// cancellation; the cause knows whether a child's panic
-			// poisoned the job (this finalize may beat the watcher's).
-			if cause := context.Cause(jobCtx); cause != nil {
-				err = cause
-			}
-		}
-		s.finalize(j, res, err, start, time.Now())
-	})
-	if spawnErr != nil {
-		s.mu.Lock()
-		j.finalized, j.status, j.err = true, StatusFailed, spawnErr.Error()
-		s.evictLocked(j.id)
-		s.mu.Unlock()
-		s.inflight.Add(-1)
-		cancel()
+	if req.Async {
+		s.submitAsync(w, &wl, req.Params, deadline)
+		return
+	}
+	rec, code := s.submitSync(&wl, req.Params, deadline)
+	if rec == nil {
 		httpError(w, http.StatusServiceUnavailable, "runtime shut down")
 		return
 	}
-	// The watcher finalizes jobs whose root task the runtime dropped
-	// (deadline fired while queued: the task function never runs, so the
-	// done channel would never close without it).
-	go s.watch(j, jobCtx, cancel)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(rec.buf)
+	rec.unref()
+}
 
-	if req.Async {
-		writeJSONStatus(w, http.StatusAccepted, s.view(j))
+// submitAsync registers an unpooled record in the jobs map (it must
+// outlive this request for GET /v1/jobs/{id}) and responds 202. The
+// deadline wheel plus the runtime's abort hook replace the old per-job
+// watcher goroutine.
+func (s *Server) submitAsync(w http.ResponseWriter, wl *Workload, p Params, deadline time.Duration) {
+	r := s.newRecRaw()
+	r.idn = s.idSeq.Add(1)
+	r.idStr = fmt.Sprintf("j%06d", r.idn)
+	s.mu.Lock()
+	s.jobs[r.idStr] = r
+	s.mu.Unlock()
+	if err := s.startJob(r, wl, p, deadline, modeAsync); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "runtime shut down")
 		return
 	}
-	select {
-	case <-j.done:
-	case <-jobCtx.Done():
-		s.finalizeCancelled(j, jobCtx)
-	}
-	v := s.view(j)
-	writeJSONStatus(w, httpStatusFor(v.Status), v)
+	writeJSONStatus(w, http.StatusAccepted, r.view())
 }
 
 // httpStatusFor maps a final job status to the synchronous response
@@ -377,127 +315,16 @@ func httpStatusFor(status string) int {
 	}
 }
 
-// watch finalizes j when its context fires before the root task function
-// completed (dropped while queued, poisoned by a sibling's panic, or
-// still running past its deadline — in the latter case the function's
-// own result is discarded: the client was already told 504/500).
-func (s *Server) watch(j *job, ctx context.Context, cancel context.CancelFunc) {
-	select {
-	case <-j.done:
-		cancel()
-	case <-ctx.Done():
-		s.finalizeCancelled(j, ctx)
-	}
-}
-
-// finalizeCancelled resolves a job whose context fired: a panic cause
-// finalizes it as panicked, anything else (deadline, injected cancel) as
-// expired. Idempotent against finalize — first finalization wins.
-func (s *Server) finalizeCancelled(j *job, ctx context.Context) {
-	var pe *runtime.TaskPanicError
-	if errors.As(context.Cause(ctx), &pe) {
-		s.finalize(j, nil, pe, j.submitted, time.Now())
-		return
-	}
-	s.expire(j)
-}
-
-// finalize records the root task's outcome; first finalization wins (the
-// deadline watcher or a sibling's panic may have finalized the job
-// already).
-func (s *Server) finalize(j *job, res any, err error, start, end time.Time) {
-	s.mu.Lock()
-	if j.finalized {
-		s.mu.Unlock()
-		return
-	}
-	j.finalized = true
-	if j.started.IsZero() {
-		j.started = start
-	}
-	j.finished, j.result = end, res
-	var pe *runtime.TaskPanicError
-	switch {
-	case err == nil:
-		j.status = StatusCompleted
-	case errors.As(err, &pe):
-		// The structured 500 the isolation layer promises: the wire body
-		// reads {"error":"panic","detail":"<class/worker/value>"}.
-		j.status, j.err, j.detail = StatusPanicked, "panic", pe.Error()
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		j.status, j.err = StatusExpired, err.Error()
-	default:
-		j.status, j.err = StatusFailed, err.Error()
-	}
-	status := j.status
-	queueWait, exec := j.started.Sub(j.submitted), end.Sub(j.started)
-	s.evictLocked(j.id)
-	s.mu.Unlock()
-	s.inflight.Add(-1)
-	switch status {
-	case StatusCompleted:
-		s.metrics.Completed(j.class, queueWait, exec)
-	case StatusExpired:
-		s.metrics.Expired(j.class, queueWait)
-	case StatusPanicked:
-		s.metrics.Panicked()
-	default:
-		s.metrics.Failed()
-	}
-}
-
-// expire finalizes a job whose deadline fired before its root task
-// function finished; idempotent against finalize.
-func (s *Server) expire(j *job) {
-	now := time.Now()
-	s.mu.Lock()
-	if j.finalized {
-		s.mu.Unlock()
-		return
-	}
-	j.finalized = true
-	queueWait := now.Sub(j.submitted)
-	if !j.started.IsZero() {
-		queueWait = j.started.Sub(j.submitted)
-	}
-	j.status, j.err, j.finished = StatusExpired, context.DeadlineExceeded.Error(), now
-	s.evictLocked(j.id)
-	s.mu.Unlock()
-	s.inflight.Add(-1)
-	s.metrics.Expired(j.class, queueWait)
-}
-
 // evictLocked appends id to the finished list and drops the oldest
-// finalized jobs beyond keepFinished. Caller holds s.mu.
+// finalized jobs beyond keepFinished. Caller holds s.mu. Only async
+// jobs are registered (pooled sync records never enter the map), so
+// only they pass through here.
 func (s *Server) evictLocked(id string) {
 	s.finished = append(s.finished, id)
 	for len(s.finished) > keepFinished {
 		delete(s.jobs, s.finished[0])
 		s.finished = s.finished[1:]
 	}
-}
-
-// view snapshots a job for the wire.
-func (s *Server) view(j *job) JobView {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v := JobView{
-		ID: j.id, Workload: j.workload, Status: j.status,
-		Result: j.result, Error: j.err, Detail: j.detail,
-	}
-	switch {
-	case !j.started.IsZero():
-		v.QueueWaitMS = ms(j.started.Sub(j.submitted))
-	case !j.finished.IsZero():
-		v.QueueWaitMS = ms(j.finished.Sub(j.submitted))
-	}
-	if !j.finished.IsZero() && !j.started.IsZero() {
-		exec := j.finished.Sub(j.started)
-		v.ExecMS = ms(exec)
-		f1 := s.rt.BaseArch().Groups[0].Freq
-		v.EnergyJ = s.rt.EnergyModel().Power(f1) * exec.Seconds()
-	}
-	return v
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -515,7 +342,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	writeJSON(w, s.view(j))
+	writeJSON(w, j.view())
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
