@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched bench-serve serve-bench-demo profile-serve figures trace-demo serve-demo chaos-demo scale-demo twin-demo vulncheck
+.PHONY: check vet build test race bench bench-sched bench-serve serve-bench-demo profile-serve figures trace-demo serve-demo chaos-demo scale-demo twin-demo gate-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./internal/trace/... ./cmd/watsd/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./internal/trace/... ./internal/gate/... ./cmd/watsd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -133,6 +133,17 @@ twin-demo:
 	cmp out/twin-report.first.json out/twin-report.json
 	grep -q '"best": "' out/twin-report.json
 	cp out/twin-report.json BENCH_twin.json
+
+# gate-demo is the cluster-routing acceptance run (DESIGN.md §13): three
+# in-process watsd nodes with different machine shapes behind one
+# watsgate, driven by a mixed-class open-loop load under each routing
+# policy. -check enforces the gates — the workload-aware weighted policy
+# must beat both round-robin and least-loaded on steady-state heavy-class
+# p99 by the configured margin, and the mid-run backend kill/restart must
+# lose zero acknowledged jobs while re-routing and then re-including the
+# recovered node. The committed BENCH_gate.json is this run's artifact.
+gate-demo:
+	$(GO) run ./cmd/gatedemo -check -out /tmp/BENCH_gate.json
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

@@ -1,0 +1,628 @@
+// Command gatedemo is the cluster-routing acceptance benchmark: three
+// in-process watsd backends with deliberately different AMC shapes
+// behind one watsgate, driven with a mixed-class open-loop load. The
+// "heavy" class is CPU-bound — its service time scales with each
+// machine's speed (16ms on the fast box, ~2.5x that on the slow one) —
+// while "light" is speed-insensitive (2ms everywhere). A router that
+// ignores workload identity (round-robin, least-loaded) keeps sending
+// heavy jobs to slow machines and eats the tail; the weighted
+// class-affinity scorer learns the per-backend latency from responses
+// and concentrates each class where it runs best. -check enforces that
+// the weighted policy's steady heavy p99 beats BOTH baselines by the
+// configured margin.
+//
+// The second half is the failover run: mid-load, one backend's
+// listener is killed outright and later restarted on the same address.
+// The gate must re-route around the corpse (breaker + readiness polls),
+// lose zero acknowledged jobs, and resume routing to the backend once
+// it returns — the safety half of the routing argument (DESIGN.md §13).
+//
+// Usage:
+//
+//	gatedemo                              # print the comparison
+//	gatedemo -check -out BENCH_gate.json  # CI gate + committed artifact
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/client"
+	"wats/internal/gate"
+	"wats/internal/rng"
+	"wats/internal/runtime"
+	"wats/internal/server"
+)
+
+type options struct {
+	heavyMS     int
+	lightMS     int
+	heavyRate   float64
+	lightRate   float64
+	dur         time.Duration
+	rampExclude time.Duration
+	failDur     time.Duration
+	killAt      time.Duration
+	restartAt   time.Duration
+	margin      float64
+	out         string
+	check       bool
+	seed        uint64
+}
+
+// nodeSpec is one backend's hardware story: the AMC shape it reports
+// and the slowdown factor applied to CPU-bound (heavy) work. Speed
+// emulation is off for wall-clock determinism; the slowdown bakes the
+// machine's speed into the workload instead, which is exactly what the
+// gate observes from outside anyway.
+type nodeSpec struct {
+	name     string
+	arch     *amc.Arch
+	slowdown float64
+}
+
+func clusterSpecs() []nodeSpec {
+	return []nodeSpec{
+		// Listed mixed-first so order-based tie-breaking in the baselines
+		// never accidentally lands on the heavy-optimal backend.
+		{"mixed", amc.MustNew("mixed", amc.CGroup{Freq: 2.0, N: 1}, amc.CGroup{Freq: 0.8, N: 1}), 2.0},
+		{"slow", amc.MustNew("slow", amc.CGroup{Freq: 0.8, N: 4}), 3.0},
+		{"fast", amc.MustNew("fast", amc.CGroup{Freq: 2.0, N: 4}), 1.0},
+	}
+}
+
+// node is one live backend: runtime + server stay up for the whole
+// scenario; the HTTP listener is the part that dies and comes back in
+// the failover run.
+type node struct {
+	spec nodeSpec
+	rt   *runtime.Runtime
+	srv  *server.Server
+	addr string
+	hs   *http.Server
+}
+
+func startNode(o options, spec nodeSpec) (*node, error) {
+	rt, err := runtime.New(runtime.Config{
+		Arch:                  spec.arch,
+		Policy:                "WATS",
+		Seed:                  7,
+		LockFree:              true,
+		DisableSpeedEmulation: true,
+		MaxQueuedTasks:        1 << 14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	heavy := time.Duration(float64(o.heavyMS)*spec.slowdown) * time.Millisecond
+	light := time.Duration(o.lightMS) * time.Millisecond
+	srv, err := server.New(server.Config{
+		Runtime:     rt,
+		MaxInflight: 1 << 12,
+		Workloads: map[string]server.Workload{
+			"heavy": {Name: "heavy", Class: "heavy", Desc: "CPU-bound: scales with machine speed",
+				Run: func(ctx *runtime.Ctx, p server.Params) (any, error) {
+					time.Sleep(heavy)
+					return "ok", nil
+				}},
+			"light": {Name: "light", Class: "light", Desc: "speed-insensitive",
+				Run: func(ctx *runtime.Ctx, p server.Params) (any, error) {
+					time.Sleep(light)
+					return "ok", nil
+				}},
+		},
+	})
+	if err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	n := &node{spec: spec, rt: rt, srv: srv}
+	if err := n.startHTTP(); err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	return n, nil
+}
+
+// startHTTP (re)binds the node's listener — on first call an ephemeral
+// port, afterwards the same address, so a restarted node reappears
+// where the gate expects it. The just-closed port frees immediately,
+// but the kernel gets a few tries against rebind races.
+func (n *node) startHTTP() error {
+	addr := n.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return err
+	}
+	n.addr = ln.Addr().String()
+	n.hs = &http.Server{Handler: n.srv.Handler()}
+	go n.hs.Serve(ln)
+	return nil
+}
+
+// stopHTTP kills the listener and every live connection — the node is
+// gone from the network, runtime still running (a crashed process on a
+// healthy machine, from the gate's point of view).
+func (n *node) stopHTTP() { n.hs.Close() }
+
+func (n *node) shutdown() {
+	n.hs.Close()
+	n.rt.Shutdown()
+}
+
+// classStats is one class's latency view within a run.
+type classStats struct {
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Failed      int     `json:"failed"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	SteadyP99Ms float64 `json:"steady_p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// policyResult is one routing policy's side of the comparison.
+type policyResult struct {
+	Policy string            `json:"policy"`
+	Heavy  classStats        `json:"heavy"`
+	Light  classStats        `json:"light"`
+	Routed map[string]uint64 `json:"routed_by_backend"`
+}
+
+// failoverResult is the kill-and-recover run.
+type failoverResult struct {
+	Sent             int               `json:"sent"`
+	OK               int               `json:"ok"`
+	Shed             int               `json:"shed"`
+	Failed           int               `json:"failed"`
+	OutageObserved   bool              `json:"outage_observed"`
+	Reroutes         uint64            `json:"reroutes"`
+	RoutedPostRecov  uint64            `json:"routed_to_restarted_after_recovery"`
+	BackendCompleted uint64            `json:"backend_completed_total"`
+	Routed           map[string]uint64 `json:"routed_by_backend"`
+}
+
+type report struct {
+	Benchmark     string                        `json:"benchmark"`
+	Generated     string                        `json:"generated"`
+	Cluster       string                        `json:"cluster"`
+	HeavyMS       int                           `json:"heavy_ms"`
+	LightMS       int                           `json:"light_ms"`
+	HeavyRate     float64                       `json:"heavy_rate_per_sec"`
+	LightRate     float64                       `json:"light_rate_per_sec"`
+	Policies      []policyResult                `json:"policies"`
+	HeavyP99Ratio float64                       `json:"weighted_heavy_steady_p99_vs_best_baseline"`
+	LearnedTC     map[string]map[string]float64 `json:"learned_tc_ms"`
+	Failover      failoverResult                `json:"failover"`
+	CheckedMargin float64                       `json:"checked_margin"`
+}
+
+func main() {
+	o := options{}
+	flag.IntVar(&o.heavyMS, "heavy-ms", 16, "heavy-class service time on the fast backend, milliseconds")
+	flag.IntVar(&o.lightMS, "light-ms", 2, "light-class service time (speed-invariant), milliseconds")
+	flag.Float64Var(&o.heavyRate, "heavy-rate", 50, "heavy-class arrival rate, jobs/sec")
+	flag.Float64Var(&o.lightRate, "light-rate", 200, "light-class arrival rate, jobs/sec")
+	flag.DurationVar(&o.dur, "dur", 4*time.Second, "duration of each policy comparison run")
+	flag.DurationVar(&o.rampExclude, "ramp-exclude", time.Second, "exclude arrivals in the first ramp-exclude from the steady p99 (covers TC exploration)")
+	flag.DurationVar(&o.failDur, "failover-dur", 7*time.Second, "duration of the failover run")
+	flag.DurationVar(&o.killAt, "kill-at", 2500*time.Millisecond, "when the mixed backend's listener dies")
+	flag.DurationVar(&o.restartAt, "restart-at", 4500*time.Millisecond, "when it comes back on the same address")
+	flag.Float64Var(&o.margin, "margin", 0.8, "check: weighted heavy steady p99 must be <= margin x the best baseline's")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout only)")
+	flag.BoolVar(&o.check, "check", false, "enforce the acceptance gates")
+	flag.Uint64Var(&o.seed, "seed", 1, "arrival-process seed")
+	flag.Parse()
+
+	specs := clusterSpecs()
+	clusterDesc := ""
+	for i, s := range specs {
+		if i > 0 {
+			clusterDesc += ", "
+		}
+		clusterDesc += fmt.Sprintf("%s=%s x%.2f", s.name, s.arch.String(), s.slowdown)
+	}
+	fmt.Printf("gate-demo: heavy %dms@fast / light %dms, %g+%g jobs/s over [%s]\n",
+		o.heavyMS, o.lightMS, o.heavyRate, o.lightRate, clusterDesc)
+
+	policies := []gate.Policy{
+		{Kind: gate.PolicyRoundRobin},
+		{Kind: gate.PolicyLeastLoad},
+		{Kind: gate.PolicyWeighted, Weights: gate.DefaultScorers()},
+	}
+	r := report{
+		Benchmark: "gate-routing",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Cluster:   clusterDesc,
+		HeavyMS:   o.heavyMS, LightMS: o.lightMS,
+		HeavyRate: o.heavyRate, LightRate: o.lightRate,
+		CheckedMargin: o.margin,
+	}
+	var weighted *policyResult
+	for _, p := range policies {
+		res, tc, err := runComparison(o, specs, p)
+		if err != nil {
+			fatal("%s run: %v", p.Kind, err)
+		}
+		r.Policies = append(r.Policies, *res)
+		if p.Kind == gate.PolicyWeighted {
+			weighted, r.LearnedTC = res, tc
+		}
+		fmt.Printf("  %-12s heavy p99 %7.2fms (steady %7.2fms)  light p99 %6.2fms  routed %v\n",
+			p.Kind, res.Heavy.P99Ms, res.Heavy.SteadyP99Ms, res.Light.P99Ms, res.Routed)
+	}
+	rr, ll := r.Policies[0], r.Policies[1]
+	bestBaseline := rr.Heavy.SteadyP99Ms
+	if ll.Heavy.SteadyP99Ms < bestBaseline {
+		bestBaseline = ll.Heavy.SteadyP99Ms
+	}
+	r.HeavyP99Ratio = round3(weighted.Heavy.SteadyP99Ms / bestBaseline)
+	fmt.Printf("  weighted / best baseline: heavy steady p99 %.2fx (%.2fms vs %.2fms)\n",
+		r.HeavyP99Ratio, weighted.Heavy.SteadyP99Ms, bestBaseline)
+
+	fo, err := runFailover(o, specs)
+	if err != nil {
+		fatal("failover run: %v", err)
+	}
+	r.Failover = *fo
+	fmt.Printf("  failover: %d sent = %d ok + %d shed + %d failed; %d reroutes; %d routed to the restarted backend after recovery\n",
+		fo.Sent, fo.OK, fo.Shed, fo.Failed, fo.Reroutes, fo.RoutedPostRecov)
+
+	buf, _ := json.MarshalIndent(r, "", "  ")
+	buf = append(buf, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, buf, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  wrote %s\n", o.out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if o.check {
+		for _, p := range r.Policies {
+			if lost := p.Heavy.Sent - p.Heavy.OK + p.Light.Sent - p.Light.OK; lost != 0 {
+				fatal("check: %s run lost or shed %d jobs under-capacity", p.Policy, lost)
+			}
+		}
+		if r.HeavyP99Ratio > o.margin {
+			fatal("check: weighted heavy steady p99 only %.2fx the best baseline (want <= %.2fx)",
+				r.HeavyP99Ratio, o.margin)
+		}
+		switch {
+		case fo.Failed != 0:
+			fatal("check: failover lost %d acknowledged jobs", fo.Failed)
+		case fo.Sent != fo.OK+fo.Shed+fo.Failed:
+			fatal("check: failover accounting broken: %d sent vs %d+%d+%d", fo.Sent, fo.OK, fo.Shed, fo.Failed)
+		case uint64(fo.OK) > fo.BackendCompleted:
+			fatal("check: %d acknowledged > %d completed by backends", fo.OK, fo.BackendCompleted)
+		case !fo.OutageObserved:
+			fatal("check: the gate never observed the dead backend as down")
+		case fo.RoutedPostRecov == 0:
+			fatal("check: the restarted backend never re-entered the rotation")
+		}
+		fmt.Println("  check: PASS")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gatedemo: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func round3(x float64) float64 { return float64(int(x*1000+0.5)) / 1000 }
+
+// startCluster boots fresh nodes plus a gate in front of them, served
+// over a real listener — every run drives the full HTTP path.
+func startCluster(o options, specs []nodeSpec, p gate.Policy) (nodes []*node, g *gate.Gate, gateURL string, stop func(), err error) {
+	for _, spec := range specs {
+		n, nerr := startNode(o, spec)
+		if nerr != nil {
+			err = nerr
+			return
+		}
+		nodes = append(nodes, n)
+	}
+	confs := make([]gate.BackendConf, len(nodes))
+	for i, n := range nodes {
+		confs[i] = gate.BackendConf{Name: n.spec.name, URL: "http://" + n.addr}
+	}
+	g, err = gate.New(gate.Config{
+		Backends:     confs,
+		Policy:       p,
+		PollInterval: 100 * time.Millisecond,
+		Breaker:      client.BreakerConfig{Threshold: 4, Cooldown: 500 * time.Millisecond},
+	})
+	if err != nil {
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return
+	}
+	ghs := &http.Server{Handler: g.Handler()}
+	go ghs.Serve(ln)
+	gateURL = "http://" + ln.Addr().String()
+	stop = func() {
+		ghs.Close()
+		g.Close()
+		for _, n := range nodes {
+			n.shutdown()
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		allReady := true
+		for _, s := range g.Snapshot() {
+			if !s.Ready {
+				allReady = false
+			}
+		}
+		if allReady {
+			return
+		}
+		if time.Now().After(deadline) {
+			err = fmt.Errorf("cluster never became ready")
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sample is one job's outcome as the load driver saw it.
+type sample struct {
+	class  string
+	code   int
+	lat    time.Duration
+	steady bool
+}
+
+// drive runs the mixed-class open-loop load against url for dur: two
+// merged Poisson streams, one goroutine per in-flight job, every
+// response classified. Returns every sample.
+func drive(o options, url string, dur time.Duration) []sample {
+	type stream struct {
+		class string
+		body  []byte
+		rate  float64
+		next  time.Duration
+		r     *rng.Source
+	}
+	streams := []*stream{
+		{class: "heavy", body: []byte(`{"workload":"heavy"}`), rate: o.heavyRate, r: rng.New(o.seed)},
+		{class: "light", body: []byte(`{"workload":"light"}`), rate: o.lightRate, r: rng.New(o.seed + 1)},
+	}
+	for _, s := range streams {
+		s.next = time.Duration(s.r.ExpFloat64() / s.rate * float64(time.Second))
+	}
+	cl := &http.Client{
+		Timeout:   time.Minute,
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var out []sample
+	start := time.Now()
+	for {
+		s := streams[0]
+		if streams[1].next < s.next {
+			s = streams[1]
+		}
+		if s.next > dur {
+			break
+		}
+		time.Sleep(time.Until(start.Add(s.next)))
+		steady := s.next >= o.rampExclude
+		class, body := s.class, s.body
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := cl.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+			smp := sample{class: class, steady: steady}
+			if err != nil {
+				smp.code = -1
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				smp.code = resp.StatusCode
+				smp.lat = time.Since(t0)
+			}
+			mu.Lock()
+			out = append(out, smp)
+			mu.Unlock()
+		}()
+		s.next += time.Duration(s.r.ExpFloat64() / s.rate * float64(time.Second))
+	}
+	wg.Wait()
+	return out
+}
+
+// tally folds samples into per-class stats.
+func tally(samples []sample, class string) classStats {
+	var cs classStats
+	var all, steady []time.Duration
+	for _, s := range samples {
+		if s.class != class {
+			continue
+		}
+		cs.Sent++
+		switch {
+		case s.code == http.StatusOK:
+			cs.OK++
+			all = append(all, s.lat)
+			if s.steady {
+				steady = append(steady, s.lat)
+			}
+		case s.code == http.StatusTooManyRequests:
+			cs.Shed++
+		default:
+			cs.Failed++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	cs.P50Ms = quantileMs(all, 0.50)
+	cs.P99Ms = quantileMs(all, 0.99)
+	cs.SteadyP99Ms = quantileMs(steady, 0.99)
+	cs.MaxMs = quantileMs(all, 1)
+	return cs
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return round3(float64(sorted[i].Microseconds()) / 1000)
+}
+
+// runComparison boots a fresh cluster, drives the mixed load through
+// one policy, and reports per-class latencies plus where jobs landed.
+func runComparison(o options, specs []nodeSpec, p gate.Policy) (*policyResult, map[string]map[string]float64, error) {
+	nodes, g, url, stop, err := startCluster(o, specs, p)
+	if err != nil {
+		if stop != nil {
+			stop()
+		} else {
+			for _, n := range nodes {
+				n.shutdown()
+			}
+		}
+		return nil, nil, err
+	}
+	defer stop()
+	samples := drive(o, url, o.dur)
+	res := &policyResult{
+		Policy: p.Kind,
+		Heavy:  tally(samples, "heavy"),
+		Light:  tally(samples, "light"),
+		Routed: map[string]uint64{},
+	}
+	tc := map[string]map[string]float64{}
+	for _, s := range g.Snapshot() {
+		res.Routed[s.Name] = s.Routed
+		if len(s.TC) > 0 {
+			rounded := make(map[string]float64, len(s.TC))
+			for k, v := range s.TC {
+				rounded[k] = round3(v)
+			}
+			tc[s.Name] = rounded
+		}
+	}
+	return res, tc, nil
+}
+
+// runFailover drives the weighted gate while the mixed backend's
+// listener dies and returns mid-run. The acceptance claim: every
+// submission the gate acknowledged with 200 really completed somewhere
+// (zero lost acknowledged jobs), the gate re-routed around the corpse,
+// and the backend re-entered the rotation after restart.
+func runFailover(o options, specs []nodeSpec) (*failoverResult, error) {
+	nodes, g, url, stop, err := startCluster(o, specs, gate.Policy{Kind: gate.PolicyWeighted, Weights: gate.DefaultScorers()})
+	if err != nil {
+		if stop != nil {
+			stop()
+		} else {
+			for _, n := range nodes {
+				n.shutdown()
+			}
+		}
+		return nil, err
+	}
+	defer stop()
+	victim := nodes[0] // "mixed"
+
+	// Watch the gate's view of the victim through the outage. Gating on
+	// "reroutes > 0" instead would be racy: when no request happens to
+	// be in flight to the victim between the kill and the poller
+	// flipping it unready, the gate routes around the corpse without a
+	// single re-route — which is the good outcome, not a failure.
+	var sawDown atomic.Bool
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchDone:
+				return
+			case <-tick.C:
+				for _, s := range g.Snapshot() {
+					if s.Name == victim.spec.name && (!s.Ready || s.Breaker != "closed") {
+						sawDown.Store(true)
+					}
+				}
+			}
+		}
+	}()
+
+	var routedAtRestart atomic.Uint64
+	killT := time.AfterFunc(o.killAt, func() {
+		fmt.Printf("  failover: killing %q listener\n", victim.spec.name)
+		victim.stopHTTP()
+	})
+	defer killT.Stop()
+	restartT := time.AfterFunc(o.restartAt, func() {
+		for _, s := range g.Snapshot() {
+			if s.Name == victim.spec.name {
+				routedAtRestart.Store(s.Routed)
+			}
+		}
+		if err := victim.startHTTP(); err != nil {
+			fmt.Fprintf(os.Stderr, "gatedemo: restart: %v\n", err)
+			return
+		}
+		fmt.Printf("  failover: %q back on %s\n", victim.spec.name, victim.addr)
+	})
+	defer restartT.Stop()
+
+	samples := drive(o, url, o.failDur)
+	fo := &failoverResult{Routed: map[string]uint64{}, OutageObserved: sawDown.Load()}
+	for _, s := range samples {
+		fo.Sent++
+		switch {
+		case s.code == http.StatusOK:
+			fo.OK++
+		case s.code == http.StatusTooManyRequests:
+			fo.Shed++
+		default:
+			fo.Failed++
+		}
+	}
+	for _, s := range g.Snapshot() {
+		fo.Routed[s.Name] = s.Routed
+		fo.Reroutes += s.Reroutes
+		if s.Name == victim.spec.name {
+			fo.RoutedPostRecov = s.Routed - routedAtRestart.Load()
+		}
+	}
+	for _, n := range nodes {
+		fo.BackendCompleted += uint64(n.srv.Metrics().Counters().Completed)
+	}
+	return fo, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"wats/internal/gate"
+)
+
+func parse(t *testing.T, args ...string) (*options, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("watsgate", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{})
+	return parseOptions(fs, args)
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parse(t, "-backend", "http://127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.gateCfg.Policy.Kind != gate.PolicyWeighted {
+		t.Fatalf("default policy %q", o.gateCfg.Policy.Kind)
+	}
+	if w := o.gateCfg.Policy.Weights; w[gate.ScorerAffinity] != 3 || w[gate.ScorerQueue] != 2 || w[gate.ScorerHealth] != 1 {
+		t.Fatalf("default scorer weights %v", w)
+	}
+	// A bare URL is auto-named by position.
+	if b := o.gateCfg.Backends[0]; b.Name != "b0" || b.URL != "http://127.0.0.1:8080" {
+		t.Fatalf("backend %+v", b)
+	}
+}
+
+func TestParseOptionsNamedBackends(t *testing.T) {
+	o, err := parse(t,
+		"-backend", "fast=http://a:8080",
+		"-backend", "slow=http://b:8080",
+		"-policy", "least-loaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.gateCfg.Backends) != 2 || o.gateCfg.Backends[0].Name != "fast" || o.gateCfg.Backends[1].Name != "slow" {
+		t.Fatalf("backends %+v", o.gateCfg.Backends)
+	}
+	if o.gateCfg.Policy.Kind != gate.PolicyLeastLoad {
+		t.Fatalf("policy %q", o.gateCfg.Policy.Kind)
+	}
+}
+
+func TestParseOptionsRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                // no backends
+		{"-backend", "="}, // empty name and URL
+		{"-backend", "http://a", "-policy", "random"},        // unknown policy
+		{"-backend", "http://a", "-scorers", "latency:1"},    // unknown scorer
+		{"-backend", "http://a", "-alpha", "1.5"},            // alpha out of range
+		{"-backend", "http://a", "-poll", "-1s"},             // bad poll
+		{"-backend", "http://a", "-attempts", "-2"},          // bad attempts
+		{"-backend", "http://a", "-log-format", "xml"},       // bad log format
+		{"-backend", "dot.ted=http://a"},                     // '.' collides with the id separator
+		{"-backend", "n=http://a", "-backend", "n=http://b"}, // duplicate name
+	}
+	for _, args := range cases {
+		if _, err := parse(t, args...); err == nil {
+			t.Fatalf("parseOptions(%v) accepted", args)
+		}
+	}
+}

@@ -25,6 +25,7 @@
 // Usage:
 //
 //	watsload -addr http://localhost:8080 -rate 100 -duration 5s
+//	watsload -addr http://node1:8080 -addr http://node2:8080 -rate 500 -duration 5s
 //	watsload -rate 2000 -duration 10s -mix sha1=6,lzw=3,bzip2=1 -deadline-ms 500
 //	watsload -rate 2000 -duration 5s -chaos -retries 3
 //	watsload -profile 50:2s,800:4s,50:2s   # stepped rates for autoscale tests
@@ -59,8 +60,9 @@ type result struct {
 }
 
 func main() {
+	var addrs addrList
+	flag.Var(&addrs, "addr", "watsd base URL; repeat the flag to round-robin arrivals across a cluster (default http://127.0.0.1:8080)")
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "watsd base URL")
 		rate     = flag.Float64("rate", 100, "mean arrival rate in jobs/sec (Poisson)")
 		duration = flag.Duration("duration", 5*time.Second, "how long to generate arrivals")
 		mix      = flag.String("mix", "sha1=6,md5=2,lzw=3,dmc=2,bzip2=1", "weighted workload mix name=weight,...")
@@ -108,8 +110,10 @@ func main() {
 	for _, ph := range phases {
 		total += ph.dur
 	}
+	if len(addrs) == 0 {
+		addrs = addrList{"http://127.0.0.1:8080"}
+	}
 	ccfg := client.Config{
-		BaseURL:        *addr,
 		RequestTimeout: *timeout,
 		MaxRetries:     *retries,
 		Seed:           *seed,
@@ -124,17 +128,30 @@ func main() {
 		ccfg.MaxBackoff = 500 * time.Millisecond
 		ccfg.Breaker.Cooldown = 250 * time.Millisecond
 	}
-	cl, err := client.New(ccfg)
-	if err != nil {
-		logger.Error("client", "err", err)
-		os.Exit(2)
+	// One resilient client per target, each with its own circuit breaker
+	// (node health is per-node state); arrivals round-robin across them.
+	cls := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		ccfg.BaseURL = a
+		cl, err := client.New(ccfg)
+		if err != nil {
+			logger.Error("client", "addr", a, "err", err)
+			os.Exit(2)
+		}
+		cls[i] = cl
+	}
+	var rr int
+	nextClient := func() *client.Client {
+		cl := cls[rr%len(cls)]
+		rr++
+		return cl
 	}
 
 	if *profile != "" {
-		logger.Info("open-loop load", "addr", *addr, "mode", *mode, "total", total, "profile", *profile,
+		logger.Info("open-loop load", "addr", addrs.String(), "mode", *mode, "total", total, "profile", *profile,
 			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	} else {
-		logger.Info("open-loop load", "addr", *addr, "mode", *mode, "total", total, "rate", *rate,
+		logger.Info("open-loop load", "addr", addrs.String(), "mode", *mode, "total", total, "rate", *rate,
 			"mix", *mix, "deadline_ms", *deadline, "retries", ccfg.MaxRetries)
 	}
 	if *chaos {
@@ -159,6 +176,7 @@ func main() {
 				"deadline_ms": *deadline,
 				"params":      map[string]any{"seed": r.Uint64()%1000 + 1, "size": *size},
 			})
+			cl := nextClient()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -188,6 +206,9 @@ func main() {
 			}
 			jobs, t0s := pend, pendT0
 			pend, pendT0 = nil, nil
+			// Whole batches rotate across targets: one admission decision
+			// per batch per node, same as a single-target run.
+			cl := nextClient()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -218,61 +239,83 @@ func main() {
 		}
 		flushFn = flush
 	case "stream":
-		sc, err := cl.DialStream(context.Background())
-		if err != nil {
-			logger.Error("stream dial", "err", err)
-			os.Exit(2)
+		// One persistent wats-stream connection per target; arrivals
+		// round-robin across lanes by sequence number. Each lane tracks
+		// its own in-flight set so one connection dying only fails the
+		// jobs that were actually pipelined on it.
+		type lane struct {
+			sc       *client.StreamClient
+			mu       sync.Mutex
+			inflight map[uint64]time.Time
+			done     chan struct{}
 		}
-		var imu sync.Mutex
-		inflight := map[uint64]time.Time{}
+		lanes := make([]*lane, len(cls))
+		for i, cl := range cls {
+			sc, err := cl.DialStream(context.Background())
+			if err != nil {
+				logger.Error("stream dial", "addr", addrs[i], "err", err)
+				os.Exit(2)
+			}
+			ln := &lane{sc: sc, inflight: map[uint64]time.Time{}, done: make(chan struct{})}
+			lanes[i] = ln
+			go func() {
+				defer close(ln.done)
+				for res := range ln.sc.Results() {
+					ln.mu.Lock()
+					t0, ok := ln.inflight[res.ID]
+					delete(ln.inflight, res.ID)
+					ln.mu.Unlock()
+					if !ok {
+						continue
+					}
+					results <- result{
+						status:  streamStatus(res.Outcome),
+						panicjb: res.Outcome == wire.OutcomePanicked,
+						latency: time.Since(t0),
+					}
+					wg.Done()
+				}
+				// Connection gone: whatever never got a result is a failure.
+				ln.mu.Lock()
+				for id := range ln.inflight {
+					delete(ln.inflight, id)
+					results <- result{status: 0}
+					wg.Done()
+				}
+				ln.mu.Unlock()
+			}()
+		}
 		var seq uint64
-		readerDone := make(chan struct{})
-		go func() {
-			defer close(readerDone)
-			for res := range sc.Results() {
-				imu.Lock()
-				t0, ok := inflight[res.ID]
-				delete(inflight, res.ID)
-				imu.Unlock()
-				if !ok {
-					continue
-				}
-				results <- result{
-					status:  streamStatus(res.Outcome),
-					panicjb: res.Outcome == wire.OutcomePanicked,
-					latency: time.Since(t0),
-				}
-				wg.Done()
-			}
-			// Connection gone: whatever never got a result is a failure.
-			imu.Lock()
-			for id := range inflight {
-				delete(inflight, id)
-				results <- result{status: 0}
-				wg.Done()
-			}
-			imu.Unlock()
-		}()
 		dispatch = func(wl string) {
-			wid, ok := sc.WorkloadID(wl)
+			seq++
+			ln := lanes[seq%uint64(len(lanes))]
+			wid, ok := ln.sc.WorkloadID(wl)
 			if !ok {
 				results <- result{status: http.StatusBadRequest}
 				return
 			}
-			seq++
 			sub := wire.Submit{
 				ID: seq, Workload: wid, DeadlineMS: *deadline,
 				Size: int64(*size), Seed: r.Uint64()%1000 + 1,
 			}
-			imu.Lock()
-			inflight[seq] = time.Now()
-			imu.Unlock()
+			ln.mu.Lock()
+			ln.inflight[seq] = time.Now()
+			ln.mu.Unlock()
 			wg.Add(1)
-			_ = sc.Submit(&sub)
-			_ = sc.Flush()
+			_ = ln.sc.Submit(&sub)
+			_ = ln.sc.Flush()
 		}
-		flushFn = func() { _ = sc.Flush() }
-		closeFn = func() { _ = sc.Close(); <-readerDone }
+		flushFn = func() {
+			for _, ln := range lanes {
+				_ = ln.sc.Flush()
+			}
+		}
+		closeFn = func() {
+			for _, ln := range lanes {
+				_ = ln.sc.Close()
+				<-ln.done
+			}
+		}
 	default:
 		logger.Error("bad -mode (want unary, batch, or stream)", "mode", *mode)
 		os.Exit(2)
@@ -343,7 +386,16 @@ func main() {
 		fmt.Printf("  retried   p50 %v  p95 %v  p99 %v  (%d shed-then-retried completions)\n",
 			quantile(retriedLat, 0.50), quantile(retriedLat, 0.95), quantile(retriedLat, 0.99), len(retriedLat))
 	}
-	st := cl.Stats()
+	var st client.Stats
+	for _, cl := range cls {
+		s := cl.Stats()
+		st.Attempts += s.Attempts
+		st.Requests += s.Requests
+		st.Retries += s.Retries
+		st.RetryAfterHonored += s.RetryAfterHonored
+		st.BreakerOpens += s.BreakerOpens
+		st.BreakerRejects += s.BreakerRejects
+	}
 	fmt.Printf("  client    %d attempts / %d requests, %d retries, %d retry-after honored, %d breaker opens, %d breaker rejects\n",
 		st.Attempts, st.Requests, st.Retries, st.RetryAfterHonored, st.BreakerOpens, st.BreakerRejects)
 	if completed == 0 {
@@ -390,6 +442,20 @@ func pct(n, total int) float64 {
 func quantile(sorted []time.Duration, q float64) time.Duration {
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i].Round(10 * time.Microsecond)
+}
+
+// addrList collects repeated -addr flags.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+func (a *addrList) Set(v string) error {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return fmt.Errorf("empty -addr")
+	}
+	*a = append(*a, v)
+	return nil
 }
 
 // phase is one step of an arrival-rate profile.

@@ -89,6 +89,10 @@ type Result struct {
 	// Retried reports whether any retry happened (Attempts > 1) — the
 	// flag watsload uses to report shed-then-retried latency separately.
 	Retried bool
+	// RetryAfter is the final response's Retry-After hint (0 = none) —
+	// a proxy that gives up re-routing a shed request passes it through
+	// to its own caller.
+	RetryAfter time.Duration
 }
 
 // Stats is a point-in-time copy of the client's counters.
@@ -166,6 +170,23 @@ func New(cfg Config) (*Client, error) {
 	}, nil
 }
 
+// Breaker states as reported by BreakerState.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerState reports the circuit breaker's current disposition
+// without mutating it: "closed" (attempts flow), "open" (attempts are
+// rejected locally), or "half-open" (the next attempt is — or is about
+// to become — the single recovery probe). A router uses this to score
+// a backend's health before committing a request to it.
+func (c *Client) BreakerState() string { return c.br.currentState() }
+
+// BaseURL returns the configured backend base URL.
+func (c *Client) BaseURL() string { return c.cfg.BaseURL }
+
 // Stats snapshots the client's counters.
 func (c *Client) Stats() Stats {
 	return Stats{
@@ -203,7 +224,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (Resu
 		res.Attempts++
 		c.attempts.Add(1)
 		if err == nil {
-			res.StatusCode, res.Body = status, respBody
+			res.StatusCode, res.Body, res.RetryAfter = status, respBody, retryAfter
 			c.br.record(status != http.StatusServiceUnavailable)
 			if !retryable(status) || attempt >= c.cfg.MaxRetries {
 				res.Retried = res.Attempts > 1
@@ -350,6 +371,28 @@ func (b *breaker) allow() error {
 		}
 		b.probing = true
 		return nil
+	}
+}
+
+// currentState is the read-only view behind Client.BreakerState: an
+// open breaker whose cooldown has elapsed reports half-open, because
+// the next allow() will admit a probe.
+func (b *breaker) currentState() string {
+	if b.threshold < 0 {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return BreakerClosed
+	case brHalfOpen:
+		return BreakerHalfOpen
+	default:
+		if time.Since(b.openedAt) >= b.cooldown {
+			return BreakerHalfOpen
+		}
+		return BreakerOpen
 	}
 }
 

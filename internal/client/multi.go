@@ -1,0 +1,144 @@
+// Multi-backend awareness: one resilient Client per watsd node, round-
+// robined. Multi is the dumb-but-safe way to drive a cluster — it
+// spreads submissions evenly and steps around nodes whose breaker is
+// open or whose transport just failed, but it learns nothing about
+// per-class cost. The workload-aware version of this decision lives in
+// internal/gate; Multi exists so a load generator (watsload with
+// repeated -addr flags) can drive the same cluster without a gate as
+// the routing baseline.
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Multi fans one Client per backend address behind a round-robin
+// picker. Safe for concurrent use; each underlying Client keeps its own
+// retry budget, jitter stream, and circuit breaker.
+type Multi struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// NewMulti builds one Client per addr from cfg (cfg.BaseURL is ignored;
+// each client gets its addr as BaseURL). Every client shares the retry
+// and breaker configuration but keeps independent breaker state — one
+// dead node must not blind the client to the live ones.
+func NewMulti(cfg Config, addrs []string) (*Multi, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: NewMulti needs at least one address")
+	}
+	m := &Multi{clients: make([]*Client, 0, len(addrs))}
+	for _, a := range addrs {
+		c := cfg
+		c.BaseURL = a
+		cl, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		m.clients = append(m.clients, cl)
+	}
+	return m, nil
+}
+
+// Len returns the number of backends.
+func (m *Multi) Len() int { return len(m.clients) }
+
+// Clients returns the underlying per-backend clients in address order
+// (watsload's stream mode dials each one).
+func (m *Multi) Clients() []*Client { return m.clients }
+
+// Pick returns the next backend round-robin, skipping clients whose
+// breaker is currently open; when every breaker is open it falls back
+// to plain rotation (someone has to probe).
+func (m *Multi) Pick() *Client {
+	n := len(m.clients)
+	start := int(m.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		cl := m.clients[(start+i)%n]
+		if cl.BreakerState() != BreakerOpen {
+			return cl
+		}
+	}
+	return m.clients[start]
+}
+
+// do runs one request with backend failover: the round-robin pick gets
+// the request (with that client's full retry budget); a local breaker
+// rejection or a transport-level failure moves on to the next backend,
+// once around the ring. HTTP outcomes — including 429/503 that survived
+// the client's own retries — are final: the server answered, and
+// resubmitting elsewhere is the caller's policy decision, not the
+// transport's.
+func (m *Multi) do(ctx context.Context, f func(*Client) (Result, error)) (Result, error) {
+	n := len(m.clients)
+	start := int(m.next.Add(1)-1) % n
+	var lastErr error
+	for i := 0; i < n; i++ {
+		cl := m.clients[(start+i)%n]
+		if i > 0 && cl.BreakerState() == BreakerOpen {
+			continue
+		}
+		res, err := f(cl)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return res, err
+		}
+	}
+	return Result{}, fmt.Errorf("client: all %d backends failed: %w", n, lastErr)
+}
+
+// SubmitJob submits one /v1/jobs body to the cluster with round-robin
+// plus transport failover.
+func (m *Multi) SubmitJob(ctx context.Context, body []byte) (Result, error) {
+	return m.do(ctx, func(cl *Client) (Result, error) { return cl.SubmitJob(ctx, body) })
+}
+
+// Do performs one request against the cluster (see Client.Do).
+func (m *Multi) Do(ctx context.Context, method, path string, body []byte) (Result, error) {
+	return m.do(ctx, func(cl *Client) (Result, error) { return cl.Do(ctx, method, path, body) })
+}
+
+// SubmitBatch submits a batch to one backend (round-robin with breaker
+// skip); item-level retries stay within that backend — splitting a
+// batch across nodes is the gate's job, not the baseline client's.
+func (m *Multi) SubmitBatch(ctx context.Context, jobs []BatchJob) ([]BatchItemResult, error) {
+	n := len(m.clients)
+	start := int(m.next.Add(1)-1) % n
+	var lastErr error
+	for i := 0; i < n; i++ {
+		cl := m.clients[(start+i)%n]
+		if i > 0 && cl.BreakerState() == BreakerOpen {
+			continue
+		}
+		rs, err := cl.SubmitBatch(ctx, jobs)
+		if err == nil {
+			return rs, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return rs, err
+		}
+	}
+	return nil, fmt.Errorf("client: all %d backends failed: %w", n, lastErr)
+}
+
+// Stats sums the per-backend counters.
+func (m *Multi) Stats() Stats {
+	var out Stats
+	for _, cl := range m.clients {
+		s := cl.Stats()
+		out.Requests += s.Requests
+		out.Attempts += s.Attempts
+		out.Retries += s.Retries
+		out.RetryAfterHonored += s.RetryAfterHonored
+		out.BreakerOpens += s.BreakerOpens
+		out.BreakerRejects += s.BreakerRejects
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMultiRoundRobin drives a 3-node Multi and checks submissions
+// spread evenly when everyone is healthy.
+func TestMultiRoundRobin(t *testing.T) {
+	var hits [3]atomic.Int64
+	addrs := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Write([]byte(`{"status":"completed"}`))
+		}))
+		defer ts.Close()
+		addrs[i] = ts.URL
+	}
+	m, err := NewMulti(Config{RequestTimeout: time.Second}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		res, err := m.SubmitJob(context.Background(), []byte(`{"workload":"noop"}`))
+		if err != nil || res.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %v / HTTP %d", i, err, res.StatusCode)
+		}
+	}
+	for i := range hits {
+		if n := hits[i].Load(); n != 10 {
+			t.Fatalf("backend %d got %d of 30 submissions, want 10 (all: %v %v %v)",
+				i, n, hits[0].Load(), hits[1].Load(), hits[2].Load())
+		}
+	}
+	if st := m.Stats(); st.Requests != 30 || st.Attempts != 30 {
+		t.Fatalf("aggregated stats wrong: %+v", st)
+	}
+}
+
+// TestMultiFailsOverDeadBackend kills one node and checks every
+// submission still lands: transport failures move to the next backend,
+// and once that node's breaker opens it is skipped without an attempt.
+func TestMultiFailsOverDeadBackend(t *testing.T) {
+	var live atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		live.Add(1)
+		w.Write([]byte(`{"status":"completed"}`))
+	}))
+	defer ts.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refused connections from the start
+
+	m, err := NewMulti(Config{
+		RequestTimeout: time.Second,
+		Breaker:        BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+	}, []string{dead.URL, ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		res, err := m.SubmitJob(context.Background(), []byte(`{"workload":"noop"}`))
+		if err != nil || res.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %v / HTTP %d", i, err, res.StatusCode)
+		}
+	}
+	if got := live.Load(); got != n {
+		t.Fatalf("live backend served %d of %d", got, n)
+	}
+	if m.clients[0].BreakerState() != BreakerOpen {
+		t.Fatalf("dead backend's breaker is %q, want open", m.clients[0].BreakerState())
+	}
+	// After the breaker opened (2 failures), later rounds skip the dead
+	// node without attempting it: attempts stay well under 2 per job.
+	if st := m.Stats(); st.Attempts >= 2*n {
+		t.Fatalf("dead backend kept being attempted: %+v", st)
+	}
+}
+
+// TestMultiHTTPOutcomesAreFinal: a 429 from a healthy server must not
+// fail over to another node at the Multi layer — shed is flow control,
+// not node death.
+func TestMultiHTTPOutcomesAreFinal(t *testing.T) {
+	var shedHits, okHits atomic.Int64
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shedHits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer shedding.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okHits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ok.Close()
+
+	m, err := NewMulti(Config{RequestTimeout: time.Second}, []string{shedding.URL, ok.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sheds int
+	for i := 0; i < 10; i++ {
+		res, err := m.SubmitJob(context.Background(), []byte(`{"workload":"noop"}`))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if res.StatusCode == http.StatusTooManyRequests {
+			sheds++
+			if res.RetryAfter != time.Second {
+				t.Fatalf("Retry-After hint lost: %v", res.RetryAfter)
+			}
+		}
+	}
+	if sheds != 5 {
+		t.Fatalf("want the shedding node's 5 rounds reported as 429, got %d (shed=%d ok=%d)",
+			sheds, shedHits.Load(), okHits.Load())
+	}
+}

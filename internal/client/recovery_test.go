@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// startBackend serves a trivial 200 handler on addr ("" = any port) and
+// returns the server plus its address. Restarting on the same address
+// is the point: the breaker's half-open probe must find the *same*
+// backend URL alive again, exactly as a crashed-and-restarted watsd
+// would reappear behind its configured address.
+func startBackend(t *testing.T, addr string) (*http.Server, string) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	// The just-closed listener's port frees immediately, but give the
+	// kernel a few tries to avoid a rare rebind race.
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ready"}`))
+	})}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// TestBreakerHalfOpenRecoveryAcrossRestart exercises the full breaker
+// lifecycle against a real HTTP backend that dies and comes back on the
+// same address mid-run — the scenario a gate routing to a crashed watsd
+// lives through. Closed → (backend killed) open → half-open probe fails
+// while it is still down → re-open → (backend restarted) half-open
+// probe succeeds → closed. Until now only transport-level breaker
+// behavior was unit-tested with canned handlers.
+func TestBreakerHalfOpenRecoveryAcrossRestart(t *testing.T) {
+	const cooldown = 100 * time.Millisecond
+	srv, addr := startBackend(t, "")
+	c, err := New(Config{
+		BaseURL:        "http://" + addr,
+		RequestTimeout: time.Second,
+		Breaker:        BreakerConfig{Threshold: 2, Cooldown: cooldown},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Healthy steady state.
+	res, err := c.Do(ctx, http.MethodGet, "/v1/readyz", nil)
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("healthy request: %v / HTTP %d", err, res.StatusCode)
+	}
+	if st := c.BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker %q, want closed", st)
+	}
+
+	// Kill the backend: Close drops the listener and all live conns, so
+	// the next attempts fail in transport and open the breaker at the
+	// threshold.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(ctx, http.MethodGet, "/v1/readyz", nil); err == nil {
+			t.Fatalf("attempt %d against a dead backend succeeded", i)
+		}
+	}
+	if st := c.BreakerState(); st != BreakerOpen {
+		t.Fatalf("after %d failures breaker is %q, want open", 2, c.BreakerState())
+	}
+	if _, err := c.Do(ctx, http.MethodGet, "/v1/readyz", nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker let a request through: %v", err)
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 || st.BreakerRejects != 1 {
+		t.Fatalf("stats after open: %+v", st)
+	}
+
+	// Cooldown elapses while the backend is still down: the half-open
+	// probe is admitted, fails for real, and re-opens the breaker.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if st := c.BreakerState(); st != BreakerHalfOpen {
+		t.Fatalf("post-cooldown breaker is %q, want half-open", st)
+	}
+	if _, err := c.Do(ctx, http.MethodGet, "/v1/readyz", nil); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe against the dead backend: %v (want a real transport failure)", err)
+	}
+	if st := c.Stats(); st.BreakerOpens != 2 {
+		t.Fatalf("failed probe must re-open: %+v", st)
+	}
+
+	// Restart the backend on the same address, wait out the cooldown:
+	// the next request is the half-open probe, succeeds, and closes the
+	// breaker for good.
+	srv2, _ := startBackend(t, addr)
+	defer srv2.Close()
+	time.Sleep(cooldown + 20*time.Millisecond)
+	res, err = c.Do(ctx, http.MethodGet, "/v1/readyz", nil)
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("recovery probe: %v / HTTP %d", err, res.StatusCode)
+	}
+	if st := c.BreakerState(); st != BreakerClosed {
+		t.Fatalf("after successful probe breaker is %q, want closed", st)
+	}
+	rejectsBefore := c.Stats().BreakerRejects
+	for i := 0; i < 5; i++ {
+		res, err = c.Do(ctx, http.MethodGet, "/v1/readyz", nil)
+		if err != nil || res.StatusCode != http.StatusOK {
+			t.Fatalf("steady request %d after recovery: %v / HTTP %d", i, err, res.StatusCode)
+		}
+	}
+	if st := c.Stats(); st.BreakerRejects != rejectsBefore || st.BreakerOpens != 2 {
+		t.Fatalf("recovered client still rejecting: %+v", st)
+	}
+}

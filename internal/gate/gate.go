@@ -1,0 +1,451 @@
+// Package gate is watsgate's core: a workload-aware HTTP front end that
+// routes the watsd job API across a cluster of heterogeneous backends.
+// It lifts the paper's central move — schedule by observed per-class
+// execution history, not by static assignment — from cores to machines:
+// where the in-process runtime keeps a TC(f, class) table per c-group,
+// the gate keeps a cluster-level TC table per backend, learned from the
+// per-job latencies (queue_wait_ms/exec_ms) every response already
+// carries and decayed by EWMA so a drifting backend is re-learned.
+//
+// Three signals feed routing, composed by a pluggable weighted scorer
+// ("class-affinity:3,queue-depth:2,health:1"):
+//
+//   - class affinity — the learned exec-latency EWMA for the job's
+//     class on each backend, seeded from the backend's own /v1/stats
+//     table before the gate has local observations (cold start);
+//   - queue pressure — run-queue depth and in-flight counts polled from
+//     /v1/stats, sharpened by the gate's own per-backend in-flight
+//     count (fresh where the poll is stale);
+//   - health — /v1/readyz polls crossed with the per-backend circuit
+//     breaker (internal/client), so a dead or draining node is excluded
+//     and a recovering one re-enters through a half-open probe.
+//
+// Round-robin and least-loaded are kept as baseline policies; the
+// gatedemo acceptance benchmark measures the weighted scorer against
+// both on skewed class mixes (BENCH_gate.json, DESIGN.md §13).
+//
+// Failure discipline mirrors PR 8's retry rules: transport errors, 429
+// and 503 re-route *per item* to the next-best backend; real job
+// outcomes (200/500/504) are final — re-running a job that panicked or
+// expired would duplicate work a scheduler already accounted.
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wats/internal/client"
+	"wats/internal/obs"
+)
+
+// BackendConf names one watsd node.
+type BackendConf struct {
+	// Name keys the backend in metrics, async job ids and the TC table.
+	// Letters, digits, '_' and '-' only — '.' separates the backend
+	// name from the node-local id in gateway job ids.
+	Name string
+	// URL is the node's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+}
+
+// Config configures a Gate.
+type Config struct {
+	// Backends is the cluster (≥ 1 node). Required.
+	Backends []BackendConf
+	// Policy picks backends (zero value = the weighted scorer with
+	// DefaultScorers).
+	Policy Policy
+	// PollInterval paces the per-backend /v1/stats + /v1/readyz polls
+	// (0 = 250ms).
+	PollInterval time.Duration
+	// PollTimeout bounds one poll round-trip (0 = 1s).
+	PollTimeout time.Duration
+	// Alpha is the TC-table EWMA decay per observed job (0 = 0.3).
+	Alpha float64
+	// MaxAttempts bounds how many backends one job may be routed to
+	// before the gate gives up (0 = number of backends).
+	MaxAttempts int
+	// RequestTimeout bounds one proxied attempt (0 = 30s).
+	RequestTimeout time.Duration
+	// Breaker tunes each backend's circuit breaker (zero = client
+	// defaults: threshold 8, cooldown 2s).
+	Breaker client.BreakerConfig
+	// Logger receives routing-state transitions (nil = slog.Default).
+	Logger *slog.Logger
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+// idSep joins a backend name and its node-local job id into a
+// cluster-unique async job id ("fast.j000017"). Backend names exclude
+// the separator, so the split is unambiguous.
+const idSep = "."
+
+// polled is one backend's last successful /v1/stats snapshot.
+type polled struct {
+	Workers     int                      `json:"workers"`
+	Queued      int                      `json:"queued"`
+	MaxQueued   int                      `json:"max_queued"`
+	Inflight    int                      `json:"inflight"`
+	MaxInflight int                      `json:"max_inflight"`
+	Draining    bool                     `json:"draining"`
+	Classes     map[string]obs.ClassEWMA `json:"classes"`
+	at          time.Time
+}
+
+// backend is one watsd node plus everything the gate knows about it.
+type backend struct {
+	name string
+	url  string
+	cl   *client.Client // routed traffic; carries the circuit breaker
+
+	// inflight is the gate's own in-flight count to this backend —
+	// fresher than the polled number, which lags by up to PollInterval.
+	inflight atomic.Int64
+	ready    atomic.Bool
+	stats    atomic.Pointer[polled]
+
+	// tc is the cluster-level TC table: class → EWMA of backend-observed
+	// exec latency in milliseconds, learned from job responses.
+	tcMu sync.Mutex
+	tc   map[string]float64
+
+	// Counters behind /metrics (watsgate_*). routedByClass maps
+	// class → *atomic.Uint64.
+	routedByClass sync.Map
+	outcomes      [outcomeCount]atomic.Uint64
+	reroutes      atomic.Uint64
+}
+
+// Gate is the cluster router. Create with New, mount Handler, Close on
+// shutdown.
+type Gate struct {
+	cfg      Config
+	log      *slog.Logger
+	backends []*backend
+	rr       atomic.Uint64 // round-robin cursor
+
+	// classOf maps workload name → task class, learned from the first
+	// backend that answers /v1/workloads (all nodes serve the same
+	// registry; a workload the map misses falls back to its own name).
+	classMu sync.RWMutex
+	classOf map[string]string
+
+	requests [apiCount]atomic.Uint64
+
+	pollHC *http.Client
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New validates cfg, builds the per-backend clients and starts the
+// pollers. The gate is immediately routable — before the first poll
+// lands, unpolled backends are tried optimistically.
+func New(cfg Config) (*Gate, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gate: need at least one backend")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = time.Second
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("gate: alpha %v out of (0, 1]", cfg.Alpha)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = len(cfg.Backends)
+	}
+	if cfg.Policy.Kind == "" {
+		cfg.Policy = Policy{Kind: PolicyWeighted, Weights: DefaultScorers()}
+	}
+	if err := cfg.Policy.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	g := &Gate{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		classOf: map[string]string{},
+		pollHC:  &http.Client{Timeout: cfg.PollTimeout},
+		stop:    make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, bc := range cfg.Backends {
+		if !nameRE.MatchString(bc.Name) {
+			return nil, fmt.Errorf("gate: bad backend name %q (want [A-Za-z0-9_-]+)", bc.Name)
+		}
+		if seen[bc.Name] {
+			return nil, fmt.Errorf("gate: duplicate backend name %q", bc.Name)
+		}
+		seen[bc.Name] = true
+		if bc.URL == "" {
+			return nil, fmt.Errorf("gate: backend %q has no URL", bc.Name)
+		}
+		cl, err := client.New(client.Config{
+			BaseURL:        bc.URL,
+			RequestTimeout: cfg.RequestTimeout,
+			// MaxRetries 0: the gate's routing loop IS the retry layer —
+			// a retryable outcome re-routes to a different backend
+			// instead of hammering the same one.
+			MaxRetries: 0,
+			Breaker:    cfg.Breaker,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gate: backend %q: %w", bc.Name, err)
+		}
+		g.backends = append(g.backends, &backend{
+			name: bc.Name, url: bc.URL, cl: cl, tc: map[string]float64{},
+		})
+	}
+	for _, b := range g.backends {
+		g.wg.Add(1)
+		go g.pollLoop(b)
+	}
+	return g, nil
+}
+
+// Close stops the pollers.
+func (g *Gate) Close() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// BackendSnapshot is a point-in-time copy of one backend's routing
+// state and counters — the programmatic face of /v1/healthz and
+// /metrics, for demos and acceptance checks that hold the Gate
+// in-process.
+type BackendSnapshot struct {
+	Name          string             `json:"name"`
+	Ready         bool               `json:"ready"`
+	Breaker       string             `json:"breaker"`
+	Routed        uint64             `json:"routed"`
+	RoutedByClass map[string]uint64  `json:"routed_by_class"`
+	Reroutes      uint64             `json:"reroutes"`
+	Outcomes      map[string]uint64  `json:"outcomes"`
+	TC            map[string]float64 `json:"tc"`
+}
+
+// Snapshot copies every backend's routing state in configuration order.
+func (g *Gate) Snapshot() []BackendSnapshot {
+	out := make([]BackendSnapshot, 0, len(g.backends))
+	for _, b := range g.backends {
+		s := BackendSnapshot{
+			Name:          b.name,
+			Ready:         b.ready.Load(),
+			Breaker:       b.cl.BreakerState(),
+			Routed:        b.routedTotal(),
+			RoutedByClass: map[string]uint64{},
+			Reroutes:      b.reroutes.Load(),
+			Outcomes:      map[string]uint64{},
+			TC:            b.tcTable(),
+		}
+		b.routedByClass.Range(func(k, v any) bool {
+			s.RoutedByClass[k.(string)] = v.(*atomic.Uint64).Load()
+			return true
+		})
+		for i := 0; i < outcomeCount; i++ {
+			if v := b.outcomes[i].Load(); v > 0 {
+				s.Outcomes[outcomeNames[i]] = v
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Backends returns the backend names in configuration order.
+func (g *Gate) Backends() []string {
+	out := make([]string, len(g.backends))
+	for i, b := range g.backends {
+		out[i] = b.name
+	}
+	return out
+}
+
+// WaitReady blocks until at least one backend has answered a readiness
+// poll, or ctx fires. Demos and tests use it to avoid racing the first
+// poll; serving before it returns is safe (unpolled backends are tried
+// optimistically).
+func (g *Gate) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		for _, b := range g.backends {
+			if b.ready.Load() {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// pollLoop keeps one backend's readiness, load stats and (once) the
+// workload→class map fresh. Polls use a plain HTTP client, not the
+// routed one: a probe against a dead node must not consume the routing
+// breaker's failure budget — the breaker counts real traffic.
+func (g *Gate) pollLoop(b *backend) {
+	defer g.wg.Done()
+	g.pollOnce(b)
+	t := time.NewTicker(g.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.pollOnce(b)
+		}
+	}
+}
+
+func (g *Gate) pollOnce(b *backend) {
+	wasReady := b.ready.Load()
+	ready := false
+	if resp, err := g.pollHC.Get(b.url + "/v1/readyz"); err == nil {
+		ready = resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+	}
+	b.ready.Store(ready)
+	if ready != wasReady {
+		g.log.Info("backend readiness changed", "backend", b.name, "ready", ready)
+	}
+	if !ready {
+		return
+	}
+	if resp, err := g.pollHC.Get(b.url + "/v1/stats"); err == nil {
+		var p polled
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&p) == nil {
+			p.at = time.Now()
+			b.stats.Store(&p)
+		}
+		resp.Body.Close()
+	}
+	g.classMu.RLock()
+	haveClasses := len(g.classOf) > 0
+	g.classMu.RUnlock()
+	if !haveClasses {
+		if resp, err := g.pollHC.Get(b.url + "/v1/workloads"); err == nil {
+			var ws []struct {
+				Name  string `json:"name"`
+				Class string `json:"class"`
+			}
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ws) == nil && len(ws) > 0 {
+				m := make(map[string]string, len(ws))
+				for _, w := range ws {
+					m[w.Name] = w.Class
+				}
+				g.classMu.Lock()
+				g.classOf = m
+				g.classMu.Unlock()
+			}
+			resp.Body.Close()
+		}
+	}
+}
+
+// classFor resolves a workload name to its task class; unknown names
+// map to themselves (every builtin's class equals its name, and a
+// stable wrong key still learns a consistent table).
+func (g *Gate) classFor(workload string) string {
+	g.classMu.RLock()
+	defer g.classMu.RUnlock()
+	if c, ok := g.classOf[workload]; ok {
+		return c
+	}
+	return workload
+}
+
+// observe folds one backend-reported exec latency into the cluster TC
+// table (EWMA, Config.Alpha).
+func (b *backend) observe(class string, execMS, alpha float64) {
+	if execMS <= 0 || class == "" {
+		return
+	}
+	b.tcMu.Lock()
+	if old, ok := b.tc[class]; ok {
+		b.tc[class] = (1-alpha)*old + alpha*execMS
+	} else {
+		b.tc[class] = execMS
+	}
+	b.tcMu.Unlock()
+}
+
+// tcFor returns the backend's learned exec EWMA for class in
+// milliseconds: local observations first, the backend's own polled
+// /v1/stats table as the cold-start seed, 0 = unknown.
+func (b *backend) tcFor(class string) float64 {
+	b.tcMu.Lock()
+	v, ok := b.tc[class]
+	b.tcMu.Unlock()
+	if ok {
+		return v
+	}
+	if p := b.stats.Load(); p != nil {
+		if e, ok := p.Classes[class]; ok {
+			return e.ExecMS
+		}
+	}
+	return 0
+}
+
+// tcTable snapshots the learned table (for /v1/gate/table and metrics).
+func (b *backend) tcTable() map[string]float64 {
+	b.tcMu.Lock()
+	defer b.tcMu.Unlock()
+	out := make(map[string]float64, len(b.tc))
+	for k, v := range b.tc {
+		out[k] = v
+	}
+	return out
+}
+
+// load is the backend's queue-pressure estimate, normalized per worker:
+// (run-queue depth + in-flight jobs) / workers. The polled in-flight is
+// up to PollInterval stale, so the gate's own count takes over when it
+// is higher (it cannot be lower for traffic the gate itself sent).
+// Both the least-loaded baseline and the weighted queue-depth scorer
+// use this signal: counting every in-flight job (not just work beyond
+// the worker count) is what lets the gate spill a class off its
+// affinity-preferred backend before a queue has formed there, which
+// matters because the poll cadence is too coarse to see short bursts.
+func (b *backend) load() float64 {
+	local := float64(b.inflight.Load())
+	p := b.stats.Load()
+	if p == nil {
+		return local
+	}
+	inflight := float64(p.Inflight)
+	if local > inflight {
+		inflight = local
+	}
+	workers := float64(p.Workers)
+	if workers <= 0 {
+		workers = 1
+	}
+	return (float64(p.Queued) + inflight) / workers
+}
+
+// routable reports whether the backend should receive new work: the
+// last readiness poll succeeded and the breaker is not hard-open. A
+// half-open breaker stays routable — that route IS the recovery probe.
+func (b *backend) routable() bool {
+	return b.ready.Load() && b.cl.BreakerState() != client.BreakerOpen
+}

@@ -1,0 +1,67 @@
+package gate
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestGateMetrics drives a little traffic through a one-node gate and
+// lints the watsgate_* exposition: every series belongs to a family
+// that declared HELP and TYPE, and the counters the traffic must have
+// moved are present with the right labels.
+func TestGateMetrics(t *testing.T) {
+	f := newFake(t)
+	f.jobs = func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"j1","workload":"w","status":"completed","queue_wait_ms":0,"exec_ms":4}`))
+	}
+	_, ts := newGateTS(t, Config{Backends: []BackendConf{{Name: "b0", URL: f.ts.URL}}})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"workload":"w"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	text := string(body)
+
+	declared := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			declared[parts[2]] = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasPrefix(name, "watsgate_") {
+			t.Fatalf("series %q outside the watsgate_ namespace", line)
+		}
+		if !declared[name] {
+			t.Fatalf("series %q has no TYPE declaration", line)
+		}
+	}
+
+	for _, want := range []string{
+		`watsgate_requests_total{api="jobs"} 3`,
+		`watsgate_routed_total{backend="b0",class="w"} 3`,
+		`watsgate_outcomes_total{backend="b0",outcome="ok"} 3`,
+		`watsgate_backend_ready{backend="b0"} 1`,
+		`watsgate_class_exec_ewma_ms{backend="b0",class="w"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+// The gate's HTTP surface: the watsd job API proxied across the
+// cluster. The unary and batch handlers carry the re-route loop —
+// transport failures, 429 and 503 move a job (or just the shed items of
+// a batch) to the next-best backend with per-item tried-sets, while
+// real job outcomes pass through untouched. Async submissions come back
+// with the backend name folded into the job id ("fast.j000017"), so the
+// poll endpoint can route the GET to the node that owns the record
+// without any shared state.
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wats/internal/client"
+)
+
+// maxBodyBytes bounds one proxied request body (matches the client's
+// response cap).
+const maxBodyBytes = 1 << 20
+
+// Handler returns the gate's HTTP mux.
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", g.handleSubmit)
+	mux.HandleFunc("/v1/jobs:batch", g.handleBatch)
+	mux.HandleFunc("/v1/jobs/", g.handlePoll)
+	mux.HandleFunc("/v1/workloads", g.handleWorkloads)
+	mux.HandleFunc("/v1/healthz", g.handleHealthz)
+	mux.HandleFunc("/v1/readyz", g.handleReadyz)
+	mux.HandleFunc("/v1/gate/table", g.handleTable)
+	mux.Handle("/metrics", g.MetricsHandler())
+	mux.HandleFunc("/", g.handleRoot)
+	return mux
+}
+
+func (g *Gate) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+		return
+	}
+	fmt.Fprintf(w, `watsgate — workload-aware cluster router (%d backends, policy %s)
+
+  POST /v1/jobs       submit a job; routed by learned per-class latency
+  POST /v1/jobs:batch submit N jobs; items routed and re-routed individually
+  GET  /v1/jobs/{id}  poll an async job (id carries the owning backend)
+  GET  /v1/workloads  workload registry (proxied)
+  GET  /v1/healthz    per-backend routing state
+  GET  /v1/readyz     200 while at least one backend is routable
+  GET  /v1/gate/table learned TC table and scorer weights
+  GET  /metrics       Prometheus metrics (watsgate_*)
+`, len(g.backends), g.cfg.Policy)
+}
+
+// ---------------------------------------------------------------------
+// Unary submit.
+
+func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	g.requests[apiJobs].Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Peek only what routing needs; a malformed body still gets proxied
+	// so the backend's own validation error passes through verbatim.
+	var peek struct {
+		Workload string `json:"workload"`
+		Async    bool   `json:"async"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	class := g.classFor(peek.Workload)
+
+	tried := make(map[*backend]bool, len(g.backends))
+	var last client.Result
+	haveLast := false
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		b := g.pick(class, tried)
+		if b == nil {
+			break
+		}
+		tried[b] = true
+		b.countRouted(class)
+		b.inflight.Add(1)
+		res, err := b.cl.SubmitJob(r.Context(), body)
+		b.inflight.Add(-1)
+		if err != nil {
+			b.outcomes[outcomeTransport].Add(1)
+			b.reroutes.Add(1)
+			if r.Context().Err() != nil {
+				httpError(w, http.StatusBadGateway, "canceled: %v", err)
+				return
+			}
+			continue
+		}
+		b.outcomes[outcomeFor(res.StatusCode)].Add(1)
+		if retryableStatus(res.StatusCode) {
+			last, haveLast = res, true
+			b.reroutes.Add(1)
+			continue
+		}
+		g.finishUnary(w, b, class, peek.Async, res)
+		return
+	}
+	if haveLast {
+		// Every route shed or was draining: pass the last server answer
+		// (and its backoff hint) through to the caller.
+		if last.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(last.RetryAfter.Seconds())))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(last.StatusCode)
+		_, _ = w.Write(last.Body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no backend reachable after %d attempts", g.cfg.MaxAttempts)
+}
+
+// finishUnary passes a final backend answer through: learn the TC
+// sample from a completed job, and fold the backend name into an async
+// 202's job id so the poll endpoint can route it back.
+func (g *Gate) finishUnary(w http.ResponseWriter, b *backend, class string, async bool, res client.Result) {
+	body := res.Body
+	if res.StatusCode == http.StatusOK {
+		var out struct {
+			ExecMS float64 `json:"exec_ms"`
+		}
+		if json.Unmarshal(body, &out) == nil {
+			b.observe(class, out.ExecMS, g.cfg.Alpha)
+		}
+	}
+	if async && res.StatusCode == http.StatusAccepted {
+		if rw, ok := prefixID(body, b.name); ok {
+			body = rw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.StatusCode)
+	_, _ = w.Write(body)
+}
+
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// ---------------------------------------------------------------------
+// Async poll.
+
+func (g *Gate) handlePoll(w http.ResponseWriter, r *http.Request) {
+	g.requests[apiPoll].Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	name, rest, ok := strings.Cut(id, idSep)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "job id %q has no backend prefix (want <backend>.<id>)", id)
+		return
+	}
+	var b *backend
+	for _, cand := range g.backends {
+		if cand.name == name {
+			b = cand
+			break
+		}
+	}
+	if b == nil {
+		httpError(w, http.StatusNotFound, "unknown backend %q in job id %q", name, id)
+		return
+	}
+	res, err := b.cl.Do(r.Context(), http.MethodGet, "/v1/jobs/"+rest, nil)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "backend %q unreachable: %v", name, err)
+		return
+	}
+	body := res.Body
+	if res.StatusCode == http.StatusOK {
+		if rw, ok := prefixID(body, b.name); ok {
+			body = rw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// prefixID rewrites the "id" field of a JobView JSON body to
+// "<name>.<id>". Decode-and-re-encode keeps it robust against field
+// layout; the async path is poll-rate, not job-rate, so the allocation
+// is fine.
+func prefixID(body []byte, name string) ([]byte, bool) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, false
+	}
+	var id string
+	if err := json.Unmarshal(m["id"], &id); err != nil || id == "" {
+		return nil, false
+	}
+	idJSON, _ := json.Marshal(name + idSep + id)
+	m["id"] = idJSON
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// ---------------------------------------------------------------------
+// Batch: per-item routing and re-routing.
+
+// gbItem is one batch slot mid-flight through the rounds loop.
+type gbItem struct {
+	raw        json.RawMessage   // the submitted job body
+	class      string            // resolved task class
+	tried      map[*backend]bool // backends this item already visited
+	final      json.RawMessage   // non-nil: done, pass through verbatim
+	lastRaw    json.RawMessage   // last retryable per-item result (passthrough on exhaustion)
+	lastCode   int               // last retryable code (whole-batch rejections have no raw)
+	retryAfter time.Duration
+}
+
+func (g *Gate) handleBatch(w http.ResponseWriter, r *http.Request) {
+	g.requests[apiBatch].Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: need jobs[]")
+		return
+	}
+	items := make([]gbItem, len(req.Jobs))
+	for i, raw := range req.Jobs {
+		var peek struct {
+			Workload string `json:"workload"`
+		}
+		_ = json.Unmarshal(raw, &peek)
+		items[i] = gbItem{
+			raw:   raw,
+			class: g.classFor(peek.Workload),
+			tried: make(map[*backend]bool, 2),
+		}
+	}
+
+	for round := 0; round < g.cfg.MaxAttempts; round++ {
+		// Group this round's pending items by their picked backend. The
+		// groups are disjoint index sets, so the per-group goroutines
+		// below mutate items without locking.
+		groups := map[*backend][]int{}
+		for i := range items {
+			it := &items[i]
+			if it.final != nil {
+				continue
+			}
+			b := g.pick(it.class, it.tried)
+			if b == nil {
+				continue
+			}
+			it.tried[b] = true
+			groups[b] = append(groups[b], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		for b, idxs := range groups {
+			wg.Add(1)
+			go func(b *backend, idxs []int) {
+				defer wg.Done()
+				g.subBatch(r, b, items, idxs)
+			}(b, idxs)
+		}
+		wg.Wait()
+	}
+
+	// Merge in request order. Items that never reached a final outcome
+	// report their last retryable answer (or a synthesized 502 when no
+	// backend was even reachable), so the caller's item-level retry
+	// logic sees the same codes a single watsd would have produced.
+	var maxRA time.Duration
+	var buf bytes.Buffer
+	buf.WriteString(`{"results":[`)
+	for i := range items {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		it := &items[i]
+		switch {
+		case it.final != nil:
+			buf.Write(it.final)
+		case it.lastRaw != nil:
+			buf.Write(it.lastRaw)
+			if it.retryAfter > maxRA {
+				maxRA = it.retryAfter
+			}
+		case it.lastCode != 0:
+			fmt.Fprintf(&buf, `{"code":%d,"error":%q}`, it.lastCode, http.StatusText(it.lastCode))
+			if it.retryAfter > maxRA {
+				maxRA = it.retryAfter
+			}
+		default:
+			fmt.Fprintf(&buf, `{"code":502,"error":"no backend reachable"}`)
+		}
+	}
+	buf.WriteString("]}\n")
+	if maxRA > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(maxRA.Seconds())))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// subBatch sends the idxs slice of items to b as one sub-batch and
+// files each item's result: final answers stick, retryable ones
+// (per-item 429/503, whole-batch 429/503, transport failure) stay
+// pending for the next round.
+func (g *Gate) subBatch(r *http.Request, b *backend, items []gbItem, idxs []int) {
+	var body bytes.Buffer
+	body.WriteString(`{"jobs":[`)
+	for k, i := range idxs {
+		if k > 0 {
+			body.WriteByte(',')
+		}
+		body.Write(items[i].raw)
+	}
+	body.WriteString(`]}`)
+	for _, i := range idxs {
+		b.countRouted(items[i].class)
+	}
+	b.inflight.Add(int64(len(idxs)))
+	res, err := b.cl.Do(r.Context(), http.MethodPost, "/v1/jobs:batch", body.Bytes())
+	b.inflight.Add(-int64(len(idxs)))
+	if err != nil {
+		b.outcomes[outcomeTransport].Add(uint64(len(idxs)))
+		b.reroutes.Add(uint64(len(idxs)))
+		return
+	}
+	if retryableStatus(res.StatusCode) {
+		// Whole-batch shed or draining: every item individually pending.
+		oc := outcomeFor(res.StatusCode)
+		for _, i := range idxs {
+			b.outcomes[oc].Add(1)
+			b.reroutes.Add(1)
+			items[i].lastCode = res.StatusCode
+			items[i].retryAfter = res.RetryAfter
+		}
+		return
+	}
+	if res.StatusCode != http.StatusOK {
+		// The backend rejected the sub-batch outright (400 family): the
+		// gate assembled it, so surface the failure as final per item.
+		for _, i := range idxs {
+			b.outcomes[outcomeBadReq].Add(1)
+			code := res.StatusCode
+			msg, _ := json.Marshal(string(res.Body))
+			items[i].final = json.RawMessage(fmt.Sprintf(`{"code":%d,"error":%s}`, code, msg))
+		}
+		return
+	}
+	var resp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if json.Unmarshal(res.Body, &resp) != nil || len(resp.Results) != len(idxs) {
+		b.outcomes[outcomeTransport].Add(uint64(len(idxs)))
+		b.reroutes.Add(uint64(len(idxs)))
+		return
+	}
+	for k, i := range idxs {
+		raw := resp.Results[k]
+		var peek struct {
+			Code   int     `json:"code"`
+			ExecMS float64 `json:"exec_ms"`
+		}
+		_ = json.Unmarshal(raw, &peek)
+		b.outcomes[outcomeFor(peek.Code)].Add(1)
+		if retryableStatus(peek.Code) {
+			b.reroutes.Add(1)
+			items[i].lastRaw = raw
+			items[i].lastCode = peek.Code
+			items[i].retryAfter = res.RetryAfter
+			continue
+		}
+		if peek.Code == http.StatusOK {
+			b.observe(items[i].class, peek.ExecMS, g.cfg.Alpha)
+		}
+		items[i].final = raw
+	}
+}
+
+// ---------------------------------------------------------------------
+// Introspection endpoints.
+
+func (g *Gate) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	for _, b := range g.backends {
+		if !b.routable() {
+			continue
+		}
+		res, err := b.cl.Do(r.Context(), http.MethodGet, "/v1/workloads", nil)
+		if err != nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.StatusCode)
+		_, _ = w.Write(res.Body)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "no backend reachable")
+}
+
+// backendView is one backend's row in /v1/healthz and /v1/gate/table.
+type backendView struct {
+	Name     string             `json:"name"`
+	URL      string             `json:"url"`
+	Ready    bool               `json:"ready"`
+	Breaker  string             `json:"breaker"`
+	Inflight int64              `json:"inflight"`
+	Queued   int                `json:"queued"`
+	Workers  int                `json:"workers"`
+	Load     float64            `json:"load"`
+	Routed   uint64             `json:"routed"`
+	TC       map[string]float64 `json:"tc,omitempty"`
+}
+
+func (g *Gate) backendViews(withTC bool) []backendView {
+	out := make([]backendView, 0, len(g.backends))
+	for _, b := range g.backends {
+		v := backendView{
+			Name: b.name, URL: b.url,
+			Ready:    b.ready.Load(),
+			Breaker:  b.cl.BreakerState(),
+			Inflight: b.inflight.Load(),
+			Load:     b.load(),
+			Routed:   b.routedTotal(),
+		}
+		if p := b.stats.Load(); p != nil {
+			v.Queued, v.Workers = p.Queued, p.Workers
+		}
+		if withTC {
+			v.TC = b.tcTable()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"policy":   g.cfg.Policy.String(),
+		"backends": g.backendViews(false),
+	})
+}
+
+func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for _, b := range g.backends {
+		if b.routable() {
+			writeJSON(w, map[string]any{"status": "ready"})
+			return
+		}
+	}
+	httpError(w, http.StatusServiceUnavailable, "no routable backend")
+}
+
+// handleTable exposes the learned routing state: the per-backend TC
+// tables plus the scorer weights — the cluster-level analogue of the
+// runtime's own TC(f, class) introspection.
+func (g *Gate) handleTable(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"policy":   g.cfg.Policy.Kind,
+		"weights":  g.cfg.Policy.Weights,
+		"alpha":    g.cfg.Alpha,
+		"backends": g.backendViews(true),
+	})
+}
+
+// ---------------------------------------------------------------------
+// Small response helpers (mirror internal/server's).
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

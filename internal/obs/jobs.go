@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -37,6 +38,36 @@ type jobClassHist struct {
 	// so the autoscaler's signal decays once a burst ends instead of
 	// carrying its tail forever.
 	recent WindowedHistogram
+	// completedN plus the two EWMAs back the machine-readable /v1/stats
+	// endpoint: a cluster front end (internal/gate) polls them to learn
+	// this node's per-class cost profile without scraping histogram
+	// buckets. Nanoseconds as float64 bits; ewmaAlpha decay per
+	// completion.
+	completedN    atomic.Uint64
+	ewmaQueueWait atomic.Uint64
+	ewmaExec      atomic.Uint64
+}
+
+// ewmaAlpha weights the newest completion in the per-class latency
+// EWMAs: high enough to track a load-mix shift within tens of jobs, low
+// enough that one outlier does not whipsaw a router's affinity table.
+const ewmaAlpha = 0.2
+
+// ewmaObserve folds x into the EWMA stored as float64 bits in a. The
+// zero bit pattern doubles as "empty" — the first sample seeds the
+// average (a measured latency of exactly 0.0 ns re-seeds instead of
+// decaying, a harmless degenerate case on coarse clocks).
+func ewmaObserve(a *atomic.Uint64, x float64) {
+	for {
+		old := a.Load()
+		nv := x
+		if old != 0 {
+			nv = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*x
+		}
+		if a.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
 }
 
 func (m *JobMetrics) class(name string) *jobClassHist {
@@ -76,6 +107,39 @@ func (m *JobMetrics) Completed(class string, queueWait, exec time.Duration) {
 	h.exec.Observe(exec.Nanoseconds())
 	h.total.Observe((queueWait + exec).Nanoseconds())
 	h.recent.Observe((queueWait + exec).Nanoseconds())
+	h.completedN.Add(1)
+	ewmaObserve(&h.ewmaQueueWait, float64(queueWait.Nanoseconds()))
+	ewmaObserve(&h.ewmaExec, float64(exec.Nanoseconds()))
+}
+
+// ClassEWMA is one class's decayed latency profile as exported by
+// /v1/stats: the signal a cluster router polls to score this node.
+type ClassEWMA struct {
+	Completed uint64 `json:"completed"`
+	// QueueWaitMS and ExecMS are EWMA-decayed per-completion latencies
+	// in milliseconds (ewmaAlpha = 0.2 per job).
+	QueueWaitMS float64 `json:"queue_wait_ewma_ms"`
+	ExecMS      float64 `json:"exec_ewma_ms"`
+}
+
+// ClassEWMAs snapshots the per-class EWMA table over completed jobs,
+// keyed by class name. Classes with no completions yet are omitted.
+func (m *JobMetrics) ClassEWMAs() map[string]ClassEWMA {
+	out := map[string]ClassEWMA{}
+	m.perClass.Range(func(k, v any) bool {
+		h := v.(*jobClassHist)
+		n := h.completedN.Load()
+		if n == 0 {
+			return true
+		}
+		out[k.(string)] = ClassEWMA{
+			Completed:   n,
+			QueueWaitMS: math.Float64frombits(h.ewmaQueueWait.Load()) / 1e6,
+			ExecMS:      math.Float64frombits(h.ewmaExec.Load()) / 1e6,
+		}
+		return true
+	})
+	return out
 }
 
 // P99Latency returns the worst per-class p99 of end-to-end job latency

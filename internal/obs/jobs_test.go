@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClassEWMAs checks the /v1/stats backing table: the first
+// completion seeds the average, later ones decay toward the new level,
+// and classes without completions stay out of the snapshot.
+func TestClassEWMAs(t *testing.T) {
+	m := &JobMetrics{}
+	if got := m.ClassEWMAs(); len(got) != 0 {
+		t.Fatalf("empty collector exported %v", got)
+	}
+	// Expired jobs touch the queue-wait histogram but must not appear in
+	// the EWMA table (no completion to learn a cost profile from).
+	m.Expired("ghost", time.Millisecond)
+	m.Completed("sha1", 1*time.Millisecond, 10*time.Millisecond)
+
+	got := m.ClassEWMAs()
+	if _, ok := got["ghost"]; ok {
+		t.Fatalf("expired-only class exported: %v", got)
+	}
+	e, ok := got["sha1"]
+	if !ok {
+		t.Fatalf("sha1 missing from %v", got)
+	}
+	if e.Completed != 1 || e.ExecMS != 10 || e.QueueWaitMS != 1 {
+		t.Fatalf("first sample should seed the EWMA, got %+v", e)
+	}
+
+	// A level shift decays in at alpha=0.2 per job: after one 20ms
+	// sample the exec EWMA is 0.8*10 + 0.2*20 = 12ms.
+	m.Completed("sha1", 1*time.Millisecond, 20*time.Millisecond)
+	e = m.ClassEWMAs()["sha1"]
+	if e.Completed != 2 || math.Abs(e.ExecMS-12) > 1e-9 {
+		t.Fatalf("after shift want exec ewma 12ms, got %+v", e)
+	}
+}
+
+// TestClassEWMAsConcurrent hammers one class from many goroutines; the
+// CAS loop must neither lose the count nor corrupt the float bits (the
+// EWMA of identical samples is that sample).
+func TestClassEWMAsConcurrent(t *testing.T) {
+	m := &JobMetrics{}
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Completed("c", 2*time.Millisecond, 5*time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	e := m.ClassEWMAs()["c"]
+	if e.Completed != workers*per {
+		t.Fatalf("completed = %d, want %d", e.Completed, workers*per)
+	}
+	if math.Abs(e.ExecMS-5) > 1e-9 || math.Abs(e.QueueWaitMS-2) > 1e-9 {
+		t.Fatalf("EWMA of identical samples drifted: %+v", e)
+	}
+}

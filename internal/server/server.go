@@ -184,6 +184,7 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/resize", s.handleResize)
 	mux.HandleFunc("/v1/trace/start", s.handleTraceStart)
 	mux.HandleFunc("/v1/trace/stop", s.handleTraceStop)
@@ -203,6 +204,7 @@ func (s *Server) Handler() *http.ServeMux {
   GET  /v1/version   build info
   GET  /v1/healthz   liveness + admission state
   GET  /v1/readyz    readiness (503 while draining or wedged)
+  GET  /v1/stats     machine-readable load stats (per-class latency EWMAs, queue depth, inflight)
   POST /v1/resize    resize the worker pool {"workers":N} or {"shape":[n1,..,nK]}
   POST /v1/trace/start  start a decision-ledger capture {"path":..} (replay with watstwin)
   POST /v1/trace/stop   stop the capture and seal the file
@@ -380,6 +382,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"shape":           s.rt.Shape(),
 		"energy_joules":   s.rt.EnergyJoules(),
 		"capture":         s.CaptureStatus(),
+	})
+}
+
+// handleStats is the machine-readable load summary a cluster front end
+// (internal/gate) polls to score this node: run-queue depth and
+// in-flight pressure against their bounds, the worker-pool shape, and
+// the per-class queue-wait/exec latency EWMAs. /v1/healthz stays the
+// human-oriented liveness view; this endpoint is the routing signal,
+// so it is one flat JSON object with stable keys and no histograms.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"workers":      s.rt.Workers(),
+		"shape":        s.rt.Shape(),
+		"queued":       s.rt.QueuedTasks(),
+		"max_queued":   s.rt.MaxQueuedTasks(),
+		"inflight":     s.Inflight(),
+		"max_inflight": s.cfg.MaxInflight,
+		"draining":     s.draining.Load(),
+		"classes":      s.metrics.ClassEWMAs(),
 	})
 }
 

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"wats/internal/obs"
+)
+
+// statsView mirrors the /v1/stats wire shape the gate's poller decodes.
+type statsView struct {
+	Workers     int                      `json:"workers"`
+	Shape       []int                    `json:"shape"`
+	Queued      int                      `json:"queued"`
+	MaxQueued   int                      `json:"max_queued"`
+	Inflight    int                      `json:"inflight"`
+	MaxInflight int                      `json:"max_inflight"`
+	Draining    bool                     `json:"draining"`
+	Classes     map[string]obs.ClassEWMA `json:"classes"`
+}
+
+// TestStatsEndpoint runs a few jobs and checks /v1/stats exposes the
+// admission bounds, the pool shape, and a per-class EWMA row whose exec
+// estimate reflects the workload's actual service time.
+func TestStatsEndpoint(t *testing.T) {
+	env := newEnv(t, nil)
+
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(map[string]any{"workload": "sleep", "params": map[string]any{"n": 5}})
+		resp, err := http.Post(env.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(env.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: HTTP %d", resp.StatusCode)
+	}
+	var st statsView
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 || len(st.Shape) == 0 {
+		t.Fatalf("pool shape missing: %+v", st)
+	}
+	if st.MaxInflight != 64 || st.MaxQueued <= 0 {
+		t.Fatalf("admission bounds missing: %+v", st)
+	}
+	if st.Draining {
+		t.Fatalf("fresh server reports draining: %+v", st)
+	}
+	cls, ok := st.Classes["sleep"]
+	if !ok {
+		t.Fatalf("no sleep class row: %+v", st.Classes)
+	}
+	if cls.Completed != 3 {
+		t.Fatalf("sleep completed = %d, want 3", cls.Completed)
+	}
+	if cls.ExecMS < 4 || cls.ExecMS > 500 {
+		t.Fatalf("sleep exec EWMA %.2fms implausible for a 5ms job", cls.ExecMS)
+	}
+
+	// POST must be rejected: the endpoint is a read-only poll target.
+	post, err := http.Post(env.ts.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: HTTP %d, want 405", post.StatusCode)
+	}
+}
