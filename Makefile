@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sched bench-serve serve-bench-demo profile-serve figures trace-demo serve-demo chaos-demo scale-demo twin-demo gate-demo vulncheck
+.PHONY: check vet build test race bench bench-sched bench-serve serve-bench-demo profile-serve figures trace-demo serve-demo chaos-demo scale-demo twin-demo gate-demo gate-chaos-demo vulncheck
 
 # check is the CI gate: vet + build + full tests + race pass over the
 # concurrent packages (live runtime, lock-free deques, event rings).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./internal/trace/... ./internal/gate/... ./cmd/watsd/...
+	$(GO) test -race ./internal/runtime/... ./internal/deque/... ./internal/obs/... ./internal/task/... ./internal/server/... ./internal/fault/... ./internal/client/... ./internal/scale/... ./internal/trace/... ./internal/gate/... ./internal/netfault/... ./cmd/watsd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -144,6 +144,20 @@ twin-demo:
 # recovered node. The committed BENCH_gate.json is this run's artifact.
 gate-demo:
 	$(GO) run ./cmd/gatedemo -check -out /tmp/BENCH_gate.json
+
+# gate-chaos-demo is the gray-failure acceptance run (DESIGN.md §14):
+# three identical in-process watsd nodes behind one watsgate, one node
+# turned gray mid-run by the deterministic netfault injector (240ms
+# added latency + dripped responses — readiness and self-reported
+# exec_ms stay clean). -check enforces the gates: the healthy window
+# pays no hedging tax, the degraded-window p99 with hedging + retry
+# budget + outlier ejection on is at most half the undefended p99, the
+# victim is ejected and probe-readmitted, retry volume stays within the
+# budget, no job is acknowledged twice (decision-ledger witness), and
+# the injected fault counts replay exactly from the seed. The committed
+# BENCH_chaos.json is this run's artifact.
+gate-chaos-demo:
+	$(GO) run ./cmd/gatechaos -check -out /tmp/BENCH_chaos.json
 
 # vulncheck needs network access to the vuln DB, so it is CI-only by
 # default; run it locally the same way when online.

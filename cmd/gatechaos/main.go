@@ -1,0 +1,572 @@
+// Command gatechaos is the gray-failure acceptance benchmark: three
+// identical in-process watsd backends behind one watsgate, one of which
+// gray-fails mid-run. The failure is a deterministic netfault flap
+// window on the victim's job API — every request is delayed 240ms
+// before admission and its response is dripped in 32-byte chunks — while
+// /v1/readyz stays crisp and the backend's self-reported exec_ms stays
+// normal: readiness polls, the breaker and the learned TC table all say
+// the node is fine, which is exactly the failure mode that defeats the
+// gate's fail-stop machinery (gatedemo's failover run).
+//
+// The same load runs twice: once with the gate's gray-failure defenses
+// off (the pre-defense configuration) and once with hedged dispatch, the
+// retry budget and latency outlier ejection on. -check enforces:
+//
+//   - healthy-window p99 with defenses on ≈ defenses off (hedging must
+//     not tax the happy path);
+//   - degraded-window p99 with defenses on ≤ half of defenses off;
+//   - at-most-once accounting: gate 200s == jobs the backends accounted
+//     completed == full-body executions in the decision ledger — hedging
+//     never double-executes an acknowledged job;
+//   - retry volume within the configured budget;
+//   - the victim was ejected and probed back, and the injected fault
+//     counts replay exactly from the netfault plan (determinism).
+//
+// Usage:
+//
+//	gatechaos                               # print the comparison
+//	gatechaos -check -out BENCH_chaos.json  # CI gate + committed artifact
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"wats/internal/amc"
+	"wats/internal/client"
+	"wats/internal/gate"
+	"wats/internal/netfault"
+	"wats/internal/obs"
+	"wats/internal/rng"
+	"wats/internal/runtime"
+	"wats/internal/server"
+	"wats/internal/trace"
+)
+
+type options struct {
+	workMS     int
+	rate       float64
+	dur        time.Duration
+	grayAt     time.Duration
+	grayLat    time.Duration
+	dripDelay  time.Duration
+	hedgeAfter time.Duration
+	budget     float64
+	burst      float64
+	healthyTax float64
+	margin     float64
+	out        string
+	check      bool
+	seed       uint64
+}
+
+// graySpec is the victim's chaos schedule: every job-API request inside
+// the flap window pays the added latency before the server admits it,
+// and its response body is dripped. Latency strictly before admission is
+// what keeps cancelled hedge losers un-admitted (DESIGN.md §14).
+func graySpec(o options) netfault.Spec {
+	return netfault.Spec{
+		Seed:        o.seed,
+		LatencyRate: 1, Latency: o.grayLat,
+		DripRate: 1, DripDelay: o.dripDelay, DripChunk: 32,
+		FlapAfter: o.grayAt, FlapDur: o.dur - o.grayAt,
+	}
+}
+
+// node is one backend: identical hardware everywhere — the victim is
+// distinguished only by the netfault middleware on its listener.
+type node struct {
+	name string
+	rt   *runtime.Runtime
+	srv  *server.Server
+	addr string
+	hs   *http.Server
+	inj  *netfault.Injector
+}
+
+func startNode(o options, name string, inj *netfault.Injector) (*node, error) {
+	arch := amc.MustNew(name, amc.CGroup{Freq: 2.0, N: 4})
+	rt, err := runtime.New(runtime.Config{
+		Arch:                  arch,
+		Policy:                "WATS",
+		Seed:                  7,
+		LockFree:              true,
+		DisableSpeedEmulation: true,
+		MaxQueuedTasks:        1 << 14,
+		Obs:                   obs.NewTracer(arch.NumCores(), 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	work := time.Duration(o.workMS) * time.Millisecond
+	srv, err := server.New(server.Config{
+		Runtime:     rt,
+		MaxInflight: 1 << 12,
+		Workloads: map[string]server.Workload{
+			"work": {Name: "work", Class: "work", Desc: "fixed-cost unit of work, cancellation-aware",
+				Run: func(ctx *runtime.Ctx, p server.Params) (any, error) {
+					select {
+					case <-time.After(work):
+						return "ok", nil
+					case <-ctx.Context().Done():
+						return nil, ctx.Context().Err()
+					}
+				}},
+		},
+	})
+	if err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	var handler http.Handler = srv.Handler()
+	if inj != nil {
+		handler = netfault.Middleware(handler, inj)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	n := &node{name: name, rt: rt, srv: srv, addr: ln.Addr().String(), inj: inj}
+	n.hs = &http.Server{Handler: handler}
+	go n.hs.Serve(ln)
+	return n, nil
+}
+
+func (n *node) shutdown() {
+	n.hs.Close()
+	n.rt.Shutdown()
+}
+
+// sample is one job's outcome, stamped with its offset into the run so
+// the report can split the healthy window from the degraded one.
+type sample struct {
+	sentAt time.Duration
+	code   int
+	lat    time.Duration
+}
+
+// window is one time-slice's latency view.
+type window struct {
+	Sent  int     `json:"sent"`
+	OK    int     `json:"ok"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// runResult is one full cluster run (defended or not).
+type runResult struct {
+	Defended     bool              `json:"defended"`
+	Sent         int               `json:"sent"`
+	OK           int               `json:"ok"`
+	Failed       int               `json:"failed"`
+	Healthy      window            `json:"healthy_window"`
+	Degraded     window            `json:"degraded_window"`
+	Defense      gate.DefenseStats `json:"defense"`
+	Ejections    uint64            `json:"victim_ejections"`
+	Probes       uint64            `json:"victim_probes"`
+	Completed    uint64            `json:"backend_completed_total"`
+	LedgerExec   int               `json:"ledger_full_executions"`
+	LedgerCancel int               `json:"ledger_cancelled_tasks"`
+	FaultsLive   netfault.Counts   `json:"netfault_live"`
+	FaultsPlan   netfault.Counts   `json:"netfault_planned"`
+	Assigned     uint64            `json:"netfault_assigned"`
+	Routed       map[string]uint64 `json:"routed_by_backend"`
+	EjectionsAll map[string]uint64 `json:"ejections_by_backend"`
+}
+
+type report struct {
+	Benchmark   string    `json:"benchmark"`
+	Generated   string    `json:"generated"`
+	WorkMS      int       `json:"work_ms"`
+	Rate        float64   `json:"rate_per_sec"`
+	GraySpec    string    `json:"gray_netfault_spec"`
+	Off         runResult `json:"defenses_off"`
+	On          runResult `json:"defenses_on"`
+	HealthyTax  float64   `json:"healthy_p99_on_vs_off"`
+	DegradedWin float64   `json:"degraded_p99_on_vs_off"`
+}
+
+func main() {
+	o := options{}
+	flag.IntVar(&o.workMS, "work-ms", 12, "service time per job, milliseconds")
+	flag.Float64Var(&o.rate, "rate", 150, "arrival rate, jobs/sec (Poisson)")
+	flag.DurationVar(&o.dur, "dur", 3*time.Second, "duration of each run")
+	flag.DurationVar(&o.grayAt, "gray-at", time.Second, "when the victim's netfault flap window opens")
+	flag.DurationVar(&o.grayLat, "gray-latency", 240*time.Millisecond, "pre-admission latency injected on the victim")
+	flag.DurationVar(&o.dripDelay, "drip-delay", 60*time.Millisecond, "inter-chunk delay of the victim's dripped responses")
+	flag.DurationVar(&o.hedgeAfter, "hedge-min", 50*time.Millisecond, "defended run: hedge delay floor")
+	flag.Float64Var(&o.budget, "retry-budget", 0.1, "defended run: retry tokens earned per primary")
+	// Burst is sized so the hedge path cannot starve even if ejection is
+	// slow to fire: 2s of gray at 150 req/s sends ~100 requests to the
+	// victim, earning only ~30 tokens back. A drained budget would leave
+	// un-hedged 500ms completions in the degraded window — the bound
+	// check below still proves the accounting either way.
+	flag.Float64Var(&o.burst, "retry-burst", 128, "defended run: retry-budget burst")
+	flag.Float64Var(&o.healthyTax, "healthy-tax", 1.2, "check: healthy-window p99 with defenses on must be <= this x off (plus 5ms slack)")
+	flag.Float64Var(&o.margin, "margin", 0.5, "check: degraded-window p99 with defenses on must be <= this x off")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout only)")
+	flag.BoolVar(&o.check, "check", false, "enforce the acceptance gates")
+	flag.Uint64Var(&o.seed, "seed", 1, "arrival-process and netfault seed")
+	flag.Parse()
+
+	spec := graySpec(o)
+	fmt.Printf("gate-chaos: %dms jobs at %g/s over 3 nodes; victim flaps gray [%v, %v) with %q\n",
+		o.workMS, o.rate, o.grayAt, o.dur, spec.String())
+
+	r := report{
+		Benchmark: "gate-gray-failure",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		WorkMS:    o.workMS, Rate: o.rate,
+		GraySpec: spec.String(),
+	}
+	for _, defended := range []bool{false, true} {
+		res, err := runOne(o, defended)
+		if err != nil {
+			fatal("defended=%v run: %v", defended, err)
+		}
+		label := "defenses off"
+		if defended {
+			r.On = *res
+			label = "defenses on "
+		} else {
+			r.Off = *res
+		}
+		fmt.Printf("  %s healthy p99 %7.2fms  degraded p99 %7.2fms  (%d sent, %d ok; %d hedges, %d wins, %d reroutes, %d denied; victim ejected %dx, probed %dx)\n",
+			label, res.Healthy.P99Ms, res.Degraded.P99Ms, res.Sent, res.OK,
+			res.Defense.Hedges, res.Defense.HedgeWins, res.Defense.RerouteLaunches, res.Defense.BudgetDenied,
+			res.Ejections, res.Probes)
+	}
+	if r.Off.Healthy.P99Ms > 0 {
+		r.HealthyTax = round3(r.On.Healthy.P99Ms / r.Off.Healthy.P99Ms)
+	}
+	if r.Off.Degraded.P99Ms > 0 {
+		r.DegradedWin = round3(r.On.Degraded.P99Ms / r.Off.Degraded.P99Ms)
+	}
+	fmt.Printf("  defenses on / off: healthy p99 %.2fx, degraded p99 %.2fx\n", r.HealthyTax, r.DegradedWin)
+
+	buf, _ := json.MarshalIndent(r, "", "  ")
+	buf = append(buf, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, buf, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  wrote %s\n", o.out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if o.check {
+		check(o, &r)
+		fmt.Println("  check: PASS")
+	}
+}
+
+// check enforces the acceptance gates; any miss is fatal.
+func check(o options, r *report) {
+	for _, res := range []*runResult{&r.Off, &r.On} {
+		if res.Failed != 0 {
+			fatal("check: defended=%v run failed %d requests (gray must degrade, not break)", res.Defended, res.Failed)
+		}
+		// At-most-once: every 200 the gate returned is exactly one job the
+		// backends accounted completed and exactly one full-body execution
+		// in the decision ledger. A hedge loser that ran anyway would show
+		// up here as ledger > ok.
+		if uint64(res.OK) != res.Completed {
+			fatal("check: defended=%v: %d gate 200s vs %d backend-completed jobs", res.Defended, res.OK, res.Completed)
+		}
+		if res.LedgerExec != res.OK {
+			fatal("check: defended=%v: %d full executions in the ledger vs %d gate 200s", res.Defended, res.LedgerExec, res.OK)
+		}
+		// Determinism: the live fault counts replay exactly from Plan.
+		if res.Assigned == 0 {
+			fatal("check: defended=%v: the netfault window never fired", res.Defended)
+		}
+		if res.FaultsLive != res.FaultsPlan {
+			fatal("check: defended=%v: live faults %+v != planned %+v", res.Defended, res.FaultsLive, res.FaultsPlan)
+		}
+	}
+	// Healthy-window tax: a tight gate on the median (stable even with
+	// ~140 samples) plus a loose absolute-slack gate on the p99. The p99
+	// of a small healthy window is two samples — scheduler noise on a CI
+	// box — but a systematic hedge tax (e.g. cold-start hedges firing on
+	// every request) would shift it by the 250ms MaxDelay, far past the
+	// slack.
+	if slack := 2.0; r.On.Healthy.P50Ms > o.healthyTax*r.Off.Healthy.P50Ms+slack {
+		fatal("check: healthy-window p50 %.2fms with defenses on vs %.2fms off (want <= %.1fx + %.0fms)",
+			r.On.Healthy.P50Ms, r.Off.Healthy.P50Ms, o.healthyTax, slack)
+	}
+	if slack := 50.0; r.On.Healthy.P99Ms > o.healthyTax*r.Off.Healthy.P99Ms+slack {
+		fatal("check: healthy-window p99 %.2fms with defenses on vs %.2fms off (want <= %.1fx + %.0fms)",
+			r.On.Healthy.P99Ms, r.Off.Healthy.P99Ms, o.healthyTax, slack)
+	}
+	if r.Off.Degraded.P99Ms < float64(o.workMS)*2 {
+		fatal("check: defenses-off degraded p99 %.2fms shows no gray damage — the scenario is broken", r.Off.Degraded.P99Ms)
+	}
+	if r.On.Degraded.P99Ms > o.margin*r.Off.Degraded.P99Ms {
+		fatal("check: degraded-window p99 %.2fms with defenses on vs %.2fms off (want <= %.2fx)",
+			r.On.Degraded.P99Ms, r.Off.Degraded.P99Ms, o.margin)
+	}
+	d := r.On.Defense
+	if d.Hedges == 0 {
+		fatal("check: the defended run never hedged")
+	}
+	if r.On.Ejections == 0 {
+		fatal("check: the victim was never ejected")
+	}
+	if r.On.Probes == 0 {
+		fatal("check: the ejected victim was never probed")
+	}
+	if allowed := uint64(o.budget*float64(d.Primaries) + o.burst); d.Hedges+d.RerouteLaunches > allowed {
+		fatal("check: %d hedges + %d re-routes exceed the %d-token budget (%.0f%% of %d primaries + burst %g)",
+			d.Hedges, d.RerouteLaunches, allowed, o.budget*100, d.Primaries, o.burst)
+	}
+}
+
+// runOne boots a fresh 3-node cluster (node n0 is the victim), arms the
+// flap window at load start, drives the Poisson load, and folds the
+// gate's, the backends', the ledger's and the injector's views into one
+// result.
+func runOne(o options, defended bool) (*runResult, error) {
+	inj := netfault.New(graySpec(o))
+	var nodes []*node
+	shutdown := func() {
+		for _, n := range nodes {
+			n.shutdown()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var ninj *netfault.Injector
+		if i == 0 {
+			ninj = inj
+		}
+		n, err := startNode(o, fmt.Sprintf("n%d", i), ninj)
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	defer shutdown()
+
+	capDir, err := os.MkdirTemp("", "gatechaos")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(capDir)
+	for _, n := range nodes {
+		if _, err := n.srv.StartCapture(trace.CaptureConfig{Path: filepath.Join(capDir, n.name+".ndjson")}); err != nil {
+			return nil, err
+		}
+	}
+
+	confs := make([]gate.BackendConf, len(nodes))
+	for i, n := range nodes {
+		confs[i] = gate.BackendConf{Name: n.name, URL: "http://" + n.addr}
+	}
+	// Round-robin, not the weighted scorer: the nodes are identical, so
+	// scorer ties decide routing by noise and the victim's traffic share
+	// would be unstable run to run. Pinning the policy gives the victim a
+	// deterministic 1/3 of primaries, which isolates what this benchmark
+	// measures — the defenses — from what gatedemo measures (routing).
+	gcfg := gate.Config{
+		Backends:     confs,
+		Policy:       gate.Policy{Kind: gate.PolicyRoundRobin},
+		PollInterval: 50 * time.Millisecond,
+		Breaker:      client.BreakerConfig{Threshold: 8, Cooldown: 500 * time.Millisecond},
+	}
+	if defended {
+		gcfg.Hedge = gate.HedgeConfig{Enabled: true, MinDelay: o.hedgeAfter, MaxDelay: 250 * time.Millisecond}
+		gcfg.Budget = gate.BudgetConfig{Ratio: o.budget, Burst: o.burst}
+		gcfg.Eject = gate.EjectConfig{
+			Enabled: true, Factor: 3, Window: 400 * time.Millisecond,
+			Probe: 150 * time.Millisecond, MinSamples: 5,
+		}
+	}
+	g, err := gate.New(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ghs := &http.Server{Handler: g.Handler()}
+	go ghs.Serve(ln)
+	defer ghs.Close()
+	gateURL := "http://" + ln.Addr().String()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		allReady := true
+		for _, s := range g.Snapshot() {
+			if !s.Ready {
+				allReady = false
+			}
+		}
+		if allReady {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	samples := drive(o, inj, gateURL)
+
+	res := &runResult{Defended: defended, Defense: g.Defenses()}
+	var healthyLat, degradedLat []time.Duration
+	// Margins around the window edges: a request sent just before the
+	// flap opens can still land inside it (queueing), and one sent just
+	// before it closes resolves after. Classify conservatively.
+	healthyEnd := o.grayAt - 100*time.Millisecond
+	degStart, degEnd := o.grayAt+100*time.Millisecond, o.dur-100*time.Millisecond
+	for _, s := range samples {
+		res.Sent++
+		if s.code == http.StatusOK {
+			res.OK++
+		} else {
+			res.Failed++
+		}
+		switch {
+		case s.sentAt < healthyEnd:
+			res.Healthy.Sent++
+			if s.code == http.StatusOK {
+				res.Healthy.OK++
+				healthyLat = append(healthyLat, s.lat)
+			}
+		case s.sentAt >= degStart && s.sentAt < degEnd:
+			res.Degraded.Sent++
+			if s.code == http.StatusOK {
+				res.Degraded.OK++
+				degradedLat = append(degradedLat, s.lat)
+			}
+		}
+	}
+	fold := func(w *window, lat []time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		w.P50Ms = quantileMs(lat, 0.50)
+		w.P99Ms = quantileMs(lat, 0.99)
+		w.MaxMs = quantileMs(lat, 1)
+	}
+	fold(&res.Healthy, healthyLat)
+	fold(&res.Degraded, degradedLat)
+
+	res.Routed = map[string]uint64{}
+	res.EjectionsAll = map[string]uint64{}
+	for _, s := range g.Snapshot() {
+		res.Routed[s.Name] = s.Routed
+		res.EjectionsAll[s.Name] = s.Ejections
+		if s.Name == nodes[0].name {
+			res.Ejections, res.Probes = s.Ejections, s.Probes
+		}
+	}
+	for _, n := range nodes {
+		res.Completed += uint64(n.srv.Metrics().Counters().Completed)
+	}
+
+	// The decision ledger is the independent witness for at-most-once:
+	// count root tasks that ran their full body and were not cancelled.
+	// Abandoned hedge losers appear either not at all (cancelled before
+	// admission) or as cancelled / short-run tasks — never as a second
+	// full execution of an acknowledged job.
+	fullRun := time.Duration(o.workMS)*time.Millisecond - 500*time.Microsecond
+	for _, n := range nodes {
+		if _, err := n.srv.StopCapture(); err != nil {
+			return nil, err
+		}
+		cap, err := trace.ParseCaptureFile(filepath.Join(capDir, n.name+".ndjson"))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range cap.Ends {
+			if e.Cancelled {
+				res.LedgerCancel++
+				continue
+			}
+			if time.Duration(e.End-e.Start) >= fullRun {
+				res.LedgerExec++
+			}
+		}
+	}
+
+	// Determinism: replay the planned schedule over the indices the live
+	// injector assigned and compare with what it actually injected.
+	res.FaultsLive = inj.Counts()
+	res.Assigned = inj.Assigned("serve")
+	for i := uint64(0); i < res.Assigned; i++ {
+		res.FaultsPlan.Add(inj.Plan("serve", i))
+	}
+	return res, nil
+}
+
+// drive fires one Poisson arrival stream of "work" jobs at the gate,
+// arming the victim's flap window at load start so the gray phase lands
+// at a deterministic offset into the run.
+func drive(o options, inj *netfault.Injector, url string) []sample {
+	r := rng.New(o.seed)
+	body := []byte(`{"workload":"work"}`)
+	cl := &http.Client{
+		Timeout:   time.Minute,
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var out []sample
+	start := time.Now()
+	inj.Arm(start)
+	next := time.Duration(r.ExpFloat64() / o.rate * float64(time.Second))
+	for next <= o.dur {
+		time.Sleep(time.Until(start.Add(next)))
+		sentAt := next
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			smp := sample{sentAt: sentAt}
+			resp, err := cl.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				smp.code = -1
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				smp.code = resp.StatusCode
+				smp.lat = time.Since(t0)
+			}
+			mu.Lock()
+			out = append(out, smp)
+			mu.Unlock()
+		}()
+		next += time.Duration(r.ExpFloat64() / o.rate * float64(time.Second))
+	}
+	wg.Wait()
+	return out
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return round3(float64(sorted[i].Microseconds()) / 1000)
+}
+
+func round3(x float64) float64 { return float64(int(x*1000+0.5)) / 1000 }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gatechaos: "+format+"\n", args...)
+	os.Exit(1)
+}

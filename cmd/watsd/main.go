@@ -33,6 +33,7 @@ import (
 
 	"wats/internal/amc"
 	"wats/internal/fault"
+	"wats/internal/netfault"
 	"wats/internal/obs"
 	"wats/internal/runtime"
 	"wats/internal/scale"
@@ -56,6 +57,8 @@ type options struct {
 	drainTimeout time.Duration
 	faultSpec    string
 	faultSeed    uint64
+	netSpec      string
+	netSeed      uint64
 	stallThresh  time.Duration
 
 	autoscale    bool
@@ -66,9 +69,10 @@ type options struct {
 	capture   string
 	logFormat string
 
-	arch  *amc.Arch
-	kind  sched.Kind
-	fault fault.Spec
+	arch     *amc.Arch
+	kind     sched.Kind
+	fault    fault.Spec
+	netfault netfault.Spec
 }
 
 // parseOptions registers watsd's flags on fs, parses args and validates
@@ -87,6 +91,8 @@ func parseOptions(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before giving up")
 	fs.StringVar(&o.faultSpec, "fault", "", `deterministic fault injection spec, e.g. "panic=0.01,delay=0.05:2ms,cancel=0.01" (empty = off)`)
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault-injection schedule")
+	fs.StringVar(&o.netSpec, "netfault", "", `deterministic network chaos on the job API, e.g. "latency=1:200ms,drip=0.5:50ms:64,flap=5s:10s" (empty = off)`)
+	fs.Uint64Var(&o.netSeed, "netfault-seed", 1, "seed for the network-chaos schedule")
 	fs.DurationVar(&o.stallThresh, "stall-threshold", 10*time.Second, "watchdog stall threshold for in-flight tasks (must be > 0)")
 	fs.BoolVar(&o.autoscale, "autoscale", false, "grow/shrink the worker pool online between -min-workers and -max-workers")
 	fs.IntVar(&o.minWorkers, "min-workers", 2, "autoscale lower bound on total workers (>= number of c-groups)")
@@ -127,6 +133,11 @@ func (o *options) validate() error {
 		return fmt.Errorf("bad -fault: %v", err)
 	}
 	o.fault = spec
+	nspec, err := netfault.ParseSpec(o.netSpec, o.netSeed)
+	if err != nil {
+		return fmt.Errorf("bad -netfault: %v", err)
+	}
+	o.netfault = nspec
 	if o.minWorkers <= 0 {
 		return fmt.Errorf("bad -min-workers: %d (must be > 0)", o.minWorkers)
 	}
@@ -240,7 +251,14 @@ func main() {
 	logger.Info("serving", "listen", opts.listen, "arch", opts.arch.String(), "policy", string(opts.kind),
 		"max_inflight", opts.maxInflight, "shed_depth", rt.MaxQueuedTasks())
 
-	httpSrv := &http.Server{Addr: opts.listen, Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	var netInj *netfault.Injector
+	if opts.netfault.Enabled() {
+		netInj = netfault.New(opts.netfault)
+		handler = netfault.Middleware(handler, netInj)
+		logger.Info("network chaos armed", "spec", opts.netfault.String())
+	}
+	httpSrv := &http.Server{Addr: opts.listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
@@ -294,6 +312,11 @@ func main() {
 	if injector != nil {
 		fc := injector.Counts()
 		logger.Info("faults injected", "panics", fc.Panics, "delays", fc.Delays, "cancels", fc.Cancels)
+	}
+	if netInj != nil {
+		nc := netInj.Counts()
+		logger.Info("network faults injected", "latencies", nc.Latencies, "drips", nc.Drips,
+			"resets", nc.Resets, "blackholes", nc.Blackholes)
 	}
 	fmt.Println("watsd: bye")
 }

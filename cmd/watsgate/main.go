@@ -31,6 +31,7 @@ import (
 
 	"wats/internal/client"
 	"wats/internal/gate"
+	"wats/internal/netfault"
 )
 
 // backendList collects repeated -backend flags. Each value is either
@@ -72,7 +73,19 @@ type options struct {
 	brCooldown  time.Duration
 	logFormat   string
 
-	gateCfg gate.Config
+	hedge       bool
+	hedgeMin    time.Duration
+	hedgeMax    time.Duration
+	retryBudget float64
+	retryBurst  float64
+	eject       bool
+	ejectFactor float64
+	ejectWindow time.Duration
+	netSpec     string
+	netSeed     uint64
+
+	netfault netfault.Spec
+	gateCfg  gate.Config
 }
 
 func parseOptions(fs *flag.FlagSet, args []string) (*options, error) {
@@ -80,14 +93,25 @@ func parseOptions(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.listen, "listen", ":8090", "address to serve the gate API on")
 	fs.Var(&o.backends, "backend", "watsd backend as name=url or a bare URL (repeatable, at least one)")
 	fs.StringVar(&o.policy, "policy", gate.PolicyWeighted, "routing policy: weighted, round-robin or least-loaded")
-	fs.StringVar(&o.scorers, "scorers", "class-affinity:3,queue-depth:2,health:1", "weighted-policy scorer weights")
-	fs.DurationVar(&o.poll, "poll", 250*time.Millisecond, "backend stats/readiness poll interval")
+	fs.StringVar(&o.scorers, "scorers", "class-affinity:3,queue-depth:2,health:1,ejection:1", "weighted-policy scorer weights")
+	fs.DurationVar(&o.poll, "poll-interval", 250*time.Millisecond, "backend stats/readiness poll interval (jittered ±20% per backend)")
+	fs.DurationVar(&o.poll, "poll", 250*time.Millisecond, "alias for -poll-interval")
 	fs.Float64Var(&o.alpha, "alpha", 0.3, "TC-table EWMA decay per observed job, in (0, 1]")
 	fs.IntVar(&o.attempts, "attempts", 0, "max backends tried per job (0 = all of them)")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-attempt proxy timeout")
 	fs.IntVar(&o.brThreshold, "breaker-threshold", 8, "consecutive failures that open a backend's breaker (negative disables)")
 	fs.DurationVar(&o.brCooldown, "breaker-cooldown", 2*time.Second, "how long an open breaker rejects before the half-open probe")
 	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	fs.BoolVar(&o.hedge, "hedge", true, "hedge slow sync submissions onto a second backend after the class p95")
+	fs.DurationVar(&o.hedgeMin, "hedge-min", 5*time.Millisecond, "floor on the adaptive hedge delay")
+	fs.DurationVar(&o.hedgeMax, "hedge-max", time.Second, "cap on the adaptive hedge delay (also the cold-start delay)")
+	fs.Float64Var(&o.retryBudget, "retry-budget", 0.1, "hedges+re-routes allowed as a fraction of primary traffic (0 = unlimited)")
+	fs.Float64Var(&o.retryBurst, "retry-burst", 32, "retry-budget token bucket burst")
+	fs.BoolVar(&o.eject, "eject", true, "demote latency-outlier backends to probe-only until they recover")
+	fs.Float64Var(&o.ejectFactor, "eject-factor", 3, "ejection threshold: RTT EWMA over cluster median (must be > 1)")
+	fs.DurationVar(&o.ejectWindow, "eject-window", 1500*time.Millisecond, "how long the excess must be sustained before ejection")
+	fs.StringVar(&o.netSpec, "netfault", "", `deterministic network chaos on backend connections, e.g. "latency=0.3:200ms,reset=0.05" (empty = off)`)
+	fs.Uint64Var(&o.netSeed, "netfault-seed", 1, "seed for the network-chaos schedule")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -124,6 +148,17 @@ func (o *options) validate() error {
 	if o.logFormat != "text" && o.logFormat != "json" {
 		return fmt.Errorf("bad -log-format: %q (want text or json)", o.logFormat)
 	}
+	if o.retryBudget < 0 {
+		return fmt.Errorf("bad -retry-budget: %v (must be >= 0)", o.retryBudget)
+	}
+	if o.eject && o.ejectFactor <= 1 {
+		return fmt.Errorf("bad -eject-factor: %v (must be > 1)", o.ejectFactor)
+	}
+	nspec, err := netfault.ParseSpec(o.netSpec, o.netSeed)
+	if err != nil {
+		return fmt.Errorf("bad -netfault: %v", err)
+	}
+	o.netfault = nspec
 	o.gateCfg = gate.Config{
 		Backends:       o.backends,
 		Policy:         policy,
@@ -132,6 +167,15 @@ func (o *options) validate() error {
 		MaxAttempts:    o.attempts,
 		RequestTimeout: o.timeout,
 		Breaker:        client.BreakerConfig{Threshold: o.brThreshold, Cooldown: o.brCooldown},
+		Hedge:          gate.HedgeConfig{Enabled: o.hedge, MinDelay: o.hedgeMin, MaxDelay: o.hedgeMax},
+		Budget:         gate.BudgetConfig{Ratio: o.retryBudget, Burst: o.retryBurst},
+		Eject:          gate.EjectConfig{Enabled: o.eject, Factor: o.ejectFactor, Window: o.ejectWindow},
+	}
+	if o.netfault.Enabled() {
+		in := netfault.New(o.netfault)
+		o.gateCfg.WrapTransport = func(name string, rt http.RoundTripper) http.RoundTripper {
+			return netfault.NewTransport(rt, in, name)
+		}
 	}
 	// Dry-run the gate config so a bad backend name or policy fails at
 	// flag time: build and immediately close a throwaway instance.
@@ -169,7 +213,11 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("routing", "backends", opts.backends.String(), "policy", cfg.Policy.String(),
-		"poll", opts.poll, "alpha", opts.alpha)
+		"poll", opts.poll, "alpha", opts.alpha,
+		"hedge", opts.hedge, "retry_budget", opts.retryBudget, "eject", opts.eject)
+	if opts.netfault.Enabled() {
+		logger.Info("network chaos armed on backend connections", "spec", opts.netfault.String())
+	}
 
 	httpSrv := &http.Server{Addr: opts.listen, Handler: g.Handler()}
 	errc := make(chan error, 1)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 
 	"wats/internal/gate"
 )
@@ -23,12 +24,49 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.gateCfg.Policy.Kind != gate.PolicyWeighted {
 		t.Fatalf("default policy %q", o.gateCfg.Policy.Kind)
 	}
-	if w := o.gateCfg.Policy.Weights; w[gate.ScorerAffinity] != 3 || w[gate.ScorerQueue] != 2 || w[gate.ScorerHealth] != 1 {
+	if w := o.gateCfg.Policy.Weights; w[gate.ScorerAffinity] != 3 || w[gate.ScorerQueue] != 2 || w[gate.ScorerHealth] != 1 || w[gate.ScorerEjection] != 1 {
 		t.Fatalf("default scorer weights %v", w)
 	}
 	// A bare URL is auto-named by position.
 	if b := o.gateCfg.Backends[0]; b.Name != "b0" || b.URL != "http://127.0.0.1:8080" {
 		t.Fatalf("backend %+v", b)
+	}
+	// Gray-failure defenses default on with a bounded retry budget.
+	if !o.gateCfg.Hedge.Enabled || !o.gateCfg.Eject.Enabled {
+		t.Fatalf("defenses off by default: %+v %+v", o.gateCfg.Hedge, o.gateCfg.Eject)
+	}
+	if o.gateCfg.Budget.Ratio != 0.1 || o.gateCfg.Budget.Burst != 32 {
+		t.Fatalf("default retry budget %+v", o.gateCfg.Budget)
+	}
+	if o.gateCfg.WrapTransport != nil {
+		t.Fatal("netfault transport wrapper set without -netfault")
+	}
+}
+
+func TestParseOptionsPollIntervalAlias(t *testing.T) {
+	o, err := parse(t, "-backend", "http://a:8080", "-poll-interval", "75ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.gateCfg.PollInterval != 75*time.Millisecond {
+		t.Fatalf("poll interval %v", o.gateCfg.PollInterval)
+	}
+	o, err = parse(t, "-backend", "http://a:8080", "-poll", "125ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.gateCfg.PollInterval != 125*time.Millisecond {
+		t.Fatalf("poll alias %v", o.gateCfg.PollInterval)
+	}
+}
+
+func TestParseOptionsNetfault(t *testing.T) {
+	o, err := parse(t, "-backend", "http://a:8080", "-netfault", "latency=0.3:200ms,reset=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.gateCfg.WrapTransport == nil {
+		t.Fatal("-netfault did not install a transport wrapper")
 	}
 }
 
@@ -58,6 +96,9 @@ func TestParseOptionsRejectsBadFlags(t *testing.T) {
 		{"-backend", "http://a", "-poll", "-1s"},             // bad poll
 		{"-backend", "http://a", "-attempts", "-2"},          // bad attempts
 		{"-backend", "http://a", "-log-format", "xml"},       // bad log format
+		{"-backend", "http://a", "-netfault", "explode=0.5"}, // unknown netfault clause
+		{"-backend", "http://a", "-retry-budget", "-0.5"},    // negative budget
+		{"-backend", "http://a", "-eject-factor", "1"},       // factor must exceed 1
 		{"-backend", "dot.ted=http://a"},                     // '.' collides with the id separator
 		{"-backend", "n=http://a", "-backend", "n=http://b"}, // duplicate name
 	}

@@ -53,10 +53,12 @@ import (
 )
 
 type result struct {
-	status  int // HTTP status; 0 = transport error or breaker reject
-	panicjb bool
-	retried bool
-	latency time.Duration
+	status   int // HTTP status; 0 = transport error or breaker reject
+	panicjb  bool
+	retried  bool // client-level: this client retried after 429/503
+	rerouted bool // gate-level: watsgate tried more than one backend
+	hedged   bool // gate-level: the answer came from a hedged dispatch
+	latency  time.Duration
 }
 
 func main() {
@@ -187,10 +189,12 @@ func main() {
 					return
 				}
 				results <- result{
-					status:  res.StatusCode,
-					panicjb: res.StatusCode == http.StatusInternalServerError && isPanicBody(res.Body),
-					retried: res.Retried,
-					latency: time.Since(t0),
+					status:   res.StatusCode,
+					panicjb:  res.StatusCode == http.StatusInternalServerError && isPanicBody(res.Body),
+					retried:  res.Retried,
+					rerouted: res.GateAttempts > 1,
+					hedged:   res.GateHedged,
+					latency:  time.Since(t0),
 				}
 			}()
 		}
@@ -350,8 +354,15 @@ func main() {
 	close(results)
 
 	var completed, shed, expired, panicked, failed int
+	var gateRerouted, gateHedged int
 	var lat, retriedLat []time.Duration
 	for res := range results {
+		if res.rerouted {
+			gateRerouted++
+		}
+		if res.hedged {
+			gateHedged++
+		}
 		switch {
 		case res.status == http.StatusOK:
 			completed++
@@ -398,6 +409,14 @@ func main() {
 	}
 	fmt.Printf("  client    %d attempts / %d requests, %d retries, %d retry-after honored, %d breaker opens, %d breaker rejects\n",
 		st.Attempts, st.Requests, st.Retries, st.RetryAfterHonored, st.BreakerOpens, st.BreakerRejects)
+	// Gate-side recovery is invisible to the client's own retry counters:
+	// watsgate reports it per response via X-Watsgate-* headers, so a run
+	// against a gate separates "the gate saved this job" from "this
+	// client retried it".
+	if gateRerouted > 0 || gateHedged > 0 {
+		fmt.Printf("  gate      %d re-routed across backends, %d answered by a hedge (recovered at the gate, not by client retries)\n",
+			gateRerouted, gateHedged)
+	}
 	if completed == 0 {
 		logger.Error("zero completed jobs")
 		os.Exit(1)

@@ -81,7 +81,8 @@ func (c *Client) SubmitBatch(ctx context.Context, jobs []BatchJob) ([]BatchItemR
 		if err != nil {
 			return results, fmt.Errorf("client: encode batch: %w", err)
 		}
-		status, respBody, retryAfter, err := c.attempt(ctx, http.MethodPost, "/v1/jobs:batch", body)
+		out, err := c.attempt(ctx, http.MethodPost, "/v1/jobs:batch", body)
+		status, respBody := out.status, out.body
 		c.attempts.Add(1)
 		if err != nil {
 			lastErr = err
@@ -134,7 +135,7 @@ func (c *Client) SubmitBatch(ctx context.Context, jobs []BatchJob) ([]BatchItemR
 			}
 		}
 		c.retries.Add(1)
-		if serr := c.sleep(ctx, c.backoff(attempt, retryAfter)); serr != nil {
+		if serr := c.sleep(ctx, c.backoff(attempt, out.retryAfter)); serr != nil {
 			return results, serr
 		}
 	}

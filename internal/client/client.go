@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,15 @@ type Result struct {
 	// a proxy that gives up re-routing a shed request passes it through
 	// to its own caller.
 	RetryAfter time.Duration
+	// GateAttempts is how many backend attempts a watsgate front end
+	// made to produce the final response (X-Watsgate-Attempts header;
+	// 0 = the target was not a gate). GateAttempts > 1 means the gate
+	// re-routed or hedged on this request's behalf — work that never
+	// shows up in Attempts, which only counts this client's own tries.
+	GateAttempts int
+	// GateHedged reports whether the gate hedged the final request
+	// (X-Watsgate-Hedged header).
+	GateHedged bool
 }
 
 // Stats is a point-in-time copy of the client's counters.
@@ -143,24 +153,7 @@ func New(cfg Config) (*Client, error) {
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
-		// Explicit connection-reuse tuning: the default transport only
-		// keeps 2 idle conns per host, so a watsload fleet hammering one
-		// watsd would churn TCP handshakes. Keep-alives on, a deep idle
-		// pool pinned to the (single) target host, and a long idle
-		// timeout so open-loop bursts separated by quiet periods still
-		// reuse connections.
-		hc = &http.Client{Transport: &http.Transport{
-			DialContext: (&net.Dialer{
-				Timeout:   5 * time.Second,
-				KeepAlive: 30 * time.Second,
-			}).DialContext,
-			MaxIdleConns:        512,
-			MaxIdleConnsPerHost: 512,
-			IdleConnTimeout:     90 * time.Second,
-			DisableKeepAlives:   false,
-			WriteBufferSize:     64 << 10,
-			ReadBufferSize:      64 << 10,
-		}}
+		hc = &http.Client{Transport: DefaultTransport()}
 	}
 	return &Client{
 		cfg:    cfg,
@@ -168,6 +161,30 @@ func New(cfg Config) (*Client, error) {
 		br:     newBreaker(cfg.Breaker),
 		jitter: rng.New(cfg.Seed),
 	}, nil
+}
+
+// DefaultTransport returns the tuned transport New installs when
+// Config.HTTPClient is nil. Explicit connection-reuse tuning: the
+// stdlib default transport only keeps 2 idle conns per host, so a
+// watsload fleet hammering one watsd would churn TCP handshakes.
+// Keep-alives on, a deep idle pool pinned to the (single) target host,
+// and a long idle timeout so open-loop bursts separated by quiet
+// periods still reuse connections. Exported so wrappers (fault
+// injectors, instrumentation) can compose with the same tuning:
+// &http.Client{Transport: wrap(client.DefaultTransport())}.
+func DefaultTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+		DisableKeepAlives:   false,
+		WriteBufferSize:     64 << 10,
+		ReadBufferSize:      64 << 10,
+	}
 }
 
 // Breaker states as reported by BreakerState.
@@ -220,13 +237,14 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (Resu
 			}
 			return res, err
 		}
-		status, respBody, retryAfter, err := c.attempt(ctx, method, path, body)
+		out, err := c.attempt(ctx, method, path, body)
 		res.Attempts++
 		c.attempts.Add(1)
 		if err == nil {
-			res.StatusCode, res.Body, res.RetryAfter = status, respBody, retryAfter
-			c.br.record(status != http.StatusServiceUnavailable)
-			if !retryable(status) || attempt >= c.cfg.MaxRetries {
+			res.StatusCode, res.Body, res.RetryAfter = out.status, out.body, out.retryAfter
+			res.GateAttempts, res.GateHedged = out.gateAttempts, out.gateHedged
+			c.br.record(out.status != http.StatusServiceUnavailable)
+			if !retryable(out.status) || attempt >= c.cfg.MaxRetries {
 				res.Retried = res.Attempts > 1
 				return res, nil
 			}
@@ -241,37 +259,83 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (Resu
 			}
 		}
 		c.retries.Add(1)
-		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+		if err := c.sleep(ctx, c.backoff(attempt, out.retryAfter)); err != nil {
 			return res, err
 		}
 	}
 }
 
+// attemptOut is the outcome of one successful HTTP attempt.
+type attemptOut struct {
+	status       int
+	body         []byte
+	retryAfter   time.Duration
+	gateAttempts int
+	gateHedged   bool
+}
+
 // attempt runs one HTTP attempt under the per-attempt timeout, returning
-// the status, drained body and any Retry-After hint.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
+// the status, drained body, any Retry-After hint, and the watsgate
+// routing trailer headers when the target is a gate.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (attemptOut, error) {
+	var out attemptOut
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, 0, err
+		return out, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, nil, 0, err
+		return out, err
 	}
 	defer resp.Body.Close()
-	respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	out.status = resp.StatusCode
+	out.body, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(ra, time.Now()); ok {
+			out.retryAfter = d
 			c.retryAfterHonored.Add(1)
 		}
 	}
-	return resp.StatusCode, respBody, retryAfter, nil
+	if v := resp.Header.Get("X-Watsgate-Attempts"); v != "" {
+		if n, perr := strconv.Atoi(v); perr == nil && n > 0 {
+			out.gateAttempts = n
+		}
+	}
+	out.gateHedged = resp.Header.Get("X-Watsgate-Hedged") != ""
+	return out, nil
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either non-negative delay-seconds or an HTTP-date (IMF-fixdate
+// plus the obsolete RFC 850 and asctime forms, via http.ParseTime). A
+// date in the past means "come back now" and clamps to 0; anything
+// unparseable returns ok=false and the caller falls back to its own
+// backoff curve rather than guessing.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	d := t.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
 }
 
 // retryable reports whether an HTTP status is worth retrying: shed (429)

@@ -1,0 +1,115 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers RFC 9110 §10.2.3: delay-seconds, the three
+// HTTP-date forms, and the garbage that must fall back to backoff.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.March, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"7", 7 * time.Second, true},
+		{" 7 ", 7 * time.Second, true}, // tolerate stray whitespace
+		{"-3", 0, false},               // negative seconds: invalid
+		{"2.5", 0, false},              // fractional seconds: not in the grammar
+		// IMF-fixdate, 90s in the future.
+		{"Sun, 01 Mar 2026 12:01:30 GMT", 90 * time.Second, true},
+		// Obsolete RFC 850 form.
+		{"Sunday, 01-Mar-26 12:01:30 GMT", 90 * time.Second, true},
+		// Obsolete asctime form.
+		{"Sun Mar  1 12:01:30 2026", 90 * time.Second, true},
+		// A date already past clamps to "come back now".
+		{"Sun, 01 Mar 2026 11:59:00 GMT", 0, true},
+		{"", 0, false},
+		{"soon", 0, false},
+		{"Sun, 32 Mar 2026 12:00:00 GMT", 0, false}, // unparseable date
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHonored: a shed with an HTTP-date Retry-After
+// delays the retry at least that long, and counts as honored.
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryGap atomic.Int64
+	var t0 time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			t0 = time.Now()
+			// HTTP-dates have whole-second granularity; 2s out guarantees
+			// the formatted date is at least 1s in the future.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		firstRetryGap.Store(int64(time.Since(t0)))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	cl, err := New(Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Do(t.Context(), http.MethodPost, "/v1/jobs", []byte(`{"workload":"w"}`))
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("Do: %v, status %d", err, res.StatusCode)
+	}
+	// The honored wait lands in [1s, 2s]; it just must dwarf the 1-2ms
+	// backoff curve.
+	if gap := time.Duration(firstRetryGap.Load()); gap < 500*time.Millisecond {
+		t.Fatalf("retry came back after %v; HTTP-date hint not honored", gap)
+	}
+	if st := cl.Stats(); st.RetryAfterHonored != 1 {
+		t.Fatalf("RetryAfterHonored = %d, want 1", st.RetryAfterHonored)
+	}
+}
+
+// TestRetryAfterUnparseableFallsBack: garbage hints don't stall the
+// client; the normal (fast) backoff curve applies.
+func TestRetryAfterUnparseableFallsBack(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "eventually")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	cl, err := New(Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := cl.Do(t.Context(), http.MethodPost, "/v1/jobs", []byte(`{"workload":"w"}`))
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("Do: %v, status %d", err, res.StatusCode)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("unparseable hint stalled the retry for %v", d)
+	}
+	if st := cl.Stats(); st.RetryAfterHonored != 0 {
+		t.Fatalf("RetryAfterHonored = %d, want 0 for garbage hint", st.RetryAfterHonored)
+	}
+}

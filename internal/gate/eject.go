@@ -1,0 +1,212 @@
+// Gray-failure defenses, part 2: latency outlier ejection.
+//
+// The paper's core move — notice from observed latency that an
+// execution unit is effectively slow, steer work away, keep probing for
+// recovery — applied to whole backends. The signal is the gate-observed
+// end-to-end round trip per (backend, class), NOT the backend's
+// self-reported exec_ms: a gray node's own clock sees nothing wrong, so
+// the number must be measured from the outside. Cancelled attempts
+// (hedge losers, timeouts) never produce a full sample, so they fold in
+// as *censored* observations — "it took at least this long" — which
+// ratchet the EWMA upward but are ignored when they carry no
+// information (elapsed below the current estimate). Without censoring a
+// fully-wedged backend would paradoxically look fast, because only its
+// rare quick answers would ever be measured.
+//
+// The evaluator demotes a backend to probe-only when its worst
+// per-class ratio against the cluster median exceeds Factor for a
+// sustained Window, and re-admits it half-open-style: one live request
+// per Probe interval carries the probe (protected by hedging, when
+// enabled), and sustained recovery (ratio back under
+// Factor×RecoverFactor) lifts the ejection. The last routable
+// non-ejected backend is never ejected — degraded beats unreachable.
+package gate
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// EjectConfig tunes latency outlier ejection. The zero value disables
+// it.
+type EjectConfig struct {
+	// Enabled turns the evaluator on.
+	Enabled bool
+	// Factor is the ejection threshold: a backend whose per-class RTT
+	// EWMA exceeds Factor × the cluster median for Window is ejected
+	// (0 = 3; must be > 1).
+	Factor float64
+	// Window is how long the excess must be sustained before ejection
+	// (0 = 1.5s).
+	Window time.Duration
+	// Probe is the minimum spacing between probe requests routed to an
+	// ejected backend (0 = 250ms).
+	Probe time.Duration
+	// MinSamples is how many RTT observations a (backend, class) needs
+	// before it participates in median/ratio math (0 = 5).
+	MinSamples int64
+	// RecoverFactor sets the re-admission hysteresis: an ejected backend
+	// returns when its worst ratio drops below Factor × RecoverFactor
+	// (0 = 0.7; must be in (0, 1]).
+	RecoverFactor float64
+}
+
+// rttEWMA is one (backend, class) round-trip estimate.
+type rttEWMA struct {
+	ms float64
+	n  int64
+}
+
+// observeRTT folds one gate-observed round trip into the backend's RTT
+// table. Censored samples (the attempt was cancelled after ms elapsed)
+// only ratchet the estimate upward — a lower bound below the current
+// estimate carries no information.
+func (b *backend) observeRTT(class string, ms float64, censored bool, alpha float64) {
+	if ms <= 0 || class == "" {
+		return
+	}
+	b.rttMu.Lock()
+	defer b.rttMu.Unlock()
+	if b.rtt == nil {
+		b.rtt = map[string]rttEWMA{}
+	}
+	s, ok := b.rtt[class]
+	if !ok {
+		b.rtt[class] = rttEWMA{ms: ms, n: 1}
+		return
+	}
+	if censored && ms <= s.ms {
+		return
+	}
+	s.ms = (1-alpha)*s.ms + alpha*ms
+	s.n++
+	b.rtt[class] = s
+}
+
+// rttTable snapshots the backend's RTT estimates.
+func (b *backend) rttTable() map[string]rttEWMA {
+	b.rttMu.Lock()
+	defer b.rttMu.Unlock()
+	out := make(map[string]rttEWMA, len(b.rtt))
+	for k, v := range b.rtt {
+		out[k] = v
+	}
+	return out
+}
+
+// grantProbe grants at most one probe per Probe interval to an ejected
+// backend.
+func (b *backend) grantProbe(every time.Duration) bool {
+	now := time.Now()
+	b.ejMu.Lock()
+	defer b.ejMu.Unlock()
+	if now.Sub(b.lastProbe) < every {
+		return false
+	}
+	b.lastProbe = now
+	b.probes.Add(1)
+	return true
+}
+
+// ejectLoop runs the evaluator at a cadence fine enough to resolve the
+// sustain window.
+func (g *Gate) ejectLoop() {
+	defer g.wg.Done()
+	period := g.cfg.Eject.Window / 4
+	if period < 25*time.Millisecond {
+		period = 25 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.ejectOnce(time.Now())
+		}
+	}
+}
+
+// ejectOnce evaluates every backend against the cluster. Median over
+// the *lower* middle element, so a 2-backend cluster compares the slow
+// node against the fast one rather than against their midpoint (with an
+// even count a true median would dilute the only healthy reference).
+// Factor provides the safety margin that keeps a merely-mediocre node
+// in rotation.
+func (g *Gate) ejectOnce(now time.Time) {
+	cfg := g.cfg.Eject
+	tables := make([]map[string]rttEWMA, len(g.backends))
+	for i, b := range g.backends {
+		tables[i] = b.rttTable()
+	}
+	// Cluster median RTT per class, over backends with enough samples.
+	med := map[string]float64{}
+	vals := map[string][]float64{}
+	for _, t := range tables {
+		for class, s := range t {
+			if s.n >= cfg.MinSamples {
+				vals[class] = append(vals[class], s.ms)
+			}
+		}
+	}
+	for class, v := range vals {
+		if len(v) < 2 {
+			continue // a single estimate has no cluster to deviate from
+		}
+		sort.Float64s(v)
+		med[class] = v[(len(v)-1)/2]
+	}
+
+	for i, b := range g.backends {
+		ratio := 0.0
+		for class, s := range tables[i] {
+			m := med[class]
+			if s.n < cfg.MinSamples || m <= 0 {
+				continue
+			}
+			if r := s.ms / m; r > ratio {
+				ratio = r
+			}
+		}
+		if b.ejected.Load() {
+			if ratio > 0 && ratio < cfg.Factor*cfg.RecoverFactor {
+				b.ejected.Store(false)
+				b.exceedSince = time.Time{}
+				g.log.Info("backend re-admitted after ejection", "backend", b.name,
+					"ratio", math.Round(ratio*100)/100)
+			}
+			continue
+		}
+		if ratio < cfg.Factor {
+			b.exceedSince = time.Time{}
+			continue
+		}
+		if b.exceedSince.IsZero() {
+			b.exceedSince = now
+			continue
+		}
+		if now.Sub(b.exceedSince) < cfg.Window {
+			continue
+		}
+		if !g.otherRoutable(b) {
+			continue // degraded beats unreachable: never eject the last node
+		}
+		b.ejected.Store(true)
+		b.ejections.Add(1)
+		g.log.Warn("backend ejected as latency outlier", "backend", b.name,
+			"ratio", math.Round(ratio*100)/100, "factor", cfg.Factor)
+	}
+}
+
+// otherRoutable reports whether any backend besides b is routable and
+// not ejected.
+func (g *Gate) otherRoutable(b *backend) bool {
+	for _, o := range g.backends {
+		if o != b && o.routable() && !o.ejected.Load() {
+			return true
+		}
+	}
+	return false
+}

@@ -43,6 +43,7 @@ import (
 
 	"wats/internal/client"
 	"wats/internal/obs"
+	"wats/internal/rng"
 )
 
 // BackendConf names one watsd node.
@@ -77,6 +78,19 @@ type Config struct {
 	// Breaker tunes each backend's circuit breaker (zero = client
 	// defaults: threshold 8, cooldown 2s).
 	Breaker client.BreakerConfig
+	// Hedge tunes hedged dispatch (zero = disabled); see defend.go.
+	Hedge HedgeConfig
+	// Budget caps hedge + re-route volume (zero = unlimited); see
+	// defend.go.
+	Budget BudgetConfig
+	// Eject tunes latency outlier ejection (zero = disabled); see
+	// eject.go.
+	Eject EjectConfig
+	// WrapTransport, when set, wraps each backend client's HTTP
+	// transport — the hook netfault (and instrumentation) attach
+	// through. Called once per backend with its name and the stock
+	// tuned transport.
+	WrapTransport func(backend string, rt http.RoundTripper) http.RoundTripper
 	// Logger receives routing-state transitions (nil = slog.Default).
 	Logger *slog.Logger
 }
@@ -117,6 +131,23 @@ type backend struct {
 	tcMu sync.Mutex
 	tc   map[string]float64
 
+	// rtt is the gate-observed end-to-end round trip EWMA per class in
+	// milliseconds — the ejection signal. Unlike tc (backend-reported
+	// exec_ms) it sees network rot; censored samples from cancelled
+	// attempts ratchet it upward (eject.go).
+	rttMu sync.Mutex
+	rtt   map[string]rttEWMA
+
+	// Ejection state: ejected backends receive probe traffic only.
+	// exceedSince is owned by the eject evaluator; lastProbe is guarded
+	// by ejMu (pick() races grantProbe from many request goroutines).
+	ejected     atomic.Bool
+	exceedSince time.Time
+	ejMu        sync.Mutex
+	lastProbe   time.Time
+	ejections   atomic.Uint64
+	probes      atomic.Uint64
+
 	// Counters behind /metrics (watsgate_*). routedByClass maps
 	// class → *atomic.Uint64.
 	routedByClass sync.Map
@@ -139,6 +170,18 @@ type Gate struct {
 	classOf map[string]string
 
 	requests [apiCount]atomic.Uint64
+
+	// Defense state (defend.go): the shared retry budget (nil =
+	// unlimited), the per-class latency rings behind the hedge delay,
+	// and the gate-level counters Defenses() reports.
+	budget          *retryBudget
+	latMu           sync.Mutex
+	lat             map[string]*latRing
+	primaries       atomic.Uint64
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	rerouteLaunches atomic.Uint64
+	budgetDenied    atomic.Uint64
 
 	pollHC *http.Client
 	stop   chan struct{}
@@ -176,10 +219,55 @@ func New(cfg Config) (*Gate, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Hedge.Enabled {
+		if cfg.Hedge.Quantile == 0 {
+			cfg.Hedge.Quantile = 0.95
+		}
+		if cfg.Hedge.Quantile <= 0 || cfg.Hedge.Quantile >= 1 {
+			return nil, fmt.Errorf("gate: hedge quantile %v out of (0, 1)", cfg.Hedge.Quantile)
+		}
+		if cfg.Hedge.MinDelay <= 0 {
+			cfg.Hedge.MinDelay = 5 * time.Millisecond
+		}
+		if cfg.Hedge.MaxDelay <= 0 {
+			cfg.Hedge.MaxDelay = time.Second
+		}
+		if cfg.Hedge.MaxDelay < cfg.Hedge.MinDelay {
+			return nil, fmt.Errorf("gate: hedge max delay %v below min delay %v", cfg.Hedge.MaxDelay, cfg.Hedge.MinDelay)
+		}
+	}
+	if cfg.Budget.Ratio < 0 {
+		return nil, fmt.Errorf("gate: retry budget ratio %v must be >= 0", cfg.Budget.Ratio)
+	}
+	if cfg.Eject.Enabled {
+		if cfg.Eject.Factor == 0 {
+			cfg.Eject.Factor = 3
+		}
+		if cfg.Eject.Factor <= 1 {
+			return nil, fmt.Errorf("gate: eject factor %v must be > 1", cfg.Eject.Factor)
+		}
+		if cfg.Eject.Window <= 0 {
+			cfg.Eject.Window = 1500 * time.Millisecond
+		}
+		if cfg.Eject.Probe <= 0 {
+			cfg.Eject.Probe = 250 * time.Millisecond
+		}
+		if cfg.Eject.MinSamples <= 0 {
+			cfg.Eject.MinSamples = 5
+		}
+		if cfg.Eject.RecoverFactor == 0 {
+			cfg.Eject.RecoverFactor = 0.7
+		}
+		if cfg.Eject.RecoverFactor <= 0 || cfg.Eject.RecoverFactor > 1 {
+			return nil, fmt.Errorf("gate: eject recover factor %v out of (0, 1]", cfg.Eject.RecoverFactor)
+		}
+	}
 	g := &Gate{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		classOf: map[string]string{},
+		lat:     map[string]*latRing{},
+		budget:  newRetryBudget(cfg.Budget),
 		pollHC:  &http.Client{Timeout: cfg.PollTimeout},
 		stop:    make(chan struct{}),
 	}
@@ -195,7 +283,7 @@ func New(cfg Config) (*Gate, error) {
 		if bc.URL == "" {
 			return nil, fmt.Errorf("gate: backend %q has no URL", bc.Name)
 		}
-		cl, err := client.New(client.Config{
+		ccfg := client.Config{
 			BaseURL:        bc.URL,
 			RequestTimeout: cfg.RequestTimeout,
 			// MaxRetries 0: the gate's routing loop IS the retry layer —
@@ -203,17 +291,26 @@ func New(cfg Config) (*Gate, error) {
 			// instead of hammering the same one.
 			MaxRetries: 0,
 			Breaker:    cfg.Breaker,
-		})
+		}
+		if cfg.WrapTransport != nil {
+			ccfg.HTTPClient = &http.Client{Transport: cfg.WrapTransport(bc.Name, client.DefaultTransport())}
+		}
+		cl, err := client.New(ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("gate: backend %q: %w", bc.Name, err)
 		}
 		g.backends = append(g.backends, &backend{
-			name: bc.Name, url: bc.URL, cl: cl, tc: map[string]float64{},
+			name: bc.Name, url: bc.URL, cl: cl,
+			tc: map[string]float64{}, rtt: map[string]rttEWMA{},
 		})
 	}
-	for _, b := range g.backends {
+	for i, b := range g.backends {
 		g.wg.Add(1)
-		go g.pollLoop(b)
+		go g.pollLoop(b, uint64(i))
+	}
+	if cfg.Eject.Enabled {
+		g.wg.Add(1)
+		go g.ejectLoop()
 	}
 	return g, nil
 }
@@ -237,6 +334,12 @@ type BackendSnapshot struct {
 	Reroutes      uint64             `json:"reroutes"`
 	Outcomes      map[string]uint64  `json:"outcomes"`
 	TC            map[string]float64 `json:"tc"`
+	// Ejection state (eject.go): RTT is the gate-observed round-trip
+	// EWMA per class in milliseconds.
+	Ejected   bool               `json:"ejected"`
+	Ejections uint64             `json:"ejections"`
+	Probes    uint64             `json:"probes"`
+	RTT       map[string]float64 `json:"rtt"`
 }
 
 // Snapshot copies every backend's routing state in configuration order.
@@ -252,6 +355,13 @@ func (g *Gate) Snapshot() []BackendSnapshot {
 			Reroutes:      b.reroutes.Load(),
 			Outcomes:      map[string]uint64{},
 			TC:            b.tcTable(),
+			Ejected:       b.ejected.Load(),
+			Ejections:     b.ejections.Load(),
+			Probes:        b.probes.Load(),
+			RTT:           map[string]float64{},
+		}
+		for class, e := range b.rttTable() {
+			s.RTT[class] = e.ms
 		}
 		b.routedByClass.Range(func(k, v any) bool {
 			s.RoutedByClass[k.(string)] = v.(*atomic.Uint64).Load()
@@ -301,14 +411,21 @@ func (g *Gate) WaitReady(ctx context.Context) error {
 // workload→class map fresh. Polls use a plain HTTP client, not the
 // routed one: a probe against a dead node must not consume the routing
 // breaker's failure budget — the breaker counts real traffic.
-func (g *Gate) pollLoop(b *backend) {
+//
+// Each interval is jittered ±20% from a per-loop deterministic stream:
+// N gates (or one gate's N pollers) started together would otherwise
+// phase-lock and hit every backend in the same instant, turning the
+// poll itself into a synchronized micro-burst.
+func (g *Gate) pollLoop(b *backend, idx uint64) {
 	defer g.wg.Done()
 	g.pollOnce(b)
-	t := time.NewTicker(g.cfg.PollInterval)
-	defer t.Stop()
+	jit := rng.New(idx + 1)
 	for {
+		d := time.Duration(float64(g.cfg.PollInterval) * (0.8 + 0.4*jit.Float64()))
+		t := time.NewTimer(d)
 		select {
 		case <-g.stop:
+			t.Stop()
 			return
 		case <-t.C:
 			g.pollOnce(b)

@@ -115,6 +115,44 @@ func (g *Gate) MetricsHandler() http.Handler {
 			fmt.Fprintf(sb, "watsgate_reroutes_total{backend=%q} %d\n", b.name, b.reroutes.Load())
 		}
 
+		fmt.Fprintf(sb, "# HELP watsgate_hedges_total Hedge attempts launched (defend.go).\n# TYPE watsgate_hedges_total counter\n")
+		fmt.Fprintf(sb, "watsgate_hedges_total %d\n", g.hedges.Load())
+		fmt.Fprintf(sb, "# HELP watsgate_hedge_wins_total Hedge attempts whose answer won the race.\n# TYPE watsgate_hedge_wins_total counter\n")
+		fmt.Fprintf(sb, "watsgate_hedge_wins_total %d\n", g.hedgeWins.Load())
+		fmt.Fprintf(sb, "# HELP watsgate_retry_budget_denied_total Extra dispatches refused by the empty retry budget.\n# TYPE watsgate_retry_budget_denied_total counter\n")
+		fmt.Fprintf(sb, "watsgate_retry_budget_denied_total %d\n", g.budgetDenied.Load())
+		fmt.Fprintf(sb, "# HELP watsgate_reroute_launches_total Budgeted re-route dispatches (unary and batch).\n# TYPE watsgate_reroute_launches_total counter\n")
+		fmt.Fprintf(sb, "watsgate_reroute_launches_total %d\n", g.rerouteLaunches.Load())
+
+		fmt.Fprintf(sb, "# HELP watsgate_backend_ejected Latency outlier ejection state (1 probe-only, 0 in rotation).\n# TYPE watsgate_backend_ejected gauge\n")
+		for _, b := range g.backends {
+			v := 0
+			if b.ejected.Load() {
+				v = 1
+			}
+			fmt.Fprintf(sb, "watsgate_backend_ejected{backend=%q} %d\n", b.name, v)
+		}
+		fmt.Fprintf(sb, "# HELP watsgate_ejections_total Times each backend was ejected as a latency outlier.\n# TYPE watsgate_ejections_total counter\n")
+		for _, b := range g.backends {
+			fmt.Fprintf(sb, "watsgate_ejections_total{backend=%q} %d\n", b.name, b.ejections.Load())
+		}
+		fmt.Fprintf(sb, "# HELP watsgate_probes_total Probe requests routed to ejected backends.\n# TYPE watsgate_probes_total counter\n")
+		for _, b := range g.backends {
+			fmt.Fprintf(sb, "watsgate_probes_total{backend=%q} %d\n", b.name, b.probes.Load())
+		}
+		fmt.Fprintf(sb, "# HELP watsgate_backend_rtt_ewma_ms Gate-observed round-trip EWMA by backend and class, milliseconds.\n# TYPE watsgate_backend_rtt_ewma_ms gauge\n")
+		for _, b := range g.backends {
+			rtt := b.rttTable()
+			classes := make([]string, 0, len(rtt))
+			for c := range rtt {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				fmt.Fprintf(sb, "watsgate_backend_rtt_ewma_ms{backend=%q,class=%q} %g\n", b.name, c, rtt[c].ms)
+			}
+		}
+
 		fmt.Fprintf(sb, "# HELP watsgate_backend_ready Last readiness poll result (1 ready, 0 not).\n# TYPE watsgate_backend_ready gauge\n")
 		for _, b := range g.backends {
 			v := 0

@@ -10,6 +10,7 @@ package gate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -62,6 +63,39 @@ func (g *Gate) handleRoot(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------------
 // Unary submit.
 
+// Trailer headers the gate stamps on every unary answer, so callers
+// (watsload, internal/client) can tell gate-level recovery work from
+// their own retries.
+const (
+	HeaderAttempts = "X-Watsgate-Attempts"
+	HeaderHedged   = "X-Watsgate-Hedged"
+)
+
+// attemptResult is one backend attempt's outcome as seen by the hedged
+// dispatch loop.
+type attemptResult struct {
+	b   *backend
+	res client.Result
+	err error
+	rtt time.Duration
+	// cancelled: the gate cancelled this attempt itself (it lost the
+	// hedge race) — distinct from the caller disappearing.
+	cancelled bool
+	hedge     bool
+}
+
+// handleSubmit is the hedged dispatch loop. One primary attempt is
+// launched immediately; for sync submissions an optional hedge fires at
+// the next-best backend after hedgeDelay(class) if the primary has not
+// answered; transport failures and retryable statuses (429/503)
+// re-route while attempts remain. Hedges and re-routes each draw one
+// token from the retry budget. The first final answer wins: every other
+// in-flight attempt is cancelled, and the server side abandons a
+// cancelled request's job before it is accounted completed (DESIGN.md
+// §14's at-most-once argument). Cancelled losers still contribute
+// *censored* RTT observations — "at least this slow" — which is how a
+// gray backend's slowness becomes visible to the ejection evaluator
+// even when none of its answers are ever waited for.
 func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g.requests[apiJobs].Add(1)
 	if r.Method != http.MethodPost {
@@ -83,36 +117,127 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	class := g.classFor(peek.Workload)
 
 	tried := make(map[*backend]bool, len(g.backends))
-	var last client.Result
-	haveLast := false
-	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
-		b := g.pick(class, tried)
-		if b == nil {
-			break
-		}
+	outc := make(chan attemptResult, g.cfg.MaxAttempts+1)
+	cancels := make([]context.CancelFunc, 0, 2)
+	launched := 0
+	launch := func(b *backend, hedge bool) {
 		tried[b] = true
+		launched++
 		b.countRouted(class)
 		b.inflight.Add(1)
-		res, err := b.cl.SubmitJob(r.Context(), body)
-		b.inflight.Add(-1)
-		if err != nil {
-			b.outcomes[outcomeTransport].Add(1)
-			b.reroutes.Add(1)
-			if r.Context().Err() != nil {
-				httpError(w, http.StatusBadGateway, "canceled: %v", err)
-				return
+		actx, cancel := context.WithCancel(r.Context())
+		cancels = append(cancels, cancel)
+		go func() {
+			t0 := time.Now()
+			res, err := b.cl.SubmitJob(actx, body)
+			b.inflight.Add(-1)
+			outc <- attemptResult{
+				b: b, res: res, err: err, rtt: time.Since(t0),
+				cancelled: err != nil && actx.Err() != nil && r.Context().Err() == nil,
+				hedge:     hedge,
 			}
-			continue
-		}
-		b.outcomes[outcomeFor(res.StatusCode)].Add(1)
-		if retryableStatus(res.StatusCode) {
-			last, haveLast = res, true
-			b.reroutes.Add(1)
-			continue
-		}
-		g.finishUnary(w, b, class, peek.Async, res)
+		}()
+	}
+
+	primary := g.pick(class, tried)
+	if primary == nil {
+		httpError(w, http.StatusBadGateway, "no backend reachable after %d attempts", g.cfg.MaxAttempts)
 		return
 	}
+	g.earnPrimary()
+	launch(primary, false)
+
+	// One hedge per request, sync submissions only: an async 202 is an
+	// admission that cannot be recalled, so a hedged async pair could
+	// both execute.
+	var hedgeC <-chan time.Time
+	if g.cfg.Hedge.Enabled && !peek.Async && g.cfg.MaxAttempts > 1 {
+		ht := time.NewTimer(g.hedgeDelay(class))
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	hedged := false
+	var last client.Result
+	haveLast := false
+	pending := 1
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if launched >= g.cfg.MaxAttempts {
+				continue
+			}
+			b := g.pick(class, tried)
+			if b == nil || !g.takeRetry(true) {
+				continue
+			}
+			hedged = true
+			launch(b, true)
+			pending++
+		case o := <-outc:
+			pending--
+			if o.cancelled {
+				// Hedge loser: its elapsed time is a lower bound on what
+				// waiting for it would have cost.
+				o.b.observeRTT(class, float64(o.rtt)/float64(time.Millisecond), true, g.cfg.Alpha)
+				continue
+			}
+			if o.err != nil {
+				o.b.outcomes[outcomeTransport].Add(1)
+				o.b.reroutes.Add(1)
+				o.b.observeRTT(class, float64(o.rtt)/float64(time.Millisecond), true, g.cfg.Alpha)
+				if r.Context().Err() != nil {
+					if pending == 0 {
+						httpError(w, http.StatusBadGateway, "canceled: %v", o.err)
+						return
+					}
+					continue
+				}
+				if pending == 0 && launched < g.cfg.MaxAttempts {
+					if b := g.pick(class, tried); b != nil && g.takeRetry(false) {
+						launch(b, false)
+						pending++
+					}
+				}
+				continue
+			}
+			g.observeAttempt(o.b, class, o.rtt)
+			o.b.outcomes[outcomeFor(o.res.StatusCode)].Add(1)
+			if retryableStatus(o.res.StatusCode) {
+				last, haveLast = o.res, true
+				o.b.reroutes.Add(1)
+				if pending == 0 && launched < g.cfg.MaxAttempts {
+					if b := g.pick(class, tried); b != nil && g.takeRetry(false) {
+						launch(b, false)
+						pending++
+					}
+				}
+				continue
+			}
+			// First final answer wins: cancel the rest and drain them
+			// off-path so their censored RTT still lands.
+			for _, c := range cancels {
+				c()
+			}
+			if o.hedge {
+				g.hedgeWins.Add(1)
+			}
+			if pending > 0 {
+				go g.drainLosers(outc, pending, class)
+			}
+			w.Header().Set(HeaderAttempts, strconv.Itoa(launched))
+			if hedged {
+				w.Header().Set(HeaderHedged, "1")
+			}
+			g.finishUnary(w, o.b, class, peek.Async, o.res)
+			return
+		}
+	}
+	for _, c := range cancels {
+		c()
+	}
+	w.Header().Set(HeaderAttempts, strconv.Itoa(launched))
 	if haveLast {
 		// Every route shed or was draining: pass the last server answer
 		// (and its backoff hint) through to the caller.
@@ -125,6 +250,33 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpError(w, http.StatusBadGateway, "no backend reachable after %d attempts", g.cfg.MaxAttempts)
+}
+
+// drainLosers consumes the attempts still in flight after a winner was
+// returned, folding their latency into the RTT tables (censored when
+// the gate's cancel cut them short).
+func (g *Gate) drainLosers(outc <-chan attemptResult, n int, class string) {
+	for i := 0; i < n; i++ {
+		o := <-outc
+		ms := float64(o.rtt) / float64(time.Millisecond)
+		if o.cancelled || o.err != nil {
+			o.b.observeRTT(class, ms, true, g.cfg.Alpha)
+			continue
+		}
+		// Photo-finish: the loser completed before the cancel landed.
+		// Count its outcome and full RTT; the response is discarded.
+		o.b.outcomes[outcomeFor(o.res.StatusCode)].Add(1)
+		g.observeAttempt(o.b, class, o.rtt)
+	}
+}
+
+// observeAttempt feeds one full (non-censored) round trip into both
+// defense signal paths: the backend's RTT EWMA (ejection) and the
+// class's latency ring (hedge delay).
+func (g *Gate) observeAttempt(b *backend, class string, rtt time.Duration) {
+	ms := float64(rtt) / float64(time.Millisecond)
+	b.observeRTT(class, ms, false, g.cfg.Alpha)
+	g.recordLat(class, ms)
 }
 
 // finishUnary passes a final backend answer through: learn the TC
@@ -274,6 +426,16 @@ func (g *Gate) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			b := g.pick(it.class, it.tried)
 			if b == nil {
+				continue
+			}
+			// Round 0 dispatches are primaries; every later round is a
+			// re-route drawing from the same budget as unary re-routes
+			// and hedges. A denied item simply keeps its last retryable
+			// answer — under budget exhaustion the gate stops chasing,
+			// it does not fail harder.
+			if round == 0 {
+				g.earnPrimary()
+			} else if !g.takeRetry(false) {
 				continue
 			}
 			it.tried[b] = true

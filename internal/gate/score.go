@@ -27,6 +27,7 @@ const (
 	ScorerAffinity = "class-affinity"
 	ScorerQueue    = "queue-depth"
 	ScorerHealth   = "health"
+	ScorerEjection = "ejection"
 )
 
 // Policy selects a backend-picking strategy. For PolicyWeighted,
@@ -37,10 +38,11 @@ type Policy struct {
 }
 
 // DefaultScorers is the stock weighted mix: affinity dominates, queue
-// pressure breaks ties, health vetoes (unhealthy backends are excluded
-// outright, so its weight only matters for half-open discounting).
+// pressure breaks ties, health and ejection veto (unhealthy and
+// ejected backends are excluded outright, so these weights only matter
+// for half-open discounting and the all-excluded fallback).
 func DefaultScorers() map[string]float64 {
-	return map[string]float64{ScorerAffinity: 3, ScorerQueue: 2, ScorerHealth: 1}
+	return map[string]float64{ScorerAffinity: 3, ScorerQueue: 2, ScorerHealth: 1, ScorerEjection: 1}
 }
 
 func (p Policy) validate() error {
@@ -53,10 +55,10 @@ func (p Policy) validate() error {
 		}
 		for name, w := range p.Weights {
 			switch name {
-			case ScorerAffinity, ScorerQueue, ScorerHealth:
+			case ScorerAffinity, ScorerQueue, ScorerHealth, ScorerEjection:
 			default:
-				return fmt.Errorf("gate: unknown scorer %q (want %s, %s or %s)",
-					name, ScorerAffinity, ScorerQueue, ScorerHealth)
+				return fmt.Errorf("gate: unknown scorer %q (want %s, %s, %s or %s)",
+					name, ScorerAffinity, ScorerQueue, ScorerHealth, ScorerEjection)
 			}
 			if w <= 0 {
 				return fmt.Errorf("gate: scorer %q weight %v must be > 0", name, w)
@@ -118,16 +120,38 @@ func ParseScorers(s string) (map[string]float64, error) {
 
 // pick chooses the backend for one job of the given class, excluding
 // indices in tried (the per-item re-route set). Unroutable backends
-// (not ready, or breaker hard-open) are excluded too — unless that
-// excludes everyone untried, in which case the policy falls back to any
-// untried backend: when the whole cluster looks dead, someone has to
-// carry the probe that discovers recovery. Returns nil when every
-// backend has been tried.
+// (not ready, or breaker hard-open) and ejected ones are excluded too —
+// unless that excludes everyone untried, in which case the policy falls
+// back through ejected backends first and then to any untried backend:
+// when the whole cluster looks dead, someone has to carry the probe
+// that discovers recovery. Returns nil when every backend has been
+// tried.
+//
+// Ejected backends re-enter half-open-style: a primary pick (empty
+// tried set) routes to an ejected-but-due backend directly, at most
+// once per Eject.Probe interval. The probe must be forced — an ejected
+// backend can never win a score-based pick, so without this it would be
+// starved of the very traffic that could prove its recovery. Hedging
+// (when enabled) protects the probe's caller from a still-slow answer.
 func (g *Gate) pick(class string, tried map[*backend]bool) *backend {
+	if g.cfg.Eject.Enabled && len(tried) == 0 {
+		for _, b := range g.backends {
+			if b.ejected.Load() && b.routable() && b.grantProbe(g.cfg.Eject.Probe) {
+				return b
+			}
+		}
+	}
 	elig := make([]*backend, 0, len(g.backends))
 	for _, b := range g.backends {
-		if !tried[b] && b.routable() {
+		if !tried[b] && b.routable() && !b.ejected.Load() {
 			elig = append(elig, b)
+		}
+	}
+	if len(elig) == 0 {
+		for _, b := range g.backends {
+			if !tried[b] && b.routable() {
+				elig = append(elig, b)
+			}
 		}
 	}
 	if len(elig) == 0 {
@@ -215,6 +239,12 @@ func (g *Gate) pickWeighted(class string, elig []*backend) *backend {
 				}
 			}
 			score += wh * h
+		}
+		if we := w[ScorerEjection]; we > 0 && !b.ejected.Load() {
+			// Non-ejected backends get the full ejection score; ejected
+			// ones score 0, which only matters on the all-excluded
+			// fallback path (normal picks exclude them before scoring).
+			score += we
 		}
 		if score > bestScore {
 			best, bestScore = b, score

@@ -51,7 +51,7 @@ func TestPolicyValidate(t *testing.T) {
 			t.Fatalf("%v accepted", p)
 		}
 	}
-	if s := (Policy{Kind: PolicyWeighted, Weights: DefaultScorers()}).String(); s != "weighted(class-affinity:3,health:1,queue-depth:2)" {
+	if s := (Policy{Kind: PolicyWeighted, Weights: DefaultScorers()}).String(); s != "weighted(class-affinity:3,ejection:1,health:1,queue-depth:2)" {
 		t.Fatalf("String: %q", s)
 	}
 }

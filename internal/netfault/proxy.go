@@ -1,0 +1,122 @@
+package netfault
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP-level chaos proxy: it forwards client connections to a
+// target address, applying one planned Action per accepted connection
+// (key "conn"). It is the black-box attachment point — point a real
+// client at Addr() and the wire itself misbehaves, no cooperation from
+// either endpoint required.
+type Proxy struct {
+	in     *Injector
+	target string
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on listen (e.g. "127.0.0.1:0") and forwards to
+// target through the injector's fault schedule.
+func NewProxy(listen, target string, in *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{in: in, target: target, ln: ln, closed: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and tears down in-flight connections.
+func (p *Proxy) Close() {
+	close(p.closed)
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	a := p.in.Next("conn")
+	switch {
+	case a.Reset:
+		// Setting linger 0 turns Close into an RST rather than a FIN.
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		return
+	case a.Blackhole:
+		// Swallow bytes until the client gives up or the proxy closes.
+		go func() { io.Copy(io.Discard, client) }()
+		<-p.closed
+		return
+	}
+	if a.Latency > 0 && !sleepCtx(a.Latency, p.closed) {
+		return
+	}
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(up, client); done <- struct{}{} }()
+	go func() {
+		if a.Drip {
+			p.dripCopy(client, up)
+		} else {
+			io.Copy(client, up)
+		}
+		done <- struct{}{}
+	}()
+	select {
+	case <-done:
+	case <-p.closed:
+	}
+}
+
+// dripCopy relays target→client in small chunks with a pause between
+// them, so the response arrives at modem pace.
+func (p *Proxy) dripCopy(dst net.Conn, src net.Conn) {
+	chunk := p.in.spec.DripChunk
+	if chunk <= 0 {
+		chunk = 64
+	}
+	buf := make([]byte, chunk)
+	first := true
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !first && !sleepCtx(p.in.spec.DripDelay, p.closed) {
+				return
+			}
+			first = false
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package netfault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProxyPassthroughAndLatency: a clean proxy relays HTTP untouched;
+// a latency proxy delays connection setup.
+func TestProxyPassthroughAndLatency(t *testing.T) {
+	ts := httptest.NewServer(inner())
+	defer ts.Close()
+	target := strings.TrimPrefix(ts.URL, "http://")
+
+	p, err := NewProxy("127.0.0.1:0", target, New(Spec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := http.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 200 {
+		t.Fatalf("proxied body = %d bytes, want 200", len(body))
+	}
+
+	spec, _ := ParseSpec("latency=1:70ms", 1)
+	lp, err := NewProxy("127.0.0.1:0", target, New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+	// Fresh transport per request: keep-alive reuse would dodge the
+	// per-connection fault plan.
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	t0 := time.Now()
+	resp, err = cl.Get("http://" + lp.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 70*time.Millisecond {
+		t.Fatalf("latency proxy round trip took %v, want >= 70ms", d)
+	}
+}
+
+// TestProxyReset: the client sees a hard connection failure.
+func TestProxyReset(t *testing.T) {
+	ts := httptest.NewServer(inner())
+	defer ts.Close()
+	spec, _ := ParseSpec("reset=1", 1)
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := cl.Get("http://" + p.Addr()); err == nil {
+		t.Fatal("expected transport error through reset proxy")
+	}
+	if c := p.in.Counts(); c.Resets == 0 {
+		t.Fatalf("counts = %+v, want >= 1 reset", c)
+	}
+}
+
+// TestProxyBlackhole: the connection hangs until the client times out.
+func TestProxyBlackhole(t *testing.T) {
+	ts := httptest.NewServer(inner())
+	defer ts.Close()
+	spec, _ := ParseSpec("blackhole=1", 1)
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	cl := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   80 * time.Millisecond,
+	}
+	if _, err := cl.Get("http://" + p.Addr()); err == nil {
+		t.Fatal("expected timeout through blackhole proxy")
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func submitNoopOnce(s *Server, wl *Workload, deadline time.Duration) {
 		panic("no admission headroom")
 	}
 	s.metrics.Submitted()
-	rec, code := s.submitSync(wl, Params{}, deadline)
+	rec, code := s.submitSync(context.Background(), wl, Params{}, deadline)
 	if rec == nil || code != http.StatusOK {
 		panic("noop job did not complete")
 	}

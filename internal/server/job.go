@@ -407,6 +407,26 @@ func (r *jobRec) expire(gen uint64) {
 	r.afterFinish(out)
 }
 
+// abandon finalizes the job as cancelled on behalf of a caller that
+// stopped waiting — a disconnected client, or a hedged gate attempt
+// losing the race. Winning finalization cancels the job context so the
+// body retires at the runtime's next cancellation point and the job is
+// accounted expired, never completed: a hedge loser must not double the
+// completed count. Losing (the job finished first) is a no-op and the
+// real outcome stands.
+func (r *jobRec) abandon() {
+	now := time.Now()
+	r.mu.Lock()
+	if r.finalized {
+		r.mu.Unlock()
+		return
+	}
+	out := r.finishLocked(nil, context.Canceled, time.Time{}, now)
+	r.mu.Unlock()
+	r.jc.cancel(context.Canceled, nil)
+	r.afterFinish(out)
+}
+
 // afterFinish runs the post-finalization actions outside r.mu: eviction
 // bookkeeping (async), the admission slot, metrics, and waking whoever
 // is waiting on the outcome.
@@ -473,8 +493,10 @@ func (s *Server) reserve(want int) int {
 // writing it; on spawn failure it returns (nil, 503) with the record
 // already recycled. Allocation-free for workloads whose results encode
 // without reflection (nil results and the scalar fast paths in
-// appendResult).
-func (s *Server) submitSync(wl *Workload, p Params, deadline time.Duration) (*jobRec, int) {
+// appendResult). A dying ctx (client gone, hedge loser cancelled)
+// abandons the job: exactly one done token arrives either way, because
+// only the finalization winner's afterFinish sends it.
+func (s *Server) submitSync(ctx context.Context, wl *Workload, p Params, deadline time.Duration) (*jobRec, int) {
 	r := s.newRec()
 	if err := s.startJob(r, wl, p, deadline, modeSync); err != nil {
 		// No release is coming; drop both references ourselves. The done
@@ -483,7 +505,12 @@ func (s *Server) submitSync(wl *Workload, p Params, deadline time.Duration) (*jo
 		r.unref()
 		return nil, http.StatusServiceUnavailable
 	}
-	<-r.done
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		r.abandon()
+		<-r.done
+	}
 	r.buf = append(r.appendResponse(r.buf[:0]), '\n')
 	return r, httpStatusFor(r.statusLocked())
 }

@@ -274,7 +274,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.submitAsync(w, &wl, req.Params, deadline)
 		return
 	}
-	rec, code := s.submitSync(&wl, req.Params, deadline)
+	rec, code := s.submitSync(r.Context(), &wl, req.Params, deadline)
 	if rec == nil {
 		httpError(w, http.StatusServiceUnavailable, "runtime shut down")
 		return

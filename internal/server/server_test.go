@@ -429,3 +429,44 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestSyncCallerGoneAbandonsJob: a sync submitter that stops waiting —
+// a disconnected client, or a hedged gate attempt losing the race —
+// abandons the job. It must be accounted expired, never completed, so
+// gate-side hedging cannot inflate the completed count.
+func TestSyncCallerGoneAbandonsJob(t *testing.T) {
+	e := newEnv(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.ts.URL+"/v1/jobs",
+		strings.NewReader(`{"workload":"sleep","params":{"n":2000}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, derr := http.DefaultClient.Do(req)
+		if derr == nil {
+			resp.Body.Close()
+		}
+		done <- derr
+	}()
+	time.Sleep(50 * time.Millisecond) // let the body start sleeping
+	cancel()
+	if derr := <-done; derr == nil {
+		t.Fatal("cancelled request unexpectedly returned a response")
+	}
+	// abandon wins finalization immediately; the poisoned body retires at
+	// its next cancellation check and the counters settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c := e.srv.Metrics().Counters()
+		if c.Expired == 1 && c.Completed == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters after abandon: %+v", c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
